@@ -1,0 +1,82 @@
+//! Criterion perf benches for whole measurements: how many samples per
+//! second each technique sustains against a simulated target, plus the
+//! metric computations.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use reorder_core::metrics::{exchanges, max_sack_blocks, non_reversing_reordered, Cdf};
+use reorder_core::sample::TestConfig;
+use reorder_core::scenario;
+use reorder_core::techniques::{
+    DataTransferTest, DualConnectionTest, SingleConnectionTest, SynTest,
+};
+
+fn bench_techniques(c: &mut Criterion) {
+    let samples = 20usize;
+    let mut g = c.benchmark_group("techniques");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(samples as u64));
+
+    g.bench_function("single_connection_20_samples", |b| {
+        b.iter(|| {
+            let mut sc = scenario::validation_rig(0.05, 0.05, 11);
+            SingleConnectionTest::reversed(TestConfig::samples(samples))
+                .run(&mut sc.prober, sc.target, 80)
+                .unwrap()
+        })
+    });
+    g.bench_function("dual_connection_20_samples", |b| {
+        b.iter(|| {
+            let mut sc = scenario::validation_rig(0.05, 0.05, 12);
+            DualConnectionTest::new(TestConfig::samples(samples))
+                .run(&mut sc.prober, sc.target, 80)
+                .unwrap()
+        })
+    });
+    g.bench_function("syn_test_20_samples", |b| {
+        b.iter(|| {
+            let mut sc = scenario::validation_rig(0.05, 0.05, 13);
+            SynTest::new(TestConfig::samples(samples))
+                .run(&mut sc.prober, sc.target, 80)
+                .unwrap()
+        })
+    });
+    g.bench_function("data_transfer_full_object", |b| {
+        b.iter(|| {
+            let mut sc = scenario::validation_rig(0.0, 0.05, 14);
+            DataTransferTest::new(TestConfig::default())
+                .run(&mut sc.prober, sc.target, 80)
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let mut g = c.benchmark_group("metrics");
+    for n in [100usize, 10_000] {
+        // A mildly shuffled arrival sequence.
+        let arrivals: Vec<u64> = (0..n as u64)
+            .map(|i| if i % 17 == 3 && i > 0 { i - 1 } else { i })
+            .collect();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("exchanges", n), &arrivals, |b, a| {
+            b.iter(|| exchanges(black_box(a)))
+        });
+        g.bench_with_input(
+            BenchmarkId::new("non_reversing", n),
+            &arrivals,
+            |b, a| b.iter(|| non_reversing_reordered(black_box(a))),
+        );
+        g.bench_with_input(BenchmarkId::new("sack_blocks", n), &arrivals, |b, a| {
+            b.iter(|| max_sack_blocks(black_box(a), 0))
+        });
+    }
+    let rates: Vec<f64> = (0..1000).map(|i| (i % 97) as f64 / 97.0).collect();
+    g.bench_function("cdf_build_1000", |b| {
+        b.iter(|| Cdf::new(black_box(rates.clone())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_techniques, bench_metrics);
+criterion_main!(benches);

@@ -1,0 +1,133 @@
+//! Ablation — one reordering *measurement* against four reordering
+//! *mechanisms* (§V: "DiffServ scheduling and buffer management,
+//! multi-path routing, layer 2 retransmission ..., or simply ... fine
+//! grained data parallelism").
+//!
+//! The paper's time-domain methodology (§IV-C) claims to characterize
+//! the reordering *process*, not just its average. This experiment
+//! backs that up: each mechanism leaves a distinct fingerprint in the
+//! gap profile —
+//!
+//! * **striping** (queue imbalance): smooth exponential-like decay;
+//! * **multipath** (fixed route skew): a hard step at the skew;
+//! * **wireless ARQ** (retry lateness): a step at the retry delay with
+//!   a loss floor independent of gap;
+//! * **dummynet swap** (adjacent exchange): flat in gap (up to its hold
+//!   horizon) — which is why it is a *calibration* device, not a model.
+
+use reorder_bench::{parallel_map, pct, rule, Scale};
+use reorder_core::metrics::ReorderEstimate;
+use reorder_core::sample::TestConfig;
+use reorder_core::scenario;
+use reorder_core::techniques::DualConnectionTest;
+use reorder_netsim::pipes::{ArqConfig, CrossTraffic, DummynetConfig, DummynetReorder};
+use std::time::Duration;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mechanism {
+    Striping,
+    Multipath,
+    WirelessArq,
+    Dummynet,
+}
+
+impl Mechanism {
+    fn label(self) -> &'static str {
+        match self {
+            Mechanism::Striping => "striping",
+            Mechanism::Multipath => "multipath(80us skew)",
+            Mechanism::WirelessArq => "wireless-arq(300us retry)",
+            Mechanism::Dummynet => "dummynet(p=0.1)",
+        }
+    }
+
+    fn build(self, seed: u64) -> scenario::Scenario {
+        match self {
+            Mechanism::Striping => scenario::striped_path(CrossTraffic::backbone(), seed),
+            Mechanism::Multipath => scenario::multipath_path(Duration::from_micros(80), seed),
+            Mechanism::WirelessArq => scenario::wireless_path(
+                ArqConfig {
+                    frame_error: 0.10,
+                    retry_delay: Duration::from_micros(300),
+                    max_retries: 4,
+                    in_order_delivery: false,
+                },
+                seed,
+            ),
+            Mechanism::Dummynet => scenario::pipe_path(
+                Box::new(DummynetReorder::new(
+                    DummynetConfig {
+                        fwd_swap: 0.1,
+                        ..Default::default()
+                    },
+                    seed,
+                    "d",
+                )),
+                seed,
+            ),
+        }
+    }
+}
+
+fn measure(mech: Mechanism, gap_us: u64, samples: usize, seed: u64) -> f64 {
+    let mut sc = mech.build(seed);
+    let cfg = TestConfig {
+        samples,
+        gap: Duration::from_micros(gap_us),
+        pace: Duration::from_millis(2),
+        reply_timeout: Duration::from_millis(900),
+    };
+    match DualConnectionTest::new(cfg).run(&mut sc.prober, sc.target, 80) {
+        Ok(run) => ReorderEstimate::new(run.fwd_reordered(), run.fwd_determinate()).rate(),
+        Err(_) => f64::NAN,
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let samples = scale.pick(1000, 300, 60);
+    let gaps: Vec<u64> = vec![0, 10, 25, 50, 75, 100, 150, 200, 300, 400, 500];
+    let mechanisms = [
+        Mechanism::Striping,
+        Mechanism::Multipath,
+        Mechanism::WirelessArq,
+        Mechanism::Dummynet,
+    ];
+
+    println!("Ablation: gap-profile fingerprints of four reordering mechanisms (§IV-C, §V)");
+    println!("    dual connection test, {samples} samples/point");
+    rule(92);
+    print!("{:>8}", "gap(us)");
+    for m in mechanisms {
+        print!(" {:>22}", m.label());
+    }
+    println!();
+    rule(92);
+
+    let jobs: Vec<(Mechanism, u64)> = gaps
+        .iter()
+        .flat_map(|&g| mechanisms.iter().map(move |&m| (m, g)))
+        .collect();
+    let results = parallel_map(jobs, |(m, g)| {
+        (m, g, measure(m, g, samples, 0xAB1A + g * 13))
+    });
+
+    for &g in &gaps {
+        print!("{g:>8}");
+        for m in mechanisms {
+            let rate = results
+                .iter()
+                .find(|&&(rm, rg, _)| rm == m && rg == g)
+                .map(|&(_, _, r)| r)
+                .unwrap_or(f64::NAN);
+            print!(" {:>22}", pct(rate));
+        }
+        println!();
+    }
+    rule(92);
+    println!("expected fingerprints:");
+    println!("  striping   — smooth decay to ~0 (queue imbalance drains)");
+    println!("  multipath  — cliff at the 80 us route skew, zero beyond");
+    println!("  arq        — near-flat until the 300 us retry delay, then zero");
+    println!("  dummynet   — gap-independent (the calibration pipe swaps whatever is adjacent)");
+}

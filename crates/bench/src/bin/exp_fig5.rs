@@ -1,0 +1,171 @@
+//! E2 — Figure 5: CDF of reordering rates across all measured paths.
+//!
+//! §IV-B: 15 hand-picked popular hosts plus 35 random hosts, measured
+//! round-robin with all four tests over 20 days ("approximately 850
+//! measurements per host per test, where each individual measurement
+//! consisted of 15 samples"). Headlines: "over 40% of the paths tested
+//! experience some reordering", "more forward path reordering than
+//! reverse path reordering", and "more than 15% of measurements had at
+//! least one reordered sample".
+
+use reorder_bench::{parallel_map, pct, rule, Scale};
+use reorder_core::metrics::Cdf;
+use reorder_core::sample::TestConfig;
+use reorder_core::scenario::{self, HostSpec};
+use reorder_core::techniques::{
+    DataTransferTest, DualConnectionTest, SingleConnectionTest, SynTest,
+};
+
+struct HostResult {
+    name: String,
+    /// Mean forward rate per applicable test, then averaged.
+    fwd_rate: f64,
+    rev_rate: f64,
+    measurements: usize,
+    measurements_with_event: usize,
+    dual_excluded: bool,
+}
+
+fn survey_host(spec: HostSpec, rounds: usize, seed: u64) -> HostResult {
+    let mut fwd_events = 0usize;
+    let mut fwd_total = 0usize;
+    let mut rev_events = 0usize;
+    let mut rev_total = 0usize;
+    let mut measurements = 0usize;
+    let mut with_event = 0usize;
+    let mut dual_excluded = false;
+
+    let cfg = TestConfig::samples(15);
+    for round in 0..rounds {
+        let round_seed = seed.wrapping_add(round as u64).wrapping_mul(0x9E37_79B9);
+        // Cycle through the tests, as the paper's prober did.
+        for test_idx in 0..4 {
+            let mut sc = scenario::internet_host(&spec, round_seed + test_idx);
+            let run = match test_idx {
+                0 => SingleConnectionTest::reversed(cfg).run(&mut sc.prober, sc.target, 80),
+                1 => match DualConnectionTest::new(cfg).run(&mut sc.prober, sc.target, 80) {
+                    Err(reorder_core::ProbeError::HostUnsuitable(_)) => {
+                        dual_excluded = true;
+                        continue;
+                    }
+                    other => other,
+                },
+                2 => SynTest::new(cfg).run(&mut sc.prober, sc.target, 80),
+                _ => DataTransferTest::new(TestConfig::default()).run(&mut sc.prober, sc.target, 80),
+            };
+            let Ok(run) = run else { continue };
+            measurements += 1;
+            if run.fwd_reordered() + run.rev_reordered() > 0 {
+                with_event += 1;
+            }
+            fwd_events += run.fwd_reordered();
+            fwd_total += run.fwd_determinate();
+            rev_events += run.rev_reordered();
+            rev_total += run.rev_determinate();
+        }
+    }
+    HostResult {
+        name: spec.name,
+        fwd_rate: if fwd_total == 0 {
+            0.0
+        } else {
+            fwd_events as f64 / fwd_total as f64
+        },
+        rev_rate: if rev_total == 0 {
+            0.0
+        } else {
+            rev_events as f64 / rev_total as f64
+        },
+        measurements,
+        measurements_with_event: with_event,
+        dual_excluded,
+    }
+}
+
+fn print_cdf(label: &str, cdf: &Cdf) {
+    println!("  {label} CDF (rate -> cumulative fraction of paths):");
+    for q in [0.25, 0.5, 0.75, 0.9, 1.0] {
+        println!("    p{:<3} rate = {}", (q * 100.0) as u32, pct(cdf.quantile(q)));
+    }
+    for x in [0.0, 0.001, 0.01, 0.05, 0.10, 0.25] {
+        println!(
+            "    F({:>5}) = {}",
+            pct(x).trim(),
+            pct(cdf.fraction_at_most(x))
+        );
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let rounds = scale.pick(40, 8, 2);
+    let specs = scenario::population(15, 35, 0xF165);
+
+    println!("E2: reordering-rate CDF across the host population (Fig. 5, §IV-B)");
+    println!(
+        "    {} hosts ({} popular + {} random), {} rounds x 4 tests x 15 samples",
+        specs.len(),
+        15,
+        35,
+        rounds
+    );
+    rule(84);
+
+    let jobs: Vec<(HostSpec, u64)> = specs
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| (s, 0xE2_0000 + i as u64 * 1000))
+        .collect();
+    let results = parallel_map(jobs, |(spec, seed)| survey_host(spec, rounds, seed));
+
+    println!(
+        "{:<26} {:>9} {:>9} {:>7} {:>9}",
+        "host", "fwd-rate", "rev-rate", "meas", "dual?"
+    );
+    rule(84);
+    for r in &results {
+        println!(
+            "{:<26} {:>9} {:>9} {:>7} {:>9}",
+            r.name,
+            pct(r.fwd_rate),
+            pct(r.rev_rate),
+            r.measurements,
+            if r.dual_excluded { "excluded" } else { "ok" }
+        );
+    }
+    rule(84);
+
+    let fwd_cdf = Cdf::new(results.iter().map(|r| r.fwd_rate).collect());
+    let rev_cdf = Cdf::new(results.iter().map(|r| r.rev_rate).collect());
+    print_cdf("forward", &fwd_cdf);
+    print_cdf("reverse", &rev_cdf);
+
+    let some_reordering = results
+        .iter()
+        .filter(|r| r.fwd_rate > 0.0 || r.rev_rate > 0.0)
+        .count();
+    let total_meas: usize = results.iter().map(|r| r.measurements).sum();
+    let meas_with_event: usize = results.iter().map(|r| r.measurements_with_event).sum();
+    let mean_fwd: f64 =
+        results.iter().map(|r| r.fwd_rate).sum::<f64>() / results.len() as f64;
+    let mean_rev: f64 =
+        results.iter().map(|r| r.rev_rate).sum::<f64>() / results.len() as f64;
+
+    println!();
+    println!(
+        "paths with some reordering: {}/{} = {}   (paper: >40%)",
+        some_reordering,
+        results.len(),
+        pct(some_reordering as f64 / results.len() as f64)
+    );
+    println!(
+        "mean fwd rate {} vs mean rev rate {}   (paper: fwd > rev)",
+        pct(mean_fwd),
+        pct(mean_rev)
+    );
+    println!(
+        "measurements with >=1 reordered sample: {}   (paper: >15%)",
+        pct(meas_with_event as f64 / total_meas as f64)
+    );
+    assert!(mean_fwd > mean_rev, "population built with fwd > rev must measure that way");
+}

@@ -1,0 +1,148 @@
+//! Protocol impact — the paper's motivating claim quantified (§I and
+//! §IV-C): given the measured time-domain reordering distribution,
+//! predict what it does to TCP's fast retransmit and to a VoIP playout
+//! buffer, and evaluate the adaptive-dupthresh mitigation the related
+//! work proposes ("All of these projects would benefit from access to
+//! contemporary empirical data").
+
+use reorder_bench::{pct, rule, Scale};
+use reorder_core::impact::{observe_stream, tcp, voip};
+use reorder_core::scenario;
+use reorder_netsim::pipes::CrossTraffic;
+use std::time::Duration;
+
+fn main() {
+    let scale = Scale::from_env();
+    let n = scale.pick(20_000, 5_000, 800);
+
+    println!("Impact analysis over the striped (queue-imbalance) path");
+    rule(80);
+
+    // --- TCP: dupthresh sweep on back-to-back vs paced streams -------------
+    for (label, gap) in [
+        ("back-to-back 40B stream (ACK-like)", Duration::ZERO),
+        ("12us-spaced 1500B stream (data-like)", Duration::from_micros(12)),
+    ] {
+        let mut sc = scenario::striped_path(CrossTraffic::backbone(), 0x1AC7);
+        let size = if gap.is_zero() { 40 } else { 1500 };
+        let obs = observe_stream(&mut sc, n, gap, size);
+        let order = obs.arrival_order();
+        println!("{label}: {} packets, loss {:.2}%", obs.sent, obs.loss_fraction() * 100.0);
+        println!("  dupthresh   spurious-FR   per-1000-pkts   relative-goodput(w=64)");
+        for thresh in [1usize, 2, 3, 4, 6] {
+            let s = tcp::spurious_fast_retransmits(&order, thresh);
+            let rate = s as f64 / order.len() as f64;
+            println!(
+                "  {:>9} {:>13} {:>15.2} {:>24.3}",
+                thresh,
+                s,
+                rate * 1000.0,
+                tcp::relative_goodput(rate, 64.0)
+            );
+        }
+        let adaptive = tcp::adaptive_fast_retransmits(&order, 3);
+        println!(
+            "  adaptive(start 3): {} spurious, settles at dupthresh {}",
+            adaptive.spurious, adaptive.final_dupthresh
+        );
+        println!();
+    }
+
+    rule(80);
+    // --- VoIP: playout depth requirements -----------------------------------
+    println!("VoIP playout (20 ms voice frames over the same path):");
+    let mut sc = scenario::striped_path(CrossTraffic::backbone(), 0x701B);
+    let obs = observe_stream(&mut sc, scale.pick(5_000, 2_000, 400), Duration::from_millis(20), 200);
+    println!("  depth(us)   unusable-frames");
+    for depth_us in [0u64, 10, 25, 50, 100, 250, 500] {
+        println!(
+            "  {:>9} {:>17}",
+            depth_us,
+            pct(voip::unusable_fraction(&obs, Duration::from_micros(depth_us)))
+        );
+    }
+    match voip::min_depth_for(&obs, 0.001) {
+        Some(d) => println!("  minimum depth for <=0.1% unusable: {} us", d.as_micros()),
+        None => println!("  loss alone exceeds the 0.1% budget; no buffer depth suffices"),
+    }
+    println!();
+    println!("note: 20 ms-spaced voice frames sit far out on the gap profile, so");
+    println!("reordering barely touches them — matching §IV-C's observation that");
+    println!("spread-out packets tolerate greater queue imbalance.");
+
+    rule(80);
+    // --- Closed-loop TCP sender: goodput vs dupthresh ------------------------
+    // The §II proposals, evaluated: a Reno-style sender transferring a
+    // real object across a 20%-swap path, with fixed and adaptive
+    // thresholds. (Receiver ACKs every segment so the comparison
+    // isolates congestion control from delayed-ACK parity stalls.)
+    println!("closed-loop sender across the striped path (256 KiB transfer, bursty windows):");
+    println!("  {:<16} {:>10} {:>9} {:>9} {:>12}", "policy", "goodput", "fast-rtx", "spurious", "final-thresh");
+    let eager = reorder_tcpstack::HostPersonality {
+        delayed_ack: reorder_tcpstack::DelayedAck::disabled(),
+        ..reorder_tcpstack::HostPersonality::freebsd4()
+    };
+    use reorder_core::sender::{run_transfer, DupThresh, SenderConfig};
+    for (label, policy) in [
+        ("fixed(1)", DupThresh::Fixed(1)),
+        ("fixed(3)", DupThresh::Fixed(3)),
+        ("fixed(6)", DupThresh::Fixed(6)),
+        ("adaptive(3)", DupThresh::Adaptive(3)),
+        ("never", DupThresh::Never),
+    ] {
+        // Window bursts hit the stripe back-to-back, so queue-imbalance
+        // extents regularly exceed the standard dupthresh of 3.
+        let mut sc = reorder_core::scenario::striped_path_with(
+            2,
+            1_000_000_000,
+            CrossTraffic::backbone(),
+            eager.clone(),
+            0x5E4D,
+        );
+        let cfg = SenderConfig {
+            bytes: 256 * 1024,
+            dupthresh: policy,
+            ..SenderConfig::default()
+        };
+        match run_transfer(&mut sc.prober, sc.target, 80, cfg) {
+            Ok(s) => println!(
+                "  {:<16} {:>7.2} Mb/s {:>9} {:>9} {:>12}",
+                label,
+                s.goodput_bps() / 1e6,
+                s.fast_retransmits,
+                s.spurious_retransmits,
+                if s.final_dupthresh == usize::MAX {
+                    "-".to_string()
+                } else {
+                    s.final_dupthresh.to_string()
+                }
+            ),
+            Err(e) => println!("  {label:<16} failed: {e}"),
+        }
+    }
+    println!("  (reordering-tolerant thresholds win back the goodput spurious halving costs)");
+
+    rule(80);
+    // --- RFC 4737 summary ----------------------------------------------------
+    // The paper's reference [8] became RFC 4737; report the same path in
+    // the standardized vocabulary.
+    let mut sc = scenario::striped_path(CrossTraffic::backbone(), 0x4737);
+    let obs = observe_stream(&mut sc, scale.pick(20_000, 5_000, 800), Duration::ZERO, 40);
+    let report = reorder_core::rfc4737::analyze(&reorder_core::rfc4737::from_observation(&obs));
+    println!("RFC 4737 metrics, back-to-back 40B stream on the striped path:");
+    println!("  reordered ratio:        {}", pct(report.ratio));
+    println!("  max extent:             {} packets", report.max_extent());
+    println!("  n-reordering degree:    {}", report.degree());
+    println!(
+        "  P(>=3-reordered):       {}   (the TCP dupthresh-3 exposure)",
+        pct(report.at_least_n_reordered(3))
+    );
+    println!("  mean reordering-free run: {:.1} packets", report.mean_free_run());
+    let max_late = report
+        .late_offsets
+        .iter()
+        .max()
+        .copied()
+        .unwrap_or(Duration::ZERO);
+    println!("  max late-time offset:   {} us", max_late.as_micros());
+}

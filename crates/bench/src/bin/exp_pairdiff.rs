@@ -1,0 +1,185 @@
+//! E5 — §IV-B cross-test consistency via the pair-difference statistic.
+//!
+//! "With a 99.9% confidence interval we find that the single connection
+//! test and the SYN test provide similar results (78% of the forward
+//! path tests and 93% of the reverse path tests support the null
+//! hypothesis). [...] Finally, the results from the TCP data transfer
+//! test closely matched the SYN and dual tests (90%) but was
+//! significantly different from the single connection test [...]
+//! during periods of significant reordering, the TCP data transfer
+//! tests can produce significantly lower estimates of reordering than
+//! the other approaches — sometimes less than half as many reordering
+//! events."
+
+use reorder_bench::{parallel_map, pct, rule, Scale};
+use reorder_core::sample::TestConfig;
+use reorder_core::scenario::{self, HostSpec};
+use reorder_core::stats::pair_difference;
+use reorder_core::techniques::{
+    DataTransferTest, DualConnectionTest, SingleConnectionTest, SynTest,
+};
+
+#[derive(Default, Clone)]
+struct HostSeries {
+    name: String,
+    single_fwd: Vec<f64>,
+    single_rev: Vec<f64>,
+    dual_fwd: Vec<f64>,
+    dual_rev: Vec<f64>,
+    syn_fwd: Vec<f64>,
+    syn_rev: Vec<f64>,
+    transfer_rev: Vec<f64>,
+}
+
+fn measure_host(spec: HostSpec, rounds: usize, samples: usize, seed: u64) -> HostSeries {
+    let mut hs = HostSeries {
+        name: spec.name.clone(),
+        ..Default::default()
+    };
+    let cfg = TestConfig::samples(samples);
+    for round in 0..rounds {
+        let rs = seed + round as u64 * 101;
+        let mut sc = scenario::internet_host(&spec, rs);
+        if let Ok(run) = SingleConnectionTest::reversed(cfg).run(&mut sc.prober, sc.target, 80) {
+            hs.single_fwd.push(run.fwd_estimate().rate());
+            hs.single_rev.push(run.rev_estimate().rate());
+        }
+        let mut sc = scenario::internet_host(&spec, rs + 1);
+        if let Ok(run) = DualConnectionTest::new(cfg).run(&mut sc.prober, sc.target, 80) {
+            hs.dual_fwd.push(run.fwd_estimate().rate());
+            hs.dual_rev.push(run.rev_estimate().rate());
+        }
+        let mut sc = scenario::internet_host(&spec, rs + 2);
+        if let Ok(run) = SynTest::new(cfg).run(&mut sc.prober, sc.target, 80) {
+            hs.syn_fwd.push(run.fwd_estimate().rate());
+            hs.syn_rev.push(run.rev_estimate().rate());
+        }
+        let mut sc = scenario::internet_host(&spec, rs + 3);
+        if let Ok(run) = DataTransferTest::new(TestConfig::default()).run(&mut sc.prober, sc.target, 80)
+        {
+            hs.transfer_rev.push(run.rev_estimate().rate());
+        }
+    }
+    hs
+}
+
+/// % of hosts whose paired series support the null hypothesis at 99.9%.
+fn support_pct(pairs: &[(&Vec<f64>, &Vec<f64>)]) -> (usize, usize) {
+    let mut support = 0;
+    let mut usable = 0;
+    for (a, b) in pairs {
+        let n = a.len().min(b.len());
+        if n < 3 {
+            continue;
+        }
+        usable += 1;
+        if pair_difference(&a[..n], &b[..n], 0.999).supports_null {
+            support += 1;
+        }
+    }
+    (support, usable)
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let rounds = scale.pick(30, 12, 4);
+    let samples = scale.pick(50, 30, 12);
+    let specs = scenario::population(15, 35, 0xF165);
+
+    println!("E5: pair-difference consistency between tests (§IV-B, 99.9% CI)");
+    println!(
+        "    {} hosts, {} rounds per test, {} samples per measurement",
+        specs.len(),
+        rounds,
+        samples
+    );
+    rule(84);
+
+    let jobs: Vec<(HostSpec, u64)> = specs
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| (s, 0xE5_0000 + i as u64 * 4096))
+        .collect();
+    let results = parallel_map(jobs, |(spec, seed)| measure_host(spec, rounds, samples, seed));
+
+    let fwd_single_syn = support_pct(
+        &results
+            .iter()
+            .map(|h| (&h.single_fwd, &h.syn_fwd))
+            .collect::<Vec<_>>(),
+    );
+    let rev_single_syn = support_pct(
+        &results
+            .iter()
+            .map(|h| (&h.single_rev, &h.syn_rev))
+            .collect::<Vec<_>>(),
+    );
+    let fwd_dual_syn = support_pct(
+        &results
+            .iter()
+            .map(|h| (&h.dual_fwd, &h.syn_fwd))
+            .collect::<Vec<_>>(),
+    );
+    let rev_dual_single = support_pct(
+        &results
+            .iter()
+            .map(|h| (&h.dual_rev, &h.single_rev))
+            .collect::<Vec<_>>(),
+    );
+    let rev_transfer_syn = support_pct(
+        &results
+            .iter()
+            .map(|h| (&h.transfer_rev, &h.syn_rev))
+            .collect::<Vec<_>>(),
+    );
+    let rev_transfer_dual = support_pct(
+        &results
+            .iter()
+            .map(|h| (&h.transfer_rev, &h.dual_rev))
+            .collect::<Vec<_>>(),
+    );
+
+    let row = |label: &str, (s, n): (usize, usize), paper: &str| {
+        println!(
+            "{:<34} {:>3}/{:<3} = {}   (paper: {})",
+            label,
+            s,
+            n,
+            pct(if n == 0 { 0.0 } else { s as f64 / n as f64 }),
+            paper
+        );
+    };
+    row("fwd: single vs syn", fwd_single_syn, "78% support");
+    row("rev: single vs syn", rev_single_syn, "93% support");
+    row("fwd: dual vs syn", fwd_dual_syn, "lower similarity");
+    row("rev: dual vs single", rev_dual_single, "high similarity");
+    row("rev: transfer vs syn", rev_transfer_syn, "~90% support");
+    row("rev: transfer vs dual", rev_transfer_dual, "~90% support");
+    rule(84);
+
+    // The transfer-test underestimate under heavy reordering: compare
+    // mean rates on the most-reordering hosts.
+    println!("transfer-test underestimate on heavily reordering paths (rev direction):");
+    let mut shown = 0;
+    for h in &results {
+        let syn_rev = reorder_core::stats::mean(&h.syn_rev);
+        let tr_rev = reorder_core::stats::mean(&h.transfer_rev);
+        if syn_rev > 0.02 && !h.transfer_rev.is_empty() {
+            println!(
+                "  {:<26} syn {}  transfer {}  ratio {:.2}",
+                h.name,
+                pct(syn_rev),
+                pct(tr_rev),
+                if syn_rev > 0.0 { tr_rev / syn_rev } else { 0.0 }
+            );
+            shown += 1;
+        }
+    }
+    if shown == 0 {
+        println!("  (no host exceeded the 2% threshold this run)");
+    }
+    println!(
+        "(paper: transfer \"sometimes less than half as many reordering events\" — \
+         §IV-C attributes this to 1500-byte serialization spreading)"
+    );
+}

@@ -1,0 +1,149 @@
+//! # reorder-bench
+//!
+//! Experiment harness regenerating every table and figure of *Measuring
+//! Packet Reordering* (Bellardo & Savage, IMC 2002), plus Criterion
+//! perf benches for the hot paths.
+//!
+//! Each `exp_*` binary prints the rows/series the paper reports; see
+//! `EXPERIMENTS.md` at the repository root for the paper-vs-measured
+//! comparison. Binaries honor the `REORDER_SCALE` environment variable
+//! (`full` = paper-scale, `quick` = CI-scale; default `std`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::mpsc;
+use std::thread;
+
+/// Experiment scale, from `REORDER_SCALE`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Minutes-long, paper-fidelity runs.
+    Full,
+    /// Default: a few seconds per experiment, same shapes.
+    Std,
+    /// Smoke-test size.
+    Quick,
+}
+
+impl Scale {
+    /// Read from the environment.
+    pub fn from_env() -> Scale {
+        match std::env::var("REORDER_SCALE").as_deref() {
+            Ok("full") => Scale::Full,
+            Ok("quick") => Scale::Quick,
+            _ => Scale::Std,
+        }
+    }
+
+    /// Pick a value per scale.
+    pub fn pick<T>(self, full: T, std_: T, quick: T) -> T {
+        match self {
+            Scale::Full => full,
+            Scale::Std => std_,
+            Scale::Quick => quick,
+        }
+    }
+}
+
+/// Map `inputs` to outputs on a thread pool. Order of results matches
+/// the input order. The closure runs on worker threads, so everything
+/// it captures must be `Send + Sync`; per-task state (simulators are
+/// single-threaded and `!Send`) is created inside the closure.
+pub fn parallel_map<I, O, F>(inputs: Vec<I>, f: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    let workers = thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let n = inputs.len();
+    let mut results: Vec<Option<O>> = Vec::with_capacity(n);
+    results.resize_with(n, || None);
+    let (tx, rx) = mpsc::channel::<(usize, O)>();
+    let tasks: Vec<(usize, I)> = inputs.into_iter().enumerate().collect();
+    let queue = parking::Queue::new(tasks);
+    crossbeam::scope(|s| {
+        for _ in 0..workers.min(n.max(1)) {
+            let tx = tx.clone();
+            let queue = &queue;
+            let f = &f;
+            s.spawn(move |_| {
+                while let Some((i, input)) = queue.pop() {
+                    let out = f(input);
+                    if tx.send((i, out)).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+        drop(tx);
+        for (i, out) in rx {
+            results[i] = Some(out);
+        }
+    })
+    .expect("worker panicked");
+    results.into_iter().map(|o| o.expect("all tasks ran")).collect()
+}
+
+/// Tiny internal work queue (avoids pulling in more of crossbeam's API
+/// surface than the dependency justification covers).
+mod parking {
+    use std::sync::Mutex;
+
+    pub struct Queue<T> {
+        items: Mutex<Vec<T>>,
+    }
+
+    impl<T> Queue<T> {
+        pub fn new(mut items: Vec<T>) -> Self {
+            items.reverse(); // pop() yields original order
+            Queue {
+                items: Mutex::new(items),
+            }
+        }
+
+        pub fn pop(&self) -> Option<T> {
+            self.items.lock().expect("queue poisoned").pop()
+        }
+    }
+}
+
+/// Print a horizontal rule sized to `width`.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+/// Format a probability as a percentage with one decimal.
+pub fn pct(p: f64) -> String {
+    format!("{:5.1}%", p * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map((0..100).collect(), |x: i32| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_empty() {
+        let out: Vec<i32> = parallel_map(Vec::<i32>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn scale_picks() {
+        assert_eq!(Scale::Full.pick(1, 2, 3), 1);
+        assert_eq!(Scale::Std.pick(1, 2, 3), 2);
+        assert_eq!(Scale::Quick.pick(1, 2, 3), 3);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.125), " 12.5%");
+    }
+}

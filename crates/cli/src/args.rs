@@ -1,0 +1,148 @@
+//! Minimal flag parser (no external dependencies): `--key value` and
+//! `--flag` switches after a subcommand word.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Parsed command line: the subcommand plus its options.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// The subcommand word (first non-flag argument).
+    pub command: Option<String>,
+    options: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+/// Parse error with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parse an iterator of arguments (excluding argv[0]).
+    pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, ArgError> {
+        let mut args = Args::default();
+        let mut it = argv.into_iter().peekable();
+        while let Some(tok) = it.next() {
+            if let Some(name) = tok.strip_prefix("--") {
+                if name.is_empty() {
+                    return Err(ArgError("stray `--`".into()));
+                }
+                match it.peek() {
+                    Some(v) if !v.starts_with("--") => {
+                        let v = it.next().expect("peeked");
+                        if args.options.insert(name.to_string(), v).is_some() {
+                            return Err(ArgError(format!("duplicate option --{name}")));
+                        }
+                    }
+                    _ => args.switches.push(name.to_string()),
+                }
+            } else if args.command.is_none() {
+                args.command = Some(tok);
+            } else {
+                return Err(ArgError(format!("unexpected positional argument `{tok}`")));
+            }
+        }
+        Ok(args)
+    }
+
+    /// String option.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(String::as_str)
+    }
+
+    /// Boolean switch (present without a value).
+    pub fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+
+    /// Typed option with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
+        match self.options.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("invalid value `{v}` for --{name}"))),
+        }
+    }
+
+    /// Verify no unknown options/switches were supplied.
+    pub fn expect_only(&self, allowed: &[&str]) -> Result<(), ArgError> {
+        for k in self.options.keys() {
+            if !allowed.contains(&k.as_str()) {
+                return Err(ArgError(format!("unknown option --{k}")));
+            }
+        }
+        for k in &self.switches {
+            if !allowed.contains(&k.as_str()) {
+                return Err(ArgError(format!("unknown switch --{k}")));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Args, ArgError> {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn command_options_switches() {
+        let a = parse("measure --fwd 0.1 --samples 50 --verbose").unwrap();
+        assert_eq!(a.command.as_deref(), Some("measure"));
+        assert_eq!(a.get("fwd"), Some("0.1"));
+        assert_eq!(a.get_or("samples", 0usize).unwrap(), 50);
+        assert!(a.switch("verbose"));
+        assert!(!a.switch("quiet"));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = parse("measure").unwrap();
+        assert_eq!(a.get_or("samples", 15usize).unwrap(), 15);
+        assert_eq!(a.get_or("fwd", 0.0f64).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn bad_value_reports_option_name() {
+        let a = parse("measure --samples abc").unwrap();
+        let e = a.get_or("samples", 0usize).unwrap_err();
+        assert!(e.0.contains("--samples"));
+        assert!(e.0.contains("abc"));
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        assert!(parse("x --a 1 --a 2").is_err());
+    }
+
+    #[test]
+    fn unexpected_positional_rejected() {
+        assert!(parse("measure oops").is_err());
+    }
+
+    #[test]
+    fn expect_only_flags_unknowns() {
+        let a = parse("m --good 1 --weird 2").unwrap();
+        assert!(a.expect_only(&["good"]).is_err());
+        assert!(a.expect_only(&["good", "weird"]).is_ok());
+    }
+
+    #[test]
+    fn trailing_switch_before_option() {
+        let a = parse("m --dry-run --n 3").unwrap();
+        assert!(a.switch("dry-run"));
+        assert_eq!(a.get_or("n", 0u32).unwrap(), 3);
+    }
+}

@@ -1,0 +1,315 @@
+//! Subcommand implementations.
+
+use crate::args::{ArgError, Args};
+use reorder_core::metrics::ReorderEstimate;
+use reorder_core::sample::TestConfig;
+use reorder_core::scenario::{self, Scenario};
+use reorder_core::techniques::{
+    DataTransferTest, DualConnectionTest, SingleConnectionTest, SynTest,
+};
+use reorder_core::validate::validate_run;
+use reorder_core::{MeasurementRun, ProbeError};
+use reorder_netsim::pipes::{ArqConfig, CrossTraffic};
+use reorder_tcpstack::HostPersonality;
+use std::time::Duration;
+
+fn personality(name: &str) -> Result<HostPersonality, ArgError> {
+    Ok(match name {
+        "freebsd4" => HostPersonality::freebsd4(),
+        "linux22" => HostPersonality::linux22(),
+        "linux24" => HostPersonality::linux24(),
+        "openbsd3" => HostPersonality::openbsd3(),
+        "solaris8" => HostPersonality::solaris8(),
+        "windows2000" => HostPersonality::windows2000(),
+        "hardened" => HostPersonality::hardened(),
+        other => return Err(ArgError(format!("unknown personality `{other}`"))),
+    })
+}
+
+fn fmt_estimate(label: &str, e: ReorderEstimate) -> String {
+    let (lo, hi) = e.wilson_ci(1.96);
+    format!(
+        "{label}: {:.2}% [{:.2}%, {:.2}%] ({}/{})",
+        e.rate() * 100.0,
+        lo * 100.0,
+        hi * 100.0,
+        e.reordered,
+        e.total
+    )
+}
+
+fn run_technique(
+    technique: &str,
+    sc: &mut Scenario,
+    cfg: TestConfig,
+) -> Result<MeasurementRun, ProbeError> {
+    match technique {
+        "single" => SingleConnectionTest::reversed(cfg).run(&mut sc.prober, sc.target, 80),
+        "dual" => DualConnectionTest::new(cfg).run(&mut sc.prober, sc.target, 80),
+        "syn" => SynTest::new(cfg).run(&mut sc.prober, sc.target, 80),
+        "transfer" => DataTransferTest::new(TestConfig::default()).run(&mut sc.prober, sc.target, 80),
+        other => Err(ProbeError::HostUnsuitable(format!(
+            "unknown technique `{other}`"
+        ))),
+    }
+}
+
+/// `reorder measure`.
+pub fn measure(args: &Args) -> Result<(), ArgError> {
+    args.expect_only(&[
+        "technique", "fwd", "rev", "samples", "gap-us", "personality", "lb", "seed",
+    ])?;
+    let technique = args.get("technique").unwrap_or("single").to_string();
+    let fwd: f64 = args.get_or("fwd", 0.10)?;
+    let rev: f64 = args.get_or("rev", 0.05)?;
+    let samples: usize = args.get_or("samples", 100)?;
+    let gap_us: u64 = args.get_or("gap-us", 0)?;
+    let seed: u64 = args.get_or("seed", 1)?;
+    let backends: usize = args.get_or("lb", 1)?;
+    let pers = personality(args.get("personality").unwrap_or("freebsd4"))?;
+
+    let mut sc = if backends > 1 {
+        scenario::load_balanced(fwd, rev, backends, pers, seed)
+    } else {
+        scenario::validation_rig_with(fwd, rev, pers, seed)
+    };
+    let cfg = TestConfig {
+        samples,
+        gap: Duration::from_micros(gap_us),
+        ..TestConfig::default()
+    };
+    println!(
+        "path: swap fwd {:.1}% / rev {:.1}%, {} backend(s), seed {}",
+        fwd * 100.0,
+        rev * 100.0,
+        backends,
+        seed
+    );
+    match run_technique(&technique, &mut sc, cfg) {
+        Ok(run) => {
+            println!("technique: {technique}, {} samples", run.samples.len());
+            println!("  {}", fmt_estimate("forward", run.fwd_estimate()));
+            println!("  {}", fmt_estimate("reverse", run.rev_estimate()));
+            Ok(())
+        }
+        Err(e) => Err(ArgError(format!("measurement failed: {e}"))),
+    }
+}
+
+/// `reorder profile`.
+pub fn profile(args: &Args) -> Result<(), ArgError> {
+    args.expect_only(&["mechanism", "samples", "max-us", "step-us", "seed", "csv"])?;
+    let mechanism = args.get("mechanism").unwrap_or("striping").to_string();
+    let samples: usize = args.get_or("samples", 300)?;
+    let max_us: u64 = args.get_or("max-us", 300)?;
+    let step_us: u64 = args.get_or("step-us", 25)?.max(1);
+    let seed: u64 = args.get_or("seed", 1)?;
+    let csv = args.switch("csv");
+
+    if csv {
+        println!("gap_us,reordered,samples,rate");
+    } else {
+        println!("gap profile over `{mechanism}` path ({samples} samples/point)");
+        println!("{:>8} {:>8}  bar", "gap(us)", "rate");
+    }
+    let mut gap = 0;
+    while gap <= max_us {
+        let mut sc = match mechanism.as_str() {
+            "striping" => scenario::striped_path(CrossTraffic::backbone(), seed + gap),
+            "multipath" => scenario::multipath_path(Duration::from_micros(80), seed + gap),
+            "arq" => scenario::wireless_path(ArqConfig::default(), seed + gap),
+            other => return Err(ArgError(format!("unknown mechanism `{other}`"))),
+        };
+        let cfg = TestConfig {
+            samples,
+            gap: Duration::from_micros(gap),
+            pace: Duration::from_millis(2),
+            reply_timeout: Duration::from_millis(900),
+        };
+        let run = DualConnectionTest::new(cfg)
+            .run(&mut sc.prober, sc.target, 80)
+            .map_err(|e| ArgError(format!("measurement failed at gap {gap}us: {e}")))?;
+        let est = run.fwd_estimate();
+        if csv {
+            println!("{gap},{},{},{:.6}", est.reordered, est.total, est.rate());
+        } else {
+            println!(
+                "{gap:>8} {:>7.2}%  {}",
+                est.rate() * 100.0,
+                "#".repeat((est.rate() * 300.0).round() as usize)
+            );
+        }
+        gap += step_us;
+    }
+    Ok(())
+}
+
+/// `reorder survey`.
+pub fn survey(args: &Args) -> Result<(), ArgError> {
+    args.expect_only(&["hosts", "rounds", "seed"])?;
+    let hosts: usize = args.get_or("hosts", 10)?;
+    let rounds: usize = args.get_or("rounds", 3)?;
+    let seed: u64 = args.get_or("seed", 77)?;
+    let specs = scenario::population(hosts.min(15), hosts.saturating_sub(15), seed);
+    println!(
+        "{:<26} {:>9} {:>9} {:>9}",
+        "host", "fwd", "rev", "status"
+    );
+    for (i, spec) in specs.iter().take(hosts).enumerate() {
+        let cfg = TestConfig::samples(15);
+        let mut fwd = ReorderEstimate::new(0, 0);
+        let mut rev = ReorderEstimate::new(0, 0);
+        let mut failures = 0;
+        for round in 0..rounds {
+            let mut sc = scenario::internet_host(spec, seed + (i * 100 + round) as u64);
+            match SingleConnectionTest::reversed(cfg).run(&mut sc.prober, sc.target, 80) {
+                Ok(run) => {
+                    fwd = fwd.merge(&run.fwd_estimate());
+                    rev = rev.merge(&run.rev_estimate());
+                }
+                Err(_) => failures += 1,
+            }
+        }
+        println!(
+            "{:<26} {:>8.2}% {:>8.2}% {:>9}",
+            spec.name,
+            fwd.rate() * 100.0,
+            rev.rate() * 100.0,
+            if failures == rounds { "unreachable" } else { "ok" }
+        );
+    }
+    Ok(())
+}
+
+/// `reorder validate`.
+pub fn validate(args: &Args) -> Result<(), ArgError> {
+    args.expect_only(&["fwd", "rev", "samples", "seed"])?;
+    let fwd: f64 = args.get_or("fwd", 0.10)?;
+    let rev: f64 = args.get_or("rev", 0.05)?;
+    let samples: usize = args.get_or("samples", 100)?;
+    let seed: u64 = args.get_or("seed", 1)?;
+    for technique in ["single", "dual", "syn"] {
+        let mut sc = scenario::validation_rig(fwd, rev, seed);
+        let run = run_technique(technique, &mut sc, TestConfig::samples(samples))
+            .map_err(|e| ArgError(format!("{technique}: {e}")))?;
+        let rep = validate_run(
+            &run,
+            &sc.merged_server_rx(),
+            &sc.merged_server_tx(),
+            &sc.prober_trace(),
+        );
+        println!(
+            "{technique:<9} fwd: {}/{} verdicts match trace (err {:+}); rev: {}/{} (err {:+})",
+            rep.fwd.agree,
+            rep.fwd.checked,
+            rep.fwd.count_error(),
+            rep.rev.agree,
+            rep.rev.checked,
+            rep.rev.count_error(),
+        );
+    }
+    Ok(())
+}
+
+/// `reorder pcap`.
+pub fn pcap(args: &Args) -> Result<(), ArgError> {
+    args.expect_only(&["out", "fwd", "rev", "samples", "seed"])?;
+    let out = args
+        .get("out")
+        .ok_or_else(|| ArgError("--out FILE is required".into()))?
+        .to_string();
+    let fwd: f64 = args.get_or("fwd", 0.10)?;
+    let rev: f64 = args.get_or("rev", 0.05)?;
+    let samples: usize = args.get_or("samples", 50)?;
+    let seed: u64 = args.get_or("seed", 1)?;
+    let mut sc = scenario::validation_rig(fwd, rev, seed);
+    let run = SingleConnectionTest::reversed(TestConfig::samples(samples))
+        .run(&mut sc.prober, sc.target, 80)
+        .map_err(|e| ArgError(format!("measurement failed: {e}")))?;
+    let trace = sc.merged_server_rx();
+    reorder_netsim::pcap::write_pcap(&trace, std::path::Path::new(&out))
+        .map_err(|e| ArgError(format!("writing {out}: {e}")))?;
+    println!(
+        "wrote {} packets (server-side receive trace of {} samples) to {out}",
+        trace.len(),
+        run.samples.len()
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    #[test]
+    fn measure_runs_and_reports() {
+        measure(&parse("measure --samples 20 --seed 3")).expect("measure");
+    }
+
+    #[test]
+    fn measure_rejects_unknown_option() {
+        assert!(measure(&parse("measure --bogus 1")).is_err());
+    }
+
+    #[test]
+    fn measure_dual_against_openbsd_fails_cleanly() {
+        let e = measure(&parse(
+            "measure --technique dual --personality openbsd3 --samples 5",
+        ))
+        .unwrap_err();
+        assert!(e.0.contains("unsuitable") || e.0.contains("non-monotonic"));
+    }
+
+    #[test]
+    fn personality_names_resolve() {
+        for n in [
+            "freebsd4",
+            "linux22",
+            "linux24",
+            "openbsd3",
+            "solaris8",
+            "windows2000",
+            "hardened",
+        ] {
+            personality(n).unwrap();
+        }
+        assert!(personality("beos").is_err());
+    }
+
+    #[test]
+    fn validate_command_runs() {
+        validate(&parse("validate --samples 20 --seed 5")).expect("validate");
+    }
+
+    #[test]
+    fn profile_command_runs_small() {
+        profile(&parse(
+            "profile --mechanism multipath --samples 30 --max-us 50 --step-us 50",
+        ))
+        .expect("profile");
+    }
+
+    #[test]
+    fn survey_command_runs_small() {
+        survey(&parse("survey --hosts 3 --rounds 1")).expect("survey");
+    }
+
+    #[test]
+    fn pcap_requires_out() {
+        assert!(pcap(&parse("pcap")).is_err());
+    }
+
+    #[test]
+    fn pcap_writes_file() {
+        let path = std::env::temp_dir().join("reorder_cli_test.pcap");
+        let cmd = format!("pcap --out {} --samples 5 --seed 2", path.display());
+        pcap(&parse(&cmd)).expect("pcap");
+        let bytes = std::fs::read(&path).unwrap();
+        assert!(reorder_netsim::pcap::parse_pcap(&bytes).unwrap().len() > 10);
+        let _ = std::fs::remove_file(&path);
+    }
+}

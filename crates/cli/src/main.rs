@@ -1,0 +1,76 @@
+//! `reorder` — command-line driver for the packet-reordering
+//! measurement toolkit.
+//!
+//! The original tools shipped as an extension to `sting`; since this
+//! reproduction's "Internet" is simulated, the CLI builds a simulated
+//! path per invocation (fully parameterized and seeded) and runs the
+//! chosen technique against it. Run `reorder help` for usage.
+
+mod args;
+mod commands;
+
+use args::Args;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+reorder — single-ended one-way packet reordering measurement
+          (Bellardo & Savage, IMC 2002, reproduced in simulation)
+
+USAGE: reorder <command> [options]
+
+COMMANDS:
+  measure    run one technique against a dummynet-style path
+               --technique single|dual|syn|transfer   (default single)
+               --fwd P --rev P      adjacent-swap probabilities (default 0.1/0.05)
+               --samples N          samples (default 100)
+               --gap-us N           inter-packet gap in microseconds (default 0)
+               --personality NAME   freebsd4|linux22|linux24|openbsd3|solaris8|
+                                    windows2000|hardened (default freebsd4)
+               --lb N               put N load-balancer backends in the path
+               --seed S             RNG seed (default 1)
+  profile    sweep the inter-packet gap (Fig. 7 style)
+               --mechanism striping|multipath|arq     (default striping)
+               --samples N          per point (default 300)
+               --max-us N           sweep upper bound (default 300)
+               --step-us N          sweep step (default 25)
+               --seed S
+  survey     scorecard over a simulated host population (§IV-B style)
+               --hosts N --rounds R --seed S
+  validate   measure and cross-check against the capture trace (§IV-A)
+               --fwd P --rev P --samples N --seed S
+  pcap       run a measurement and export the server-side trace
+               --out FILE           pcap path (required)
+               --fwd P --rev P --samples N --seed S
+  help       this text
+";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match Args::parse(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match args.command.as_deref() {
+        Some("measure") => commands::measure(&args),
+        Some("profile") => commands::profile(&args),
+        Some("survey") => commands::survey(&args),
+        Some("validate") => commands::validate(&args),
+        Some("pcap") => commands::pcap(&args),
+        Some("help") | None => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(args::ArgError(format!("unknown command `{other}`"))),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

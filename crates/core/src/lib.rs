@@ -1,0 +1,68 @@
+//! # reorder-core
+//!
+//! A faithful reimplementation of the single-ended packet-reordering
+//! measurement techniques of **"Measuring Packet Reordering"**
+//! (J. Bellardo & S. Savage, IMC 2002), running against the
+//! deterministic network simulator in `reorder-netsim` and the
+//! personality-rich TCP endpoints in `reorder-tcpstack`.
+//!
+//! ## The techniques
+//!
+//! All four estimate *one-way* reordering between a probe host and an
+//! arbitrary TCP server, with no software on the remote end:
+//!
+//! * [`techniques::SingleConnectionTest`] (§III-B) — a sequence hole
+//!   plus two straddling 1-byte segments; the ACK pattern encodes both
+//!   directions. The reversed variant defeats delayed ACKs.
+//! * [`techniques::DualConnectionTest`] (§III-C) — two connections, one
+//!   out-of-order probe each; the remote's global IPID counter
+//!   timestamps the replies. [`techniques::IpidValidator`] rejects
+//!   hosts with random/zero IPIDs or load-balanced connection splits.
+//! * [`techniques::SynTest`] (§III-D) — pairs of SYNs differing only in
+//!   sequence number; immune to per-flow load balancers.
+//! * [`techniques::DataTransferTest`] (§III-E) — the baseline: watch a
+//!   clamped HTTP transfer's sequence numbers (reverse path only).
+//!
+//! ## The metric
+//!
+//! The probability that a pair of test packets is *exchanged*, reported
+//! per direction and — the paper's key generalization — as a function
+//! of the inter-packet gap ([`metrics::GapProfile`], §IV-C).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use reorder_core::sample::TestConfig;
+//! use reorder_core::scenario;
+//! use reorder_core::techniques::SingleConnectionTest;
+//!
+//! // A controlled path that swaps 10% of adjacent forward pairs.
+//! let mut sc = scenario::validation_rig(0.10, 0.0, 42);
+//! let run = SingleConnectionTest::new(TestConfig::samples(50))
+//!     .run(&mut sc.prober, sc.target, 80)
+//!     .expect("measurement");
+//! let est = run.fwd_estimate();
+//! assert!(est.rate() > 0.0 && est.rate() < 0.35);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod impact;
+pub mod metrics;
+pub mod probe;
+pub mod rfc4737;
+pub mod sample;
+pub mod sender;
+pub mod scenario;
+pub mod stats;
+pub mod techniques;
+pub mod validate;
+
+pub use probe::{ClientConn, ProbeError, Prober};
+pub use sample::{MeasurementRun, Order, SampleOutcome, TestConfig};
+pub use techniques::{
+    DataTransferTest, DualConnectionTest, IpidValidator, IpidVerdict, SingleConnectionTest,
+    SynTest, TestKind,
+};

@@ -1,0 +1,304 @@
+//! The IPPM reordering metrics that grew out of this line of work.
+//!
+//! The paper cites the then-current IETF draft \[8\]
+//! (`draft-morton-ippm-nonrev-reordering-00`), which — influenced by
+//! exactly the measurement difficulties this paper catalogs — became
+//! **RFC 4737, "Packet Reordering Metrics"**. This module implements
+//! the RFC's metric suite over arrival observations so results from
+//! the four techniques (and from raw stream observations) can be
+//! reported in the standardized vocabulary:
+//!
+//! * Type-P-Reordered (the non-reversing-order rule) and the reordered
+//!   ratio (§3 of the RFC),
+//! * reordering extent (§4.2),
+//! * late-time offset (§4.3) — requires arrival timestamps,
+//! * n-reordering (§5.4) — the TCP-relevant degree: a packet is
+//!   n-reordered if n later-sent packets preceded it,
+//! * reordering-free runs (§5.3),
+//! * reordering gaps (§5.2).
+
+use reorder_netsim::SimTime;
+use std::time::Duration;
+
+/// One observed arrival: the source sequence value (monotone at the
+/// sender) and the arrival timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arrival {
+    /// Sender-assigned sequence value.
+    pub seq: u64,
+    /// Arrival instant.
+    pub time: SimTime,
+}
+
+/// The full RFC 4737 report for one observation window.
+#[derive(Debug, Clone)]
+pub struct Rfc4737Report {
+    /// Packets observed.
+    pub received: usize,
+    /// Type-P-Reordered flags per arrival.
+    pub reordered: Vec<bool>,
+    /// Reordered ratio (§3.3).
+    pub ratio: f64,
+    /// Reordering extent per reordered arrival (0 for in-order).
+    pub extents: Vec<usize>,
+    /// Late-time offset per reordered arrival (zero for in-order):
+    /// how much later the packet arrived than the earlier-arrived
+    /// packet with the next-higher sequence value.
+    pub late_offsets: Vec<Duration>,
+    /// Maximum n for which each arrival is n-reordered (0 = in order).
+    pub n_reordering: Vec<usize>,
+    /// Lengths of maximal runs of consecutive in-order arrivals.
+    pub free_runs: Vec<usize>,
+    /// Arrival-index gaps between consecutive reordering events.
+    pub gaps: Vec<usize>,
+}
+
+impl Rfc4737Report {
+    /// Largest observed extent.
+    pub fn max_extent(&self) -> usize {
+        self.extents.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Degree of n-reordering for the whole sample (§5.4): the largest
+    /// n such that some packet is n-reordered.
+    pub fn degree(&self) -> usize {
+        self.n_reordering.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Fraction of packets that are at least `n`-reordered — directly
+    /// comparable to a TCP dupthresh of `n`.
+    pub fn at_least_n_reordered(&self, n: usize) -> f64 {
+        if self.received == 0 {
+            return 0.0;
+        }
+        self.n_reordering.iter().filter(|&&d| d >= n).count() as f64 / self.received as f64
+    }
+
+    /// Mean reordering-free run length (§5.3).
+    pub fn mean_free_run(&self) -> f64 {
+        if self.free_runs.is_empty() {
+            0.0
+        } else {
+            self.free_runs.iter().sum::<usize>() as f64 / self.free_runs.len() as f64
+        }
+    }
+}
+
+/// Compute the RFC 4737 metrics over arrivals (in arrival order).
+pub fn analyze(arrivals: &[Arrival]) -> Rfc4737Report {
+    let n = arrivals.len();
+    let mut reordered = Vec::with_capacity(n);
+    let mut extents = Vec::with_capacity(n);
+    let mut late_offsets = Vec::with_capacity(n);
+    let mut n_reordering = Vec::with_capacity(n);
+    let mut max_seen: Option<u64> = None;
+
+    for (i, a) in arrivals.iter().enumerate() {
+        let is_reordered = max_seen.is_some_and(|m| a.seq < m);
+        reordered.push(is_reordered);
+        if !is_reordered {
+            max_seen = Some(a.seq);
+            extents.push(0);
+            late_offsets.push(Duration::ZERO);
+            n_reordering.push(0);
+            continue;
+        }
+        // Extent: distance back to the earliest arrival with a larger
+        // sequence value.
+        let ext = arrivals[..i]
+            .iter()
+            .position(|e| e.seq > a.seq)
+            .map(|j| i - j)
+            .unwrap_or(0);
+        extents.push(ext);
+        // Late time: lateness relative to the earliest-arrived packet
+        // with the next-higher sequence value (the RFC's "earliest
+        // packet that caused this one to be declared reordered" is the
+        // one carrying max_seen at smallest arrival index > threshold;
+        // we use the packet with the smallest seq greater than ours,
+        // which bounds the same quantity and is well-defined).
+        let blocker = arrivals[..i]
+            .iter()
+            .filter(|e| e.seq > a.seq)
+            .min_by_key(|e| e.seq);
+        late_offsets.push(match blocker {
+            Some(b) => a.time.since(b.time),
+            None => Duration::ZERO,
+        });
+        // n-reordering: number of later-sent packets that arrived
+        // before this one.
+        let degree = arrivals[..i].iter().filter(|e| e.seq > a.seq).count();
+        n_reordering.push(degree);
+    }
+
+    // Free runs and gaps.
+    let mut free_runs = Vec::new();
+    let mut gaps = Vec::new();
+    let mut run = 0usize;
+    let mut last_event: Option<usize> = None;
+    for (i, &r) in reordered.iter().enumerate() {
+        if r {
+            if run > 0 {
+                free_runs.push(run);
+            }
+            run = 0;
+            if let Some(prev) = last_event {
+                gaps.push(i - prev);
+            }
+            last_event = Some(i);
+        } else {
+            run += 1;
+        }
+    }
+    if run > 0 {
+        free_runs.push(run);
+    }
+
+    let events = reordered.iter().filter(|&&r| r).count();
+    Rfc4737Report {
+        received: n,
+        ratio: if n == 0 { 0.0 } else { events as f64 / n as f64 },
+        reordered,
+        extents,
+        late_offsets,
+        n_reordering,
+        free_runs,
+        gaps,
+    }
+}
+
+/// Build arrivals from a [`crate::impact::StreamObservation`].
+pub fn from_observation(obs: &crate::impact::StreamObservation) -> Vec<Arrival> {
+    obs.arrivals
+        .iter()
+        .map(|&(seq, time)| Arrival { seq, time })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arr(seqs_times: &[(u64, u64)]) -> Vec<Arrival> {
+        seqs_times
+            .iter()
+            .map(|&(s, t)| Arrival {
+                seq: s,
+                time: SimTime::from_micros(t),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn in_order_stream_is_clean() {
+        let r = analyze(&arr(&[(0, 0), (1, 10), (2, 20), (3, 30)]));
+        assert_eq!(r.ratio, 0.0);
+        assert_eq!(r.degree(), 0);
+        assert_eq!(r.max_extent(), 0);
+        assert_eq!(r.free_runs, vec![4]);
+        assert!(r.gaps.is_empty());
+        assert_eq!(r.mean_free_run(), 4.0);
+    }
+
+    #[test]
+    fn single_swap() {
+        // sent 0,1,2,3; arrived 0,2,1,3.
+        let r = analyze(&arr(&[(0, 0), (2, 10), (1, 20), (3, 30)]));
+        assert_eq!(r.reordered, vec![false, false, true, false]);
+        assert_eq!(r.extents, vec![0, 0, 1, 0]);
+        assert_eq!(r.n_reordering, vec![0, 0, 1, 0]);
+        assert!((r.ratio - 0.25).abs() < 1e-12);
+        // Packet 1 arrived 10us after packet 2 (its blocker).
+        assert_eq!(r.late_offsets[2], Duration::from_micros(10));
+        assert_eq!(r.free_runs, vec![2, 1]);
+        assert_eq!(r.degree(), 1);
+    }
+
+    #[test]
+    fn deep_reordering_degree() {
+        // 1 overtaken by 2,3,4: 3-reordered (the TCP-dupthresh view).
+        let r = analyze(&arr(&[(0, 0), (2, 1), (3, 2), (4, 3), (1, 9)]));
+        assert_eq!(r.n_reordering[4], 3);
+        assert_eq!(r.degree(), 3);
+        assert_eq!(r.extents[4], 3);
+        assert!((r.at_least_n_reordered(3) - 0.2).abs() < 1e-12);
+        assert_eq!(r.at_least_n_reordered(4), 0.0);
+        // Late offset measured against the *smallest* larger seq (2).
+        assert_eq!(r.late_offsets[4], Duration::from_micros(8));
+    }
+
+    #[test]
+    fn gaps_between_events() {
+        // Events at arrival indices 2 and 5.
+        let r = analyze(&arr(&[(0, 0), (2, 1), (1, 2), (3, 3), (5, 4), (4, 5)]));
+        assert_eq!(r.reordered, vec![false, false, true, false, false, true]);
+        assert_eq!(r.gaps, vec![3]);
+        assert_eq!(r.free_runs, vec![2, 2]);
+    }
+
+    #[test]
+    fn burst_of_late_packets() {
+        // 0,5 arrive, then 1..4 all late with increasing degree count.
+        let r = analyze(&arr(&[(0, 0), (5, 1), (1, 2), (2, 3), (3, 4), (4, 5)]));
+        assert_eq!(r.reordered[2..], [true, true, true, true]);
+        // Each late packet has exactly one later-sent predecessor (5).
+        assert_eq!(&r.n_reordering[2..], &[1, 1, 1, 1]);
+        assert_eq!(r.degree(), 1);
+        assert!((r.ratio - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input() {
+        let r = analyze(&[]);
+        assert_eq!(r.received, 0);
+        assert_eq!(r.ratio, 0.0);
+        assert_eq!(r.degree(), 0);
+        assert_eq!(r.at_least_n_reordered(1), 0.0);
+        assert_eq!(r.mean_free_run(), 0.0);
+    }
+
+    #[test]
+    fn agrees_with_metrics_module() {
+        // The simple flags in `metrics` and the RFC analysis must agree.
+        let seqs: Vec<u64> = vec![0, 3, 1, 4, 2, 5, 6, 9, 7, 8];
+        let arrivals: Vec<Arrival> = seqs
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| Arrival {
+                seq: s,
+                time: SimTime::from_micros(i as u64),
+            })
+            .collect();
+        let r = analyze(&arrivals);
+        assert_eq!(
+            r.reordered,
+            crate::metrics::non_reversing_reordered(&seqs)
+        );
+        assert_eq!(r.extents, crate::metrics::reordering_extents(&seqs));
+    }
+
+    #[test]
+    fn end_to_end_from_stream_observation() {
+        use crate::impact::observe_stream;
+        use crate::scenario;
+        use reorder_netsim::pipes::CrossTraffic;
+
+        let mut sc = scenario::striped_path(CrossTraffic::backbone(), 500);
+        let obs = observe_stream(&mut sc, 500, Duration::ZERO, 40);
+        let r = analyze(&from_observation(&obs));
+        assert_eq!(r.received, 500);
+        assert!(r.ratio > 0.01, "striped path must reorder ({})", r.ratio);
+        // The n≥3 fraction matches the TCP analysis in `impact`.
+        let order = obs.arrival_order();
+        let spurious = crate::impact::tcp::spurious_fast_retransmits(&order, 3);
+        assert_eq!(
+            (r.at_least_n_reordered(3) * r.received as f64).round() as usize,
+            spurious
+        );
+        // Late offsets are small (queue imbalance scale, < 1 ms).
+        assert!(r
+            .late_offsets
+            .iter()
+            .all(|&d| d < Duration::from_millis(1)));
+    }
+}

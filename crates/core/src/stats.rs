@@ -1,0 +1,263 @@
+//! Descriptive statistics and the paired-difference test of §IV-B.
+//!
+//! "We compute a standard pair-difference test statistic [Jain, *The Art
+//! of Computer Systems Performance Analysis*] for each host, comparing
+//! the results of each pair of tests. The null hypothesis is that the
+//! difference between tests can be explained purely in terms of
+//! intra-test variability."
+
+/// Arithmetic mean (0 for empty input).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Unbiased sample variance (0 for n < 2).
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Sample standard deviation.
+pub fn stddev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Two-sided critical value of the standard normal for the given
+/// confidence level. Only the levels used by the experiments are
+/// tabulated; anything else panics loudly rather than silently
+/// approximating.
+pub fn z_critical(confidence: f64) -> f64 {
+    // (confidence, z)
+    const TABLE: &[(f64, f64)] = &[
+        (0.90, 1.6449),
+        (0.95, 1.9600),
+        (0.99, 2.5758),
+        (0.995, 2.8070),
+        (0.999, 3.2905),
+    ];
+    for &(c, z) in TABLE {
+        if (confidence - c).abs() < 1e-9 {
+            return z;
+        }
+    }
+    panic!("untabulated confidence level {confidence}");
+}
+
+/// Result of a paired-difference analysis.
+#[derive(Debug, Clone, Copy)]
+pub struct PairDifference {
+    /// Number of paired observations.
+    pub n: usize,
+    /// Mean of the differences a_i − b_i.
+    pub mean_diff: f64,
+    /// Confidence interval for the mean difference.
+    pub ci: (f64, f64),
+    /// Whether the CI contains zero — i.e. the observed difference is
+    /// explainable by intra-test variability (the null hypothesis).
+    pub supports_null: bool,
+}
+
+/// Paired-difference test at `confidence` on equal-length observation
+/// series (Jain §13.4.1). Observations are paired index-wise; callers
+/// align them by measurement round. Panics if the series lengths differ
+/// or fewer than 2 pairs exist.
+pub fn pair_difference(a: &[f64], b: &[f64], confidence: f64) -> PairDifference {
+    assert_eq!(a.len(), b.len(), "paired series must align");
+    assert!(a.len() >= 2, "need at least two pairs");
+    let diffs: Vec<f64> = a.iter().zip(b).map(|(x, y)| x - y).collect();
+    let n = diffs.len();
+    let md = mean(&diffs);
+    let se = stddev(&diffs) / (n as f64).sqrt();
+    let z = z_critical(confidence);
+    let ci = (md - z * se, md + z * se);
+    PairDifference {
+        n,
+        mean_diff: md,
+        ci,
+        supports_null: ci.0 <= 0.0 && 0.0 <= ci.1,
+    }
+}
+
+/// Lag-`k` sample autocorrelation. The §IV-B pair-difference analysis
+/// assumes "the reordering process is stationary over the time-period
+/// between measurements"; autocorrelation of a measurement series is
+/// the standard first check on that assumption.
+pub fn autocorrelation(xs: &[f64], k: usize) -> f64 {
+    if xs.len() <= k + 1 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let denom: f64 = xs.iter().map(|x| (x - m) * (x - m)).sum();
+    if denom == 0.0 {
+        return 0.0;
+    }
+    let num: f64 = xs
+        .windows(k + 1)
+        .map(|w| (w[0] - m) * (w[k] - m))
+        .sum();
+    num / denom
+}
+
+/// Pearson correlation of two equal-length series.
+pub fn correlation(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "series must align");
+    let ma = mean(a);
+    let mb = mean(b);
+    let cov: f64 = a.iter().zip(b).map(|(x, y)| (x - ma) * (y - mb)).sum();
+    let va: f64 = a.iter().map(|x| (x - ma) * (x - ma)).sum();
+    let vb: f64 = b.iter().map(|y| (y - mb) * (y - mb)).sum();
+    if va == 0.0 || vb == 0.0 {
+        0.0
+    } else {
+        cov / (va.sqrt() * vb.sqrt())
+    }
+}
+
+/// Wald–Wolfowitz runs test against the series median: returns the
+/// z-statistic of the observed number of runs. |z| ≫ 2 suggests the
+/// series is not exchangeable (trend or strong oscillation) — i.e. the
+/// stationarity assumption of §IV-B deserves suspicion.
+pub fn runs_test_z(xs: &[f64]) -> f64 {
+    if xs.len() < 4 {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let n = sorted.len();
+    // Midpoint median (average of the middle two for even n) so that a
+    // two-valued series splits cleanly instead of tying with the median.
+    let median = if n.is_multiple_of(2) {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    } else {
+        sorted[n / 2]
+    };
+    // Classify above/below, dropping exact ties.
+    let signs: Vec<bool> = xs.iter().filter(|&&x| x != median).map(|&x| x > median).collect();
+    let n1 = signs.iter().filter(|&&s| s).count() as f64;
+    let n2 = signs.len() as f64 - n1;
+    if n1 == 0.0 || n2 == 0.0 {
+        return 0.0;
+    }
+    let runs = 1.0
+        + signs
+            .windows(2)
+            .filter(|w| w[0] != w[1])
+            .count() as f64;
+    let expected = 2.0 * n1 * n2 / (n1 + n2) + 1.0;
+    let var = 2.0 * n1 * n2 * (2.0 * n1 * n2 - n1 - n2)
+        / ((n1 + n2) * (n1 + n2) * (n1 + n2 - 1.0));
+    if var <= 0.0 {
+        return 0.0;
+    }
+    (runs - expected) / var.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_var_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((variance(&xs) - 32.0 / 7.0).abs() < 1e-12);
+        assert!((stddev(&xs) - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn z_table() {
+        assert!((z_critical(0.95) - 1.96).abs() < 1e-3);
+        assert!((z_critical(0.999) - 3.2905).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "untabulated")]
+    fn z_unknown_level_panics() {
+        z_critical(0.42);
+    }
+
+    #[test]
+    fn identical_series_support_null() {
+        let a = [0.1, 0.2, 0.15, 0.12, 0.18, 0.2];
+        let d = pair_difference(&a, &a, 0.999);
+        assert!(d.supports_null);
+        assert_eq!(d.mean_diff, 0.0);
+        assert_eq!(d.n, 6);
+    }
+
+    #[test]
+    fn noisy_equal_means_support_null() {
+        // Same underlying rate, independent noise.
+        let a: Vec<f64> = (0..40).map(|i| 0.1 + 0.01 * ((i * 7 % 13) as f64 - 6.0)).collect();
+        let b: Vec<f64> = (0..40).map(|i| 0.1 + 0.01 * ((i * 11 % 13) as f64 - 6.0)).collect();
+        let d = pair_difference(&a, &b, 0.999);
+        assert!(d.supports_null, "mean_diff={} ci={:?}", d.mean_diff, d.ci);
+    }
+
+    #[test]
+    fn shifted_series_reject_null() {
+        let a: Vec<f64> = (0..40).map(|i| 0.30 + 0.001 * (i % 5) as f64).collect();
+        let b: Vec<f64> = (0..40).map(|i| 0.10 + 0.001 * (i % 7) as f64).collect();
+        let d = pair_difference(&a, &b, 0.999);
+        assert!(!d.supports_null);
+        assert!(d.mean_diff > 0.15);
+        assert!(d.ci.0 > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "paired series must align")]
+    fn mismatched_lengths_panic() {
+        pair_difference(&[1.0, 2.0], &[1.0], 0.95);
+    }
+
+    #[test]
+    fn autocorrelation_of_constant_is_zero() {
+        assert_eq!(autocorrelation(&[3.0; 10], 1), 0.0);
+    }
+
+    #[test]
+    fn autocorrelation_detects_persistence() {
+        // Slow sine: strongly positively correlated at lag 1.
+        let xs: Vec<f64> = (0..64).map(|i| (i as f64 / 10.0).sin()).collect();
+        assert!(autocorrelation(&xs, 1) > 0.8);
+        // Alternating series: strongly negative at lag 1.
+        let alt: Vec<f64> = (0..64).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        assert!(autocorrelation(&alt, 1) < -0.8);
+    }
+
+    #[test]
+    fn correlation_bounds_and_sign() {
+        let a: Vec<f64> = (0..32).map(|i| i as f64).collect();
+        let b: Vec<f64> = a.iter().map(|x| 2.0 * x + 1.0).collect();
+        assert!((correlation(&a, &b) - 1.0).abs() < 1e-12);
+        let c: Vec<f64> = a.iter().map(|x| -x).collect();
+        assert!((correlation(&a, &c) + 1.0).abs() < 1e-12);
+        assert_eq!(correlation(&a, &[5.0; 32]), 0.0);
+    }
+
+    #[test]
+    fn runs_test_flags_trend_but_not_noise() {
+        // A monotone trend has exactly 2 runs: far fewer than expected.
+        let trend: Vec<f64> = (0..40).map(|i| i as f64).collect();
+        assert!(runs_test_z(&trend) < -3.0);
+        // Perfect alternation has the maximum number of runs.
+        let alt: Vec<f64> = (0..40).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        assert!(runs_test_z(&alt) > 3.0);
+        // A fixed scrambled series stays well within bounds (a plain
+        // multiplicative sequence would be a sawtooth and rightly get
+        // flagged; xor-mixing breaks the periodicity).
+        let noise: Vec<f64> = (0u64..40)
+            .map(|i| (((i * 2_654_435_761) ^ (i << 7) ^ 0x9e37_79b9) % 1000) as f64)
+            .collect();
+        assert!(runs_test_z(&noise).abs() < 2.5);
+    }
+}

@@ -1,0 +1,70 @@
+//! The paper's four measurement techniques (§III-B through §III-E).
+//!
+//! | Technique | Forward path | Reverse path | Defeated by |
+//! |-----------|--------------|--------------|-------------|
+//! | [`SingleConnectionTest`] | ✓ | ✓ | delayed ACKs (mitigated by the reversed variant) |
+//! | [`DualConnectionTest`] | ✓ | ✓ | random/zero IPIDs, load balancers (detected by [`IpidValidator`]) |
+//! | [`SynTest`] | ✓ | ✓ | nonstandard second-SYN handling |
+//! | [`DataTransferTest`] | — | ✓ | needs a public object spanning ≥ 2 packets |
+
+pub mod dual;
+pub mod single;
+pub mod syn;
+pub mod transfer;
+
+pub use dual::{DualConnectionTest, IpidValidator, IpidVerdict};
+pub use single::SingleConnectionTest;
+pub use syn::SynTest;
+pub use transfer::DataTransferTest;
+
+/// Identifies a technique in reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TestKind {
+    /// §III-B, samples sent in order.
+    SingleConnection,
+    /// §III-B, samples sent reversed to defeat delayed ACKs.
+    SingleConnectionReversed,
+    /// §III-C.
+    DualConnection,
+    /// §III-D.
+    Syn,
+    /// §III-E.
+    DataTransfer,
+}
+
+impl TestKind {
+    /// Short label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            TestKind::SingleConnection => "single",
+            TestKind::SingleConnectionReversed => "single-rev",
+            TestKind::DualConnection => "dual",
+            TestKind::Syn => "syn",
+            TestKind::DataTransfer => "transfer",
+        }
+    }
+
+    /// All kinds, in the paper's presentation order.
+    pub fn all() -> [TestKind; 5] {
+        [
+            TestKind::SingleConnection,
+            TestKind::SingleConnectionReversed,
+            TestKind::DualConnection,
+            TestKind::Syn,
+            TestKind::DataTransfer,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_unique() {
+        let mut labels: Vec<_> = TestKind::all().iter().map(|k| k.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 5);
+    }
+}

@@ -1,0 +1,344 @@
+//! The SYN Test (§III-D, Fig. 4).
+//!
+//! Each sample is a pair of **identical SYNs that differ only in their
+//! starting sequence number** (slightly offset). Because every field a
+//! load balancer hashes is equal, both SYNs reach the same backend —
+//! this is the only test that survives transparent load balancing.
+//!
+//! Classification:
+//! * **forward**: the SYN/ACK acknowledges `first-arrived seq + 1`, so
+//!   its ack number directly names which SYN won the race;
+//! * **reverse**: the remote generates the SYN/ACK (response to the
+//!   first arrival) strictly before its response to the second SYN
+//!   (RST, pure ACK, or second RST depending on the implementation), so
+//!   observing the second response *before* the SYN/ACK means the
+//!   replies were exchanged on the way back.
+//!
+//! Etiquette (§III-D): samples are paced, and when the half-open
+//! connection survives (implementations that ignore the second SYN or
+//! answer it with a pure ACK) we complete the handshake and close it
+//! properly, so trials are not mistaken for a SYN flood.
+
+use crate::probe::{ClientConn, ProbeError, Prober};
+use crate::sample::{
+    MeasurementRun, Order, PacketMatcher, SampleForensics, SampleOutcome, SampleRecord, TestConfig,
+};
+use reorder_wire::{FlowKey, Ipv4Addr4, SeqNum, TcpFlags, TcpOption};
+
+/// The SYN Test.
+#[derive(Debug, Clone)]
+pub struct SynTest {
+    /// Shared knobs.
+    pub cfg: TestConfig,
+}
+
+impl SynTest {
+    /// New test.
+    pub fn new(cfg: TestConfig) -> Self {
+        SynTest { cfg }
+    }
+
+    /// Run `cfg.samples` SYN-pair trials against `target:port`.
+    pub fn run(
+        &self,
+        p: &mut Prober,
+        target: Ipv4Addr4,
+        port: u16,
+    ) -> Result<MeasurementRun, ProbeError> {
+        let mut run = MeasurementRun::default();
+        for _ in 0..self.cfg.samples {
+            p.run_for(self.cfg.pace);
+            run.samples.push(self.sample(p, target, port));
+        }
+        // Loss-disambiguation pass: a lone SYN/ACK admits two readings —
+        // the host ignores second SYNs (fine, classify from the ack
+        // number), or one SYN was lost (the verdict is then meaningless:
+        // a lost first SYN masquerades as reordering). If this host
+        // demonstrably answers second SYNs (any sample saw a second
+        // reply), treat reply-less samples as loss and discard their
+        // forward verdicts, exactly like §III-B discards lossy samples.
+        let host_answers_second = run.samples.iter().any(|s| s.forensics.rev.is_some());
+        if host_answers_second {
+            for s in &mut run.samples {
+                if s.forensics.rev.is_none() {
+                    s.outcome.fwd = Order::Indeterminate;
+                }
+            }
+        }
+        Ok(run)
+    }
+
+    fn sample(&self, p: &mut Prober, target: Ipv4Addr4, port: u16) -> SampleRecord {
+        p.flush();
+        let local_port = p.alloc_port();
+        let iss = p.alloc_iss();
+        let flow = FlowKey {
+            src: p.local_addr,
+            src_port: local_port,
+            dst: target,
+            dst_port: port,
+        };
+        let started = p.now();
+        let ipid1 = p.alloc_ipid();
+        let ipid2 = p.alloc_ipid();
+        let seq1 = iss;
+        let seq2 = iss + 2; // offset 2: distinguishable from a retransmit
+        let mk = |seq: SeqNum, ipid| {
+            reorder_wire::PacketBuilder::tcp()
+                .src(flow.src, flow.src_port)
+                .dst(flow.dst, flow.dst_port)
+                .seq(seq)
+                .flags(TcpFlags::SYN)
+                .option(TcpOption::Mss(1460))
+                .ipid(ipid)
+                .build()
+        };
+        p.send(mk(seq1, ipid1));
+        p.run_for(self.cfg.gap);
+        p.send(mk(seq2, ipid2));
+
+        // Collect up to 3 replies (dual-RST stacks send three packets).
+        let replies = p.recv_n_where(
+            |pkt| pkt.flow() == Some(flow.reversed()) && pkt.tcp().is_some(),
+            3,
+            self.cfg.reply_timeout,
+        );
+        let forensics_fwd = [
+            PacketMatcher::flow(flow).ipid(ipid1).seq(seq1),
+            PacketMatcher::flow(flow).ipid(ipid2).seq(seq2),
+        ];
+        let synack_pos = replies.iter().position(|r| {
+            r.pkt
+                .tcp()
+                .is_some_and(|t| t.flags.contains(TcpFlags::SYN | TcpFlags::ACK))
+        });
+        let second_pos = replies.iter().position(|r| {
+            r.pkt.tcp().is_some_and(|t| {
+                !t.flags.contains(TcpFlags::SYN)
+                    && (t.flags.contains(TcpFlags::RST) || t.flags.contains(TcpFlags::ACK))
+            })
+        });
+
+        let Some(sa) = synack_pos else {
+            // No SYN/ACK at all (lost, or pathologically silent host):
+            // nothing can be inferred. Clean up any half-state with RST.
+            let conn = ClientConn {
+                flow,
+                iss,
+                irs: SeqNum(0),
+                snd_nxt: iss + 1,
+                rcv_nxt: SeqNum(0),
+                server_mss: 536,
+            };
+            p.abort(&conn);
+            return SampleRecord {
+                outcome: SampleOutcome::DISCARD,
+                forensics: SampleForensics {
+                    started,
+                    fwd: forensics_fwd,
+                    rev: None,
+                },
+            };
+        };
+        let synack = &replies[sa];
+        let synack_tcp = synack.pkt.tcp().expect("tcp").clone();
+
+        // Forward: which SYN does the SYN/ACK acknowledge?
+        let fwd = if synack_tcp.ack == seq1 + 1 {
+            Order::Ordered
+        } else if synack_tcp.ack == seq2 + 1 {
+            Order::Reordered
+        } else {
+            Order::Indeterminate
+        };
+
+        // Reverse: did the response to the second SYN overtake the
+        // SYN/ACK? (The remote generates the SYN/ACK first.)
+        let rev = match second_pos {
+            Some(sp) => {
+                if sp < sa {
+                    Order::Reordered
+                } else {
+                    Order::Ordered
+                }
+            }
+            None => Order::Indeterminate,
+        };
+
+        // Politeness: if no RST was exchanged the server still holds a
+        // half-open connection — complete and close it.
+        let saw_rst = replies.iter().any(|r| {
+            r.pkt
+                .tcp()
+                .is_some_and(|t| t.flags.contains(TcpFlags::RST))
+        });
+        if !saw_rst {
+            let first_arrived_seq = synack_tcp.ack - 1;
+            let mut conn = ClientConn {
+                flow,
+                iss: first_arrived_seq,
+                irs: synack_tcp.seq,
+                snd_nxt: synack_tcp.ack,
+                rcv_nxt: synack_tcp.seq + 1,
+                server_mss: synack_tcp.mss().unwrap_or(536),
+            };
+            let ack = p
+                .tcp_pkt(&conn)
+                .seq(conn.snd_nxt)
+                .ack(conn.rcv_nxt)
+                .flags(TcpFlags::ACK)
+                .build();
+            p.send(ack);
+            p.close(&mut conn, self.cfg.reply_timeout);
+        }
+
+        // Reply matchers in remote-generation order: SYN/ACK first, then
+        // the second response.
+        let rev_forensics = second_pos.map(|sp| {
+            let second_tcp = replies[sp].pkt.tcp().expect("tcp");
+            let second_matcher = if second_tcp.flags.contains(TcpFlags::RST) {
+                PacketMatcher::flow(flow.reversed()).flags(TcpFlags::RST)
+            } else {
+                PacketMatcher::flow(flow.reversed())
+                    .flags(TcpFlags::ACK)
+                    .without(TcpFlags::SYN | TcpFlags::RST | TcpFlags::FIN)
+            };
+            [
+                PacketMatcher::flow(flow.reversed()).flags(TcpFlags::SYN | TcpFlags::ACK),
+                second_matcher,
+            ]
+        });
+        SampleRecord {
+            outcome: SampleOutcome { fwd, rev },
+            forensics: SampleForensics {
+                started,
+                fwd: forensics_fwd,
+                rev: rev_forensics,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario;
+    use reorder_tcpstack::HostPersonality;
+
+    #[test]
+    fn clean_path_all_ordered() {
+        let mut sc = scenario::validation_rig(0.0, 0.0, 70);
+        let run = SynTest::new(TestConfig::samples(20))
+            .run(&mut sc.prober, sc.target, 80)
+            .expect("run");
+        assert_eq!(run.samples.len(), 20);
+        assert_eq!(run.fwd_reordered(), 0);
+        assert_eq!(run.rev_reordered(), 0);
+        assert!(run.fwd_determinate() >= 19);
+        assert!(run.rev_determinate() >= 19);
+    }
+
+    #[test]
+    fn forward_swaps_detected() {
+        let mut sc = scenario::validation_rig(1.0, 0.0, 71);
+        let run = SynTest::new(TestConfig::samples(20))
+            .run(&mut sc.prober, sc.target, 80)
+            .expect("run");
+        assert!(run.fwd_determinate() >= 15);
+        assert_eq!(run.fwd_reordered(), run.fwd_determinate());
+    }
+
+    #[test]
+    fn reverse_swaps_detected() {
+        let mut sc = scenario::validation_rig(0.0, 1.0, 72);
+        let run = SynTest::new(TestConfig::samples(20))
+            .run(&mut sc.prober, sc.target, 80)
+            .expect("run");
+        assert!(run.rev_determinate() >= 15);
+        assert_eq!(run.rev_reordered(), run.rev_determinate());
+        assert_eq!(run.fwd_reordered(), 0);
+    }
+
+    #[test]
+    fn works_through_load_balancer() {
+        // The SYN test's raison d'être: identical 4-tuples pin both
+        // SYNs to one backend, so measurements stay sound.
+        let mut sc = scenario::load_balanced(0.5, 0.0, 4, HostPersonality::freebsd4(), 73);
+        let run = SynTest::new(TestConfig::samples(40))
+            .run(&mut sc.prober, sc.target, 80)
+            .expect("run");
+        assert!(run.fwd_determinate() >= 30);
+        let rate = run.fwd_estimate().rate();
+        assert!(
+            (0.2..=0.7).contains(&rate),
+            "expected ≈0.5 forward swap rate through LB, got {rate}"
+        );
+    }
+
+    #[test]
+    fn spec_compliant_host_still_classified() {
+        let mut sc = scenario::validation_rig_with(
+            0.5,
+            0.0,
+            HostPersonality::linux22(), // SpecCompliant second-SYN
+            74,
+        );
+        let run = SynTest::new(TestConfig::samples(40))
+            .run(&mut sc.prober, sc.target, 80)
+            .expect("run");
+        assert!(run.fwd_determinate() >= 30);
+        let rate = run.fwd_estimate().rate();
+        assert!((0.25..=0.75).contains(&rate), "rate {rate}");
+    }
+
+    #[test]
+    fn dual_rst_host_classified() {
+        let mut sc = scenario::validation_rig_with(
+            0.3,
+            0.0,
+            HostPersonality::windows2000(), // DualRst
+            75,
+        );
+        let run = SynTest::new(TestConfig::samples(40))
+            .run(&mut sc.prober, sc.target, 80)
+            .expect("run");
+        assert!(run.fwd_determinate() >= 30);
+        let rate = run.fwd_estimate().rate();
+        assert!((0.1..=0.55).contains(&rate), "rate {rate}");
+    }
+
+    #[test]
+    fn ignore_second_host_gives_forward_only() {
+        let mut sc = scenario::validation_rig_with(
+            0.4,
+            0.0,
+            HostPersonality::hardened(), // IgnoreSecond
+            76,
+        );
+        let run = SynTest::new(TestConfig::samples(30))
+            .run(&mut sc.prober, sc.target, 80)
+            .expect("run");
+        // Forward inference works from the SYN/ACK ack number alone.
+        assert!(run.fwd_determinate() >= 25);
+        // But with only one reply the reverse path is unmeasurable.
+        assert_eq!(run.rev_determinate(), 0);
+        let rate = run.fwd_estimate().rate();
+        assert!((0.2..=0.6).contains(&rate), "rate {rate}");
+    }
+
+    #[test]
+    fn no_lingering_half_open_connections() {
+        // After a polite run, a fresh handshake on the same port must
+        // still work (server resources not exhausted by half-open
+        // connections, and our close path executed).
+        let mut sc = scenario::validation_rig_with(0.0, 0.0, HostPersonality::hardened(), 77);
+        let run = SynTest::new(TestConfig::samples(10))
+            .run(&mut sc.prober, sc.target, 80)
+            .expect("run");
+        assert_eq!(run.samples.len(), 10);
+        let conn = sc
+            .prober
+            .handshake(sc.target, 80, 1460, 65535, std::time::Duration::from_secs(1));
+        assert!(conn.is_ok(), "server must still accept connections");
+    }
+}

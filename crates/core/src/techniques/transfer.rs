@@ -1,0 +1,261 @@
+//! The TCP Data Transfer Test (§III-E) — the baseline the new
+//! techniques are compared against.
+//!
+//! Fetch an object over HTTP-ish TCP and watch the sequence numbers of
+//! the arriving data segments. To suppress congestion-control dynamics
+//! the client (a) acknowledges **the largest sequence number received,
+//! even if intermediate data is lost**, and (b) clamps the advertised
+//! MSS and receive window so the server emits a steady stream of small
+//! segments.
+//!
+//! Only the reverse path (server → probe) is measurable, the remote
+//! must run a public data service, and the object must span at least
+//! two segments ("this is a problem in practice for sites that use
+//! HTTP redirects, which fit in a single packet").
+
+use crate::probe::{ProbeError, Prober};
+use crate::sample::{
+    MeasurementRun, Order, PacketMatcher, SampleForensics, SampleOutcome, SampleRecord, TestConfig,
+};
+use reorder_wire::{Ipv4Addr4, SeqNum, TcpFlags};
+use std::time::Duration;
+
+/// The TCP Data Transfer Test.
+#[derive(Debug, Clone)]
+pub struct DataTransferTest {
+    /// Shared knobs. `samples` and `gap` are ignored: the object size
+    /// determines the sample count ("a variable number of samples
+    /// depending on the number of packets required to transfer the root
+    /// Web object").
+    pub cfg: TestConfig,
+    /// MSS to advertise (clamped small to get many segments).
+    pub clamp_mss: u16,
+    /// Receive window to advertise (limits the in-flight burst).
+    pub clamp_window: u16,
+}
+
+impl DataTransferTest {
+    /// Default clamps: 256-byte MSS, 2-segment window.
+    pub fn new(cfg: TestConfig) -> Self {
+        DataTransferTest {
+            cfg,
+            clamp_mss: 256,
+            clamp_window: 512,
+        }
+    }
+
+    /// Fetch the object and classify every adjacent arrival pair.
+    pub fn run(
+        &self,
+        p: &mut Prober,
+        target: Ipv4Addr4,
+        port: u16,
+    ) -> Result<MeasurementRun, ProbeError> {
+        let mut conn = p.handshake(
+            target,
+            port,
+            self.clamp_mss,
+            self.clamp_window,
+            self.cfg.reply_timeout,
+        )?;
+        let flow = conn.flow;
+        let started = p.now();
+        let req = b"GET / HTTP/1.0\r\n\r\n".to_vec();
+        let get = p
+            .tcp_pkt(&conn)
+            .seq(conn.snd_nxt)
+            .ack(conn.rcv_nxt)
+            .flags(TcpFlags::ACK | TcpFlags::PSH)
+            .window(self.clamp_window)
+            .data(req.clone())
+            .build();
+        conn.snd_nxt = conn.snd_nxt + req.len() as u32;
+        p.send(get);
+
+        // Collect data segments, ACKing the highest byte seen.
+        let mut arrivals: Vec<SeqNum> = Vec::new();
+        let mut highest_end = conn.rcv_nxt;
+        let mut fin_seen = false;
+        loop {
+            let got = p.recv_where(
+                |pkt| {
+                    pkt.flow() == Some(flow.reversed())
+                        && pkt.tcp().is_some_and(|t| {
+                            t.flags.contains(TcpFlags::FIN)
+                                || t.flags.contains(TcpFlags::RST)
+                                || pkt.tcp_data().is_some_and(|d| !d.is_empty())
+                        })
+                },
+                self.cfg.reply_timeout,
+            );
+            let Some(r) = got else {
+                break; // idle: transfer stalled or finished silently
+            };
+            let tcp = r.pkt.tcp().expect("tcp");
+            if tcp.flags.contains(TcpFlags::RST) {
+                break;
+            }
+            let dlen = r.pkt.tcp_data().map_or(0, <[u8]>::len) as u32;
+            if dlen > 0 {
+                arrivals.push(tcp.seq);
+                let end = tcp.seq + dlen;
+                if end > highest_end {
+                    highest_end = end;
+                }
+                // "generating acknowledgments for the largest sequence
+                // number received, even if intermediate data is lost"
+                let ack = p
+                    .tcp_pkt(&conn)
+                    .seq(conn.snd_nxt)
+                    .ack(highest_end)
+                    .flags(TcpFlags::ACK)
+                    .window(self.clamp_window)
+                    .build();
+                p.send(ack);
+            }
+            if tcp.flags.contains(TcpFlags::FIN) {
+                fin_seen = true;
+                conn.rcv_nxt = tcp.seq + dlen + 1;
+                let ack = p
+                    .tcp_pkt(&conn)
+                    .seq(conn.snd_nxt)
+                    .ack(conn.rcv_nxt)
+                    .flags(TcpFlags::ACK)
+                    .window(self.clamp_window)
+                    .build();
+                p.send(ack);
+                break;
+            }
+        }
+        if !fin_seen {
+            // Stalled (loss without retransmission, or no object): shut
+            // the connection down hard.
+            p.abort(&conn);
+        } else {
+            // Our side still owes a FIN.
+            let fin = p
+                .tcp_pkt(&conn)
+                .seq(conn.snd_nxt)
+                .ack(conn.rcv_nxt)
+                .flags(TcpFlags::FIN | TcpFlags::ACK)
+                .build();
+            p.send(fin);
+            p.run_for(Duration::from_millis(2));
+        }
+
+        if arrivals.len() < 2 {
+            return Err(ProbeError::HostUnsuitable(format!(
+                "object spanned {} segment(s); need at least 2 (§III-E)",
+                arrivals.len()
+            )));
+        }
+
+        // Every adjacent arrival pair is one reverse-path sample. The
+        // server transmits in sequence order (no retransmissions occur
+        // under the ACK-highest policy), so arrival inversions are
+        // in-flight exchanges.
+        let mut run = MeasurementRun::default();
+        for pair in arrivals.windows(2) {
+            let reordered = pair[1] < pair[0];
+            run.samples.push(SampleRecord {
+                outcome: SampleOutcome {
+                    fwd: Order::Indeterminate, // this test cannot see forward
+                    rev: if reordered {
+                        Order::Reordered
+                    } else {
+                        Order::Ordered
+                    },
+                },
+                forensics: SampleForensics {
+                    started,
+                    fwd: [
+                        PacketMatcher::flow(flow), // placeholders; fwd unused
+                        PacketMatcher::flow(flow),
+                    ],
+                    rev: Some([
+                        PacketMatcher::flow(flow.reversed())
+                            .seq(pair[0].min(pair[1]))
+                            .min_data(1),
+                        PacketMatcher::flow(flow.reversed())
+                            .seq(pair[0].max(pair[1]))
+                            .min_data(1),
+                    ]),
+                },
+            });
+        }
+        Ok(run)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario;
+
+    #[test]
+    fn clean_transfer_all_ordered() {
+        let mut sc = scenario::validation_rig(0.0, 0.0, 80);
+        let run = DataTransferTest::new(TestConfig::default())
+            .run(&mut sc.prober, sc.target, 80)
+            .expect("run");
+        // 16 KiB object at 256-byte MSS → 64 segments → 63 samples.
+        assert_eq!(run.samples.len(), 63);
+        assert_eq!(run.rev_reordered(), 0);
+        assert_eq!(run.rev_determinate(), 63);
+        assert_eq!(run.fwd_determinate(), 0, "no forward inference");
+    }
+
+    #[test]
+    fn reverse_swaps_detected() {
+        let mut sc = scenario::validation_rig(0.0, 0.25, 81);
+        let run = DataTransferTest::new(TestConfig::default())
+            .run(&mut sc.prober, sc.target, 80)
+            .expect("run");
+        assert!(run.samples.len() >= 50);
+        let rate = run.rev_estimate().rate();
+        assert!(rate > 0.05, "swaps must be visible, got {rate}");
+    }
+
+    #[test]
+    fn forward_swaps_invisible() {
+        // Reordering the GET direction cannot affect this test.
+        let mut sc = scenario::validation_rig(0.9, 0.0, 82);
+        let run = DataTransferTest::new(TestConfig::default())
+            .run(&mut sc.prober, sc.target, 80)
+            .expect("run");
+        assert_eq!(run.rev_reordered(), 0);
+    }
+
+    #[test]
+    fn small_object_rejected() {
+        // 256-byte object fits one clamped segment → unusable (§III-E:
+        // HTTP-redirect-sized responses).
+        let spec = scenario::HostSpec {
+            name: "tiny".into(),
+            personality: reorder_tcpstack::HostPersonality::freebsd4(),
+            fwd_reorder: 0.0,
+            rev_reorder: 0.0,
+            loss: 0.0,
+            delay: Duration::from_millis(5),
+            backends: 1,
+            object_size: 200,
+        };
+        let mut sc = scenario::internet_host(&spec, 83);
+        match DataTransferTest::new(TestConfig::default()).run(&mut sc.prober, sc.target, 80) {
+            Err(ProbeError::HostUnsuitable(why)) => assert!(why.contains("segment")),
+            other => panic!("expected HostUnsuitable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn loss_tolerated_by_ack_highest_policy() {
+        let mut sc = scenario::lossy_rig(0.0, 0.05, 84);
+        let run = DataTransferTest::new(TestConfig::default())
+            .run(&mut sc.prober, sc.target, 80)
+            .expect("run");
+        // Lost segments simply vanish from the arrival list; the
+        // transfer still completes with fewer samples.
+        assert!(run.samples.len() >= 40);
+        assert!(run.samples.len() <= 63);
+    }
+}

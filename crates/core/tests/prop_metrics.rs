@@ -1,0 +1,178 @@
+//! Property tests for the metric and statistics layers: structural
+//! invariants of the exchange metric, the non-reversing-order rules,
+//! the SACK-block metric, CDFs, the IPID classifier, and the
+//! paired-difference test.
+
+use proptest::prelude::*;
+use reorder_core::metrics::{
+    exchanges, max_sack_blocks, non_reversing_reordered, reordering_extents, Cdf, ReorderEstimate,
+};
+use reorder_core::stats::{mean, pair_difference, stddev, variance};
+use reorder_core::techniques::dual::classify_ipids;
+use reorder_core::techniques::IpidVerdict;
+use reorder_wire::IpId;
+
+fn arb_permutation(max_len: usize) -> impl Strategy<Value = Vec<u64>> {
+    (1..max_len).prop_flat_map(|n| {
+        Just((0..n as u64).collect::<Vec<u64>>()).prop_shuffle()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Exchange count is the inversion count: zero iff sorted, at most
+    /// n(n-1)/2, and invariant under value translation.
+    #[test]
+    fn exchange_metric_bounds(perm in arb_permutation(30), shift in 0u64..1_000_000) {
+        let n = perm.len();
+        let e = exchanges(&perm);
+        prop_assert!(e <= n * (n - 1) / 2);
+        let mut sorted = perm.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(e == 0, sorted == perm);
+        let shifted: Vec<u64> = perm.iter().map(|&x| x + shift).collect();
+        prop_assert_eq!(exchanges(&shifted), e);
+    }
+
+    /// Reversing a sorted sequence gives the maximum exchange count.
+    #[test]
+    fn exchange_metric_maximum(n in 2usize..30) {
+        let rev: Vec<u64> = (0..n as u64).rev().collect();
+        prop_assert_eq!(exchanges(&rev), n * (n - 1) / 2);
+    }
+
+    /// Non-reversing rule: flags are consistent with extents (a packet
+    /// is flagged iff its extent is positive), and an in-order prefix
+    /// is never flagged.
+    #[test]
+    fn non_reversing_consistent_with_extents(perm in arb_permutation(40)) {
+        let flags = non_reversing_reordered(&perm);
+        let extents = reordering_extents(&perm);
+        prop_assert_eq!(flags.len(), perm.len());
+        for (f, e) in flags.iter().zip(&extents) {
+            prop_assert_eq!(*f, *e > 0, "flag/extent mismatch");
+        }
+        prop_assert!(!flags[0], "first arrival can never be late");
+    }
+
+    /// SACK blocks: zero iff the permutation is the identity; bounded
+    /// by half the sequence length (each block needs a missing packet
+    /// before it).
+    #[test]
+    fn sack_blocks_bounds(perm in arb_permutation(40)) {
+        let blocks = max_sack_blocks(&perm, 0);
+        let sorted = {
+            let mut s = perm.clone();
+            s.sort_unstable();
+            s
+        };
+        prop_assert_eq!(blocks == 0, sorted == perm);
+        prop_assert!(blocks <= perm.len() / 2 + 1);
+    }
+
+    /// Wilson interval always contains the point estimate and stays in
+    /// [0, 1]; more samples shrink it.
+    #[test]
+    fn wilson_interval_sane(reordered in 0usize..200, extra in 0usize..200) {
+        let total = reordered + extra;
+        prop_assume!(total > 0);
+        let e = ReorderEstimate::new(reordered, total);
+        let (lo, hi) = e.wilson_ci(1.96);
+        prop_assert!((0.0..=1.0).contains(&lo));
+        prop_assert!((0.0..=1.0).contains(&hi));
+        // At p = 0 or p = 1 the interval endpoint equals p exactly in
+        // real arithmetic; allow float rounding.
+        prop_assert!(lo <= e.rate() + 1e-9 && e.rate() <= hi + 1e-9);
+        // Scaling counts by 16 shrinks the interval.
+        let big = ReorderEstimate::new(reordered * 16, total * 16);
+        let (blo, bhi) = big.wilson_ci(1.96);
+        prop_assert!(bhi - blo <= hi - lo + 1e-12);
+    }
+
+    /// CDF: monotone, normalized, quantile/fraction round-trip.
+    #[test]
+    fn cdf_invariants(values in proptest::collection::vec(0.0f64..1.0, 1..100)) {
+        let cdf = Cdf::new(values.clone());
+        let pts = cdf.points();
+        prop_assert_eq!(pts.len(), values.len());
+        for w in pts.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+            prop_assert!(w[0].1 <= w[1].1);
+        }
+        prop_assert!((pts.last().unwrap().1 - 1.0).abs() < 1e-12);
+        for q in [0.1, 0.5, 0.9, 1.0] {
+            let v = cdf.quantile(q);
+            prop_assert!(cdf.fraction_at_most(v) + 1e-12 >= q);
+        }
+    }
+
+    /// Descriptive statistics basics.
+    #[test]
+    fn stats_basics(xs in proptest::collection::vec(-1e6f64..1e6, 2..50)) {
+        let m = mean(&xs);
+        let v = variance(&xs);
+        prop_assert!(v >= 0.0);
+        prop_assert!((stddev(&xs) - v.sqrt()).abs() < 1e-9);
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+    }
+
+    /// A series paired with itself always supports the null hypothesis.
+    #[test]
+    fn pair_difference_self_supports_null(
+        xs in proptest::collection::vec(0.0f64..1.0, 2..50)
+    ) {
+        let d = pair_difference(&xs, &xs, 0.999);
+        prop_assert!(d.supports_null);
+        prop_assert_eq!(d.mean_diff, 0.0);
+    }
+
+    /// A constant large shift is always detected (given any variance).
+    #[test]
+    fn pair_difference_detects_shift(
+        xs in proptest::collection::vec(0.0f64..0.01, 5..50)
+    ) {
+        let ys: Vec<f64> = xs.iter().map(|x| x + 0.5).collect();
+        let d = pair_difference(&ys, &xs, 0.999);
+        prop_assert!(!d.supports_null);
+        prop_assert!(d.mean_diff > 0.4);
+    }
+
+    /// IPID classifier: a shared counter with arbitrary positive strides
+    /// (background traffic) is always amenable, from any starting value
+    /// including ones that wrap.
+    #[test]
+    fn classifier_accepts_shared_counter(
+        start in any::<u16>(),
+        strides in proptest::collection::vec(1u16..50, 4..16),
+    ) {
+        prop_assume!(strides.len() % 2 == 0);
+        let mut v = Vec::with_capacity(strides.len());
+        let mut cur = IpId(start);
+        for s in &strides {
+            cur = cur + *s;
+            v.push(cur);
+        }
+        prop_assert_eq!(classify_ipids(&v), IpidVerdict::Amenable);
+    }
+
+    /// Two independent counters (the load-balancer symptom) are
+    /// rejected whenever their bases are far enough apart that some
+    /// between-connection difference goes negative.
+    #[test]
+    fn classifier_rejects_split_counters(
+        base_a in 0u16..1000,
+        sep in 5000u16..30000,
+        rounds in 3usize..8,
+    ) {
+        let base_b = base_a.wrapping_add(sep);
+        let mut v = Vec::new();
+        for i in 0..rounds as u16 {
+            v.push(IpId(base_a.wrapping_add(i)));
+            v.push(IpId(base_b.wrapping_add(i)));
+        }
+        prop_assert_eq!(classify_ipids(&v), IpidVerdict::NonMonotonic);
+    }
+}

@@ -1,0 +1,535 @@
+//! The discrete-event engine: nodes, ports, links, timers, taps.
+//!
+//! Determinism is a hard requirement — every experiment in the paper is
+//! reproduced from a seed — so the event queue breaks time ties by
+//! insertion order, devices draw randomness only from labeled streams
+//! (see [`crate::rng`]), and nothing reads the host clock.
+
+use crate::capture::{Dir, TraceHandle, TraceRecord};
+use crate::link::{LinkParams, LinkState, Offer};
+use crate::time::SimTime;
+use reorder_wire::Packet;
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::rc::Rc;
+use std::time::Duration;
+
+/// Identifies a node (device) in the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// A port index local to a node. Devices define their own port
+/// conventions (e.g. a pipe forwards port 0 ↔ port 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Port(pub usize);
+
+/// The behavior of a simulated node.
+///
+/// Devices are purely reactive: they are invoked for packet deliveries
+/// and timer expirations, and respond by calling methods on [`Ctx`].
+pub trait Device {
+    /// A packet arrived on `port`.
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, port: Port, pkt: Packet);
+
+    /// A timer set via [`Ctx::set_timer`] fired.
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: u64) {}
+
+    /// Diagnostic name.
+    fn name(&self) -> &str {
+        "device"
+    }
+}
+
+/// What a device may do while handling an event.
+#[derive(Debug)]
+enum Action {
+    Transmit { port: Port, pkt: Packet },
+    SetTimer { delay: Duration, token: u64 },
+}
+
+/// Execution context handed to a device during event handling.
+pub struct Ctx<'a> {
+    now: SimTime,
+    node: NodeId,
+    actions: &'a mut Vec<Action>,
+}
+
+impl Ctx<'_> {
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The node being invoked (useful for diagnostics).
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Queue a packet for transmission out of `port`. Serialization and
+    /// propagation delays of the attached link apply; transmissions
+    /// issued within one event handler keep their issue order.
+    pub fn transmit(&mut self, port: Port, pkt: Packet) {
+        self.actions.push(Action::Transmit { port, pkt });
+    }
+
+    /// Arrange for [`Device::on_timer`] to be called `delay` from now
+    /// with `token`.
+    pub fn set_timer(&mut self, delay: Duration, token: u64) {
+        self.actions.push(Action::SetTimer { delay, token });
+    }
+}
+
+#[derive(Debug)]
+enum EventKind {
+    Deliver { node: NodeId, port: Port, pkt: Packet },
+    Timer { node: NodeId, token: u64 },
+}
+
+struct Event {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// The simulator: owns every device, link and pending event.
+pub struct Simulator {
+    now: SimTime,
+    seq: u64,
+    master_seed: u64,
+    nodes: Vec<Option<Box<dyn Device>>>,
+    names: Vec<String>,
+    links: HashMap<(NodeId, Port), LinkEndpoint>,
+    heap: BinaryHeap<Reverse<Event>>,
+    rx_taps: HashMap<NodeId, Vec<TraceHandle>>,
+    tx_taps: HashMap<NodeId, Vec<TraceHandle>>,
+    scratch: Vec<Action>,
+    /// Count of packets dropped by full link queues (all links).
+    pub link_drops: u64,
+}
+
+struct LinkEndpoint {
+    peer: (NodeId, Port),
+    state: LinkState,
+}
+
+impl Simulator {
+    /// Create a simulator whose stochastic devices will derive their
+    /// random streams from `master_seed`.
+    pub fn new(master_seed: u64) -> Self {
+        Simulator {
+            now: SimTime::ZERO,
+            seq: 0,
+            master_seed,
+            nodes: Vec::new(),
+            names: Vec::new(),
+            links: HashMap::new(),
+            heap: BinaryHeap::new(),
+            rx_taps: HashMap::new(),
+            tx_taps: HashMap::new(),
+            scratch: Vec::new(),
+            link_drops: 0,
+        }
+    }
+
+    /// The master seed (devices use it with [`crate::rng::stream`]).
+    pub fn master_seed(&self) -> u64 {
+        self.master_seed
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Add a device; returns its id.
+    pub fn add_node(&mut self, device: Box<dyn Device>) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.names.push(device.name().to_string());
+        self.nodes.push(Some(device));
+        id
+    }
+
+    /// Diagnostic name of a node.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Connect `a`'s port `pa` to `b`'s port `pb` with symmetric link
+    /// parameters. Panics if either port is already wired.
+    pub fn connect(&mut self, a: NodeId, pa: Port, b: NodeId, pb: Port, params: LinkParams) {
+        self.connect_asym(a, pa, b, pb, params, params);
+    }
+
+    /// Connect with distinct parameters per direction (`ab` applies to
+    /// packets from `a` to `b`).
+    pub fn connect_asym(
+        &mut self,
+        a: NodeId,
+        pa: Port,
+        b: NodeId,
+        pb: Port,
+        ab: LinkParams,
+        ba: LinkParams,
+    ) {
+        let prev = self.links.insert(
+            (a, pa),
+            LinkEndpoint {
+                peer: (b, pb),
+                state: LinkState::new(ab),
+            },
+        );
+        assert!(prev.is_none(), "port {pa:?} of node {a:?} already wired");
+        let prev = self.links.insert(
+            (b, pb),
+            LinkEndpoint {
+                peer: (a, pa),
+                state: LinkState::new(ba),
+            },
+        );
+        assert!(prev.is_none(), "port {pb:?} of node {b:?} already wired");
+    }
+
+    /// Record every packet *delivered to* `node` (any port) into the
+    /// returned trace. This is the receive-order ground truth of §IV-A.
+    pub fn tap_rx(&mut self, node: NodeId) -> TraceHandle {
+        let h: TraceHandle = Rc::new(RefCell::new(Vec::new()));
+        self.rx_taps.entry(node).or_default().push(h.clone());
+        h
+    }
+
+    /// Record every packet *transmitted by* `node` (any port), stamped
+    /// with the time the transmission was issued. This is the send-order
+    /// ground truth used to validate reverse-path inferences.
+    pub fn tap_tx(&mut self, node: NodeId) -> TraceHandle {
+        let h: TraceHandle = Rc::new(RefCell::new(Vec::new()));
+        self.tx_taps.entry(node).or_default().push(h.clone());
+        h
+    }
+
+    /// Inject a packet as if `node` had transmitted it out of `port` at
+    /// the current time. Used by external agents (the prober) that drive
+    /// the simulation from outside the event loop.
+    pub fn transmit_from(&mut self, node: NodeId, port: Port, pkt: Packet) {
+        self.record_tx(node, port, &pkt);
+        self.do_transmit(node, port, pkt);
+    }
+
+    /// Schedule a timer for `node` (external-agent counterpart of
+    /// [`Ctx::set_timer`]).
+    pub fn schedule_timer(&mut self, node: NodeId, delay: Duration, token: u64) {
+        let time = self.now + delay;
+        self.push(time, EventKind::Timer { node, token });
+    }
+
+    /// Time of the next pending event, if any.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Run until the queue is empty or the next event lies beyond
+    /// `horizon`; the clock then advances to `horizon` (so repeated calls
+    /// make steady progress even with no traffic).
+    pub fn run_until(&mut self, horizon: SimTime) {
+        while let Some(Reverse(ev)) = self.heap.peek() {
+            if ev.time > horizon {
+                break;
+            }
+            let Reverse(ev) = self.heap.pop().expect("peeked");
+            debug_assert!(ev.time >= self.now, "time went backwards");
+            self.now = ev.time;
+            self.dispatch(ev.kind);
+        }
+        if horizon > self.now && horizon != SimTime::MAX {
+            self.now = horizon;
+        }
+    }
+
+    /// Run for `d` from the current time.
+    pub fn run_for(&mut self, d: Duration) {
+        let horizon = self.now + d;
+        self.run_until(horizon);
+    }
+
+    /// Run until no events remain (the network is quiet). `limit` bounds
+    /// runaway simulations; panics if exceeded, since that indicates a
+    /// device generating unbounded traffic.
+    pub fn run_until_idle(&mut self, limit: SimTime) {
+        while let Some(t) = self.next_event_time() {
+            assert!(t <= limit, "simulation still active at limit {limit}");
+            self.run_until(t);
+        }
+    }
+
+    fn push(&mut self, time: SimTime, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Event { time, seq, kind }));
+    }
+
+    fn record_rx(&self, node: NodeId, port: Port, pkt: &Packet) {
+        if let Some(taps) = self.rx_taps.get(&node) {
+            for t in taps {
+                t.borrow_mut().push(TraceRecord {
+                    time: self.now,
+                    node,
+                    port,
+                    dir: Dir::Rx,
+                    pkt: pkt.clone(),
+                });
+            }
+        }
+    }
+
+    fn record_tx(&self, node: NodeId, port: Port, pkt: &Packet) {
+        if let Some(taps) = self.tx_taps.get(&node) {
+            for t in taps {
+                t.borrow_mut().push(TraceRecord {
+                    time: self.now,
+                    node,
+                    port,
+                    dir: Dir::Tx,
+                    pkt: pkt.clone(),
+                });
+            }
+        }
+    }
+
+    fn do_transmit(&mut self, node: NodeId, port: Port, pkt: Packet) {
+        let Some(end) = self.links.get_mut(&(node, port)) else {
+            panic!(
+                "node {} ({node:?}) transmitted on unwired port {port:?}",
+                self.names[node.0]
+            );
+        };
+        match end.state.offer(self.now, pkt.wire_len()) {
+            Offer::Arrives(at) => {
+                let (peer, peer_port) = end.peer;
+                self.push(
+                    at,
+                    EventKind::Deliver {
+                        node: peer,
+                        port: peer_port,
+                        pkt,
+                    },
+                );
+            }
+            Offer::Dropped => {
+                self.link_drops += 1;
+            }
+        }
+    }
+
+    fn dispatch(&mut self, kind: EventKind) {
+        let node = match &kind {
+            EventKind::Deliver { node, .. } | EventKind::Timer { node, .. } => *node,
+        };
+        let mut dev = self.nodes[node.0].take().unwrap_or_else(|| {
+            panic!("re-entrant dispatch on node {}", self.names[node.0]);
+        });
+        let mut actions = std::mem::take(&mut self.scratch);
+        {
+            let mut ctx = Ctx {
+                now: self.now,
+                node,
+                actions: &mut actions,
+            };
+            match kind {
+                EventKind::Deliver { port, pkt, .. } => {
+                    self.record_rx(node, port, &pkt);
+                    dev.on_packet(&mut ctx, port, pkt);
+                }
+                EventKind::Timer { token, .. } => dev.on_timer(&mut ctx, token),
+            }
+        }
+        self.nodes[node.0] = Some(dev);
+        for act in actions.drain(..) {
+            match act {
+                Action::Transmit { port, pkt } => {
+                    self.record_tx(node, port, &pkt);
+                    self.do_transmit(node, port, pkt);
+                }
+                Action::SetTimer { delay, token } => {
+                    let time = self.now + delay;
+                    self.push(time, EventKind::Timer { node, token });
+                }
+            }
+        }
+        self.scratch = actions;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reorder_wire::{Ipv4Addr4, PacketBuilder, TcpFlags};
+
+    /// Echoes every packet back out the port it arrived on, with src/dst
+    /// swapped.
+    struct Echo;
+    impl Device for Echo {
+        fn on_packet(&mut self, ctx: &mut Ctx<'_>, port: Port, pkt: Packet) {
+            let mut reply = pkt.clone();
+            std::mem::swap(&mut reply.ip.src, &mut reply.ip.dst);
+            ctx.transmit(port, reply);
+        }
+        fn name(&self) -> &str {
+            "echo"
+        }
+    }
+
+    /// Collects deliveries.
+    struct Sink(Rc<RefCell<Vec<(SimTime, Packet)>>>);
+    impl Device for Sink {
+        fn on_packet(&mut self, ctx: &mut Ctx<'_>, _port: Port, pkt: Packet) {
+            self.0.borrow_mut().push((ctx.now(), pkt));
+        }
+        fn name(&self) -> &str {
+            "sink"
+        }
+    }
+
+    /// Emits `n` timers spaced 1 µs apart and records fire order.
+    struct TimerBox(Rc<RefCell<Vec<u64>>>);
+    impl Device for TimerBox {
+        fn on_packet(&mut self, _: &mut Ctx<'_>, _: Port, _: Packet) {}
+        fn on_timer(&mut self, _: &mut Ctx<'_>, token: u64) {
+            self.0.borrow_mut().push(token);
+        }
+    }
+
+    fn probe(n: u16) -> Packet {
+        PacketBuilder::tcp()
+            .src(Ipv4Addr4::new(10, 0, 0, 1), 1000)
+            .dst(Ipv4Addr4::new(10, 0, 0, 2), 80)
+            .seq(u32::from(n))
+            .flags(TcpFlags::ACK)
+            .ipid(n)
+            .build()
+    }
+
+    #[test]
+    fn echo_roundtrip_timing() {
+        let mut sim = Simulator::new(0);
+        let rx = Rc::new(RefCell::new(Vec::new()));
+        let sink = sim.add_node(Box::new(Sink(rx.clone())));
+        let echo = sim.add_node(Box::new(Echo));
+        // 8 Mbit/s = 1 byte/us; 100 us propagation.
+        let params = LinkParams {
+            bits_per_sec: 8_000_000,
+            propagation: Duration::from_micros(100),
+            queue_limit: None,
+        };
+        sim.connect(sink, Port(0), echo, Port(0), params);
+        let pkt = probe(1); // 40 bytes
+        sim.transmit_from(sink, Port(0), pkt);
+        sim.run_until_idle(SimTime::from_secs(1));
+        let got = rx.borrow();
+        assert_eq!(got.len(), 1);
+        // 40us ser + 100us prop each way = 280us total.
+        assert_eq!(got[0].0, SimTime::from_micros(280));
+        assert_eq!(got[0].1.ip.src, Ipv4Addr4::new(10, 0, 0, 2));
+    }
+
+    #[test]
+    fn same_time_events_fire_in_insertion_order() {
+        let mut sim = Simulator::new(0);
+        let order = Rc::new(RefCell::new(Vec::new()));
+        let tb = sim.add_node(Box::new(TimerBox(order.clone())));
+        for token in 0..10 {
+            sim.schedule_timer(tb, Duration::from_micros(5), token);
+        }
+        sim.run_until_idle(SimTime::from_secs(1));
+        assert_eq!(*order.borrow(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_until_respects_horizon() {
+        let mut sim = Simulator::new(0);
+        let order = Rc::new(RefCell::new(Vec::new()));
+        let tb = sim.add_node(Box::new(TimerBox(order.clone())));
+        sim.schedule_timer(tb, Duration::from_micros(10), 1);
+        sim.schedule_timer(tb, Duration::from_micros(30), 2);
+        sim.run_until(SimTime::from_micros(20));
+        assert_eq!(*order.borrow(), vec![1]);
+        assert_eq!(sim.now(), SimTime::from_micros(20));
+        sim.run_until(SimTime::from_micros(40));
+        assert_eq!(*order.borrow(), vec![1, 2]);
+    }
+
+    #[test]
+    fn taps_record_both_directions() {
+        let mut sim = Simulator::new(0);
+        let rxbuf = Rc::new(RefCell::new(Vec::new()));
+        let sink = sim.add_node(Box::new(Sink(rxbuf)));
+        let echo = sim.add_node(Box::new(Echo));
+        sim.connect(sink, Port(0), echo, Port(0), LinkParams::lan());
+        let echo_rx = sim.tap_rx(echo);
+        let echo_tx = sim.tap_tx(echo);
+        sim.transmit_from(sink, Port(0), probe(7));
+        sim.run_until_idle(SimTime::from_secs(1));
+        assert_eq!(echo_rx.borrow().len(), 1);
+        assert_eq!(echo_tx.borrow().len(), 1);
+        assert_eq!(echo_rx.borrow()[0].dir, Dir::Rx);
+        assert_eq!(echo_tx.borrow()[0].dir, Dir::Tx);
+        assert!(echo_tx.borrow()[0].time >= echo_rx.borrow()[0].time);
+    }
+
+    #[test]
+    #[should_panic(expected = "unwired port")]
+    fn transmit_on_unwired_port_panics() {
+        let mut sim = Simulator::new(0);
+        let n = sim.add_node(Box::new(Echo));
+        sim.transmit_from(n, Port(3), probe(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "already wired")]
+    fn double_wiring_panics() {
+        let mut sim = Simulator::new(0);
+        let a = sim.add_node(Box::new(Echo));
+        let b = sim.add_node(Box::new(Echo));
+        let c = sim.add_node(Box::new(Echo));
+        sim.connect(a, Port(0), b, Port(0), LinkParams::lan());
+        sim.connect(a, Port(0), c, Port(0), LinkParams::lan());
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        fn run() -> Vec<(SimTime, u16)> {
+            let mut sim = Simulator::new(99);
+            let rx = Rc::new(RefCell::new(Vec::new()));
+            let sink = sim.add_node(Box::new(Sink(rx.clone())));
+            let echo = sim.add_node(Box::new(Echo));
+            sim.connect(sink, Port(0), echo, Port(0), LinkParams::wan());
+            for i in 0..20 {
+                sim.transmit_from(sink, Port(0), probe(i));
+            }
+            sim.run_until_idle(SimTime::from_secs(5));
+            let trace: Vec<(SimTime, u16)> = rx
+                .borrow()
+                .iter()
+                .map(|(t, p)| (*t, p.ip.ident.raw()))
+                .collect();
+            trace
+        }
+        assert_eq!(run(), run());
+    }
+}

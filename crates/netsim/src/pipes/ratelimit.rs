@@ -1,0 +1,160 @@
+//! Token-bucket policer. Models the ICMP rate-limiting that §II notes
+//! "system and network operators alike increasingly" apply — one of the
+//! reasons the Bennett et al. ICMP methodology is unreliable — and can
+//! also police TCP probes to exercise the tests' loss handling.
+
+use super::other;
+use crate::engine::{Ctx, Device, Port};
+use crate::time::SimTime;
+use reorder_wire::{Packet, Protocol};
+use std::time::Duration;
+
+/// Which packets the policer applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoliceClass {
+    /// Police everything.
+    All,
+    /// Police only ICMP (the common real-world configuration).
+    IcmpOnly,
+}
+
+/// Token bucket: `capacity` tokens, refilled to full every `interval`.
+/// Non-conforming packets are dropped.
+pub struct RateLimiter {
+    class: PoliceClass,
+    capacity: u32,
+    interval: Duration,
+    tokens: [u32; 2],
+    last_refill: [SimTime; 2],
+    /// Observability: drops per direction.
+    pub dropped: [u64; 2],
+}
+
+impl RateLimiter {
+    /// New policer applying per direction independently.
+    pub fn new(class: PoliceClass, capacity: u32, interval: Duration) -> Self {
+        assert!(capacity > 0, "zero-capacity bucket blocks everything");
+        assert!(!interval.is_zero(), "refill interval must be positive");
+        RateLimiter {
+            class,
+            capacity,
+            interval,
+            tokens: [capacity; 2],
+            last_refill: [SimTime::ZERO; 2],
+            dropped: [0; 2],
+        }
+    }
+
+    fn refill(&mut self, dir: usize, now: SimTime) {
+        let elapsed = now.since(self.last_refill[dir]);
+        if elapsed >= self.interval {
+            self.tokens[dir] = self.capacity;
+            self.last_refill[dir] = now;
+        }
+    }
+
+    fn applies(&self, pkt: &Packet) -> bool {
+        match self.class {
+            PoliceClass::All => true,
+            PoliceClass::IcmpOnly => pkt.ip.protocol == Protocol::Icmp,
+        }
+    }
+}
+
+impl Device for RateLimiter {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, port: Port, pkt: Packet) {
+        let dir = port.0;
+        assert!(dir < 2);
+        if !self.applies(&pkt) {
+            ctx.transmit(other(port), pkt);
+            return;
+        }
+        self.refill(dir, ctx.now());
+        if self.tokens[dir] == 0 {
+            self.dropped[dir] += 1;
+            return;
+        }
+        self.tokens[dir] -= 1;
+        ctx.transmit(other(port), pkt);
+    }
+
+    fn name(&self) -> &str {
+        "rate-limiter"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{probe, rig};
+    use super::*;
+    use reorder_wire::{Ipv4Addr4, PacketBuilder};
+
+    fn icmp(n: u16) -> Packet {
+        PacketBuilder::icmp_echo(1, n)
+            .src(Ipv4Addr4::new(10, 0, 0, 1), 0)
+            .dst(Ipv4Addr4::new(10, 0, 0, 2), 0)
+            .build()
+    }
+
+    #[test]
+    fn burst_beyond_capacity_is_clipped() {
+        let (mut sim, src, _, _, tap) = rig(
+            Box::new(RateLimiter::new(
+                PoliceClass::All,
+                5,
+                Duration::from_millis(100),
+            )),
+            1,
+        );
+        for i in 0..20u16 {
+            sim.transmit_from(src, Port(0), probe(i));
+        }
+        sim.run_until_idle(SimTime::from_secs(1));
+        assert_eq!(tap.borrow().len(), 5);
+    }
+
+    #[test]
+    fn bucket_refills_after_interval() {
+        let (mut sim, src, _, _, tap) = rig(
+            Box::new(RateLimiter::new(
+                PoliceClass::All,
+                2,
+                Duration::from_millis(10),
+            )),
+            1,
+        );
+        for i in 0..4u16 {
+            sim.transmit_from(src, Port(0), probe(i));
+        }
+        sim.run_for(Duration::from_millis(20));
+        for i in 4..8u16 {
+            sim.transmit_from(src, Port(0), probe(i));
+        }
+        sim.run_until_idle(SimTime::from_secs(1));
+        assert_eq!(tap.borrow().len(), 4); // 2 per burst
+    }
+
+    #[test]
+    fn icmp_only_class_passes_tcp() {
+        let (mut sim, src, _, _, tap) = rig(
+            Box::new(RateLimiter::new(
+                PoliceClass::IcmpOnly,
+                1,
+                Duration::from_secs(1),
+            )),
+            1,
+        );
+        for i in 0..5u16 {
+            sim.transmit_from(src, Port(0), probe(i)); // TCP: unpoliced
+            sim.transmit_from(src, Port(0), icmp(i)); // ICMP: policed to 1
+        }
+        sim.run_until_idle(SimTime::from_secs(2));
+        let (tcp, icmp): (Vec<_>, Vec<_>) = tap
+            .borrow()
+            .iter()
+            .cloned()
+            .partition(|r| r.pkt.tcp().is_some());
+        assert_eq!(tcp.len(), 5);
+        assert_eq!(icmp.len(), 1);
+    }
+}

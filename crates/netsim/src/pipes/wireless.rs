@@ -1,0 +1,219 @@
+//! Link-layer ARQ (wireless retransmission) — another §V reordering
+//! cause ("layer 2 retransmission (particularly across wireless
+//! links)").
+//!
+//! An 802.11-style link with per-frame loss and in-order *local*
+//! retransmission would preserve order (the transmitter stalls), but
+//! many deployed schemes keep the pipe full: when frame k is corrupted,
+//! frames k+1… already in flight are delivered while k is retried.
+//! The corrupted-and-retried frame therefore arrives *late* — a
+//! reordering process whose signature is a fixed lateness (the retry
+//! delay) rather than queue-imbalance decay. With `in_order_delivery`
+//! the pipe instead models a stalling ARQ (no reordering, extra
+//! latency), which is the ablation partner.
+
+use super::other;
+use crate::engine::{Ctx, Device, Port};
+use crate::rng;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use reorder_wire::Packet;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Wireless ARQ link configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ArqConfig {
+    /// Per-transmission frame error probability.
+    pub frame_error: f64,
+    /// Delay before a corrupted frame's retransmission completes.
+    pub retry_delay: Duration,
+    /// Maximum retransmissions before the frame is dropped.
+    pub max_retries: u32,
+    /// If true, later frames wait for the retried frame (stalling ARQ:
+    /// no reordering). If false, later frames overtake it (selective
+    /// repeat without resequencing: reorders).
+    pub in_order_delivery: bool,
+}
+
+impl Default for ArqConfig {
+    fn default() -> Self {
+        ArqConfig {
+            frame_error: 0.1,
+            retry_delay: Duration::from_micros(300),
+            max_retries: 4,
+            in_order_delivery: false,
+        }
+    }
+}
+
+/// The ARQ pipe (two ports, symmetric config, independent directions).
+pub struct WirelessArq {
+    cfg: ArqConfig,
+    rngs: [SmallRng; 2],
+    /// In stalling mode: time each direction's transmitter frees up.
+    release_floor: [crate::time::SimTime; 2],
+    pending: HashMap<u64, (Port, Packet)>,
+    next_token: u64,
+    /// Observability: retransmitted frames per direction.
+    pub retries: [u64; 2],
+    /// Observability: frames dropped after max retries.
+    pub drops: [u64; 2],
+}
+
+impl WirelessArq {
+    /// Build from config; randomness derives from the master seed.
+    pub fn new(cfg: ArqConfig, master_seed: u64, label: &str) -> Self {
+        assert!((0.0..1.0).contains(&cfg.frame_error), "error prob in [0,1)");
+        WirelessArq {
+            cfg,
+            rngs: [
+                rng::stream(master_seed, &format!("{label}.fwd")),
+                rng::stream(master_seed, &format!("{label}.rev")),
+            ],
+            release_floor: [crate::time::SimTime::ZERO; 2],
+            pending: HashMap::new(),
+            next_token: 0,
+            retries: [0; 2],
+            drops: [0; 2],
+        }
+    }
+
+    /// Draw the number of transmission attempts needed (1 = first try
+    /// succeeded). `None` = dropped after `max_retries` retries.
+    fn attempts(&mut self, dir: usize) -> Option<u32> {
+        let mut tries = 1;
+        while self.rngs[dir].gen_bool(self.cfg.frame_error) {
+            if tries > self.cfg.max_retries {
+                return None;
+            }
+            tries += 1;
+        }
+        Some(tries)
+    }
+}
+
+impl Device for WirelessArq {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, port: Port, pkt: Packet) {
+        let dir = port.0;
+        assert!(dir < 2, "ARQ pipe has two ports");
+        let Some(tries) = self.attempts(dir) else {
+            self.drops[dir] += 1;
+            return;
+        };
+        if tries > 1 {
+            self.retries[dir] += u64::from(tries - 1);
+        }
+        let extra = self.cfg.retry_delay * (tries - 1);
+        let now = ctx.now();
+        let deliver_at = if self.cfg.in_order_delivery {
+            // Stalling ARQ: nothing may overtake the retried frame.
+            let at = self.release_floor[dir].max(now) + extra;
+            self.release_floor[dir] = at;
+            at
+        } else {
+            now + extra
+        };
+        if deliver_at == now {
+            ctx.transmit(other(port), pkt);
+        } else {
+            let token = self.next_token;
+            self.next_token += 1;
+            self.pending.insert(token, (other(port), pkt));
+            ctx.set_timer(deliver_at.since(now), token);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if let Some((port, pkt)) = self.pending.remove(&token) {
+            ctx.transmit(port, pkt);
+        }
+    }
+
+    fn name(&self) -> &str {
+        "wireless-arq"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{rig, send_and_collect};
+    use super::*;
+
+    #[test]
+    fn error_free_link_is_transparent() {
+        let cfg = ArqConfig {
+            frame_error: 0.0,
+            ..Default::default()
+        };
+        let (mut sim, src, _, _, tap) = rig(Box::new(WirelessArq::new(cfg, 1, "w")), 1);
+        let order = send_and_collect(&mut sim, src, &tap, 60, Duration::ZERO);
+        assert_eq!(order, (0..60).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn selective_repeat_reorders_retried_frames() {
+        let cfg = ArqConfig {
+            frame_error: 0.3,
+            in_order_delivery: false,
+            ..Default::default()
+        };
+        let (mut sim, src, _, _, tap) = rig(Box::new(WirelessArq::new(cfg, 7, "w")), 7);
+        let order = send_and_collect(&mut sim, src, &tap, 300, Duration::from_micros(20));
+        assert_eq!(order.len(), 300, "no drops expected at these retry limits");
+        let late = reorder_how_many(&order);
+        assert!(late > 20, "retried frames must arrive late ({late})");
+    }
+
+    #[test]
+    fn stalling_arq_preserves_order() {
+        let cfg = ArqConfig {
+            frame_error: 0.3,
+            in_order_delivery: true,
+            ..Default::default()
+        };
+        let (mut sim, src, _, _, tap) = rig(Box::new(WirelessArq::new(cfg, 7, "w")), 7);
+        let order = send_and_collect(&mut sim, src, &tap, 300, Duration::from_micros(20));
+        assert_eq!(order.len(), 300);
+        assert_eq!(reorder_how_many(&order), 0, "stalling ARQ must not reorder");
+    }
+
+    #[test]
+    fn hopeless_frames_dropped() {
+        let cfg = ArqConfig {
+            frame_error: 0.9,
+            max_retries: 1,
+            ..Default::default()
+        };
+        let (mut sim, src, _, _, tap) = rig(Box::new(WirelessArq::new(cfg, 9, "w")), 9);
+        let order = send_and_collect(&mut sim, src, &tap, 200, Duration::ZERO);
+        assert!(order.len() < 120, "most frames should drop ({} arrived)", order.len());
+    }
+
+    #[test]
+    fn gap_beyond_retry_delay_cannot_reorder() {
+        let cfg = ArqConfig {
+            frame_error: 0.3,
+            retry_delay: Duration::from_micros(300),
+            max_retries: 1, // lateness bounded by one retry
+            in_order_delivery: false,
+        };
+        let (mut sim, src, _, _, tap) = rig(Box::new(WirelessArq::new(cfg, 11, "w")), 11);
+        // 400 us gap > 300 us max lateness: survivors stay ordered.
+        let order = send_and_collect(&mut sim, src, &tap, 100, Duration::from_micros(400));
+        assert_eq!(reorder_how_many(&order), 0);
+    }
+
+    fn reorder_how_many(order: &[u32]) -> usize {
+        let mut max = 0u32;
+        let mut late = 0;
+        for &s in order {
+            if s < max {
+                late += 1;
+            } else {
+                max = s;
+            }
+        }
+        late
+    }
+}

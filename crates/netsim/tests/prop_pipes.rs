@@ -1,0 +1,221 @@
+//! Property tests for the simulation substrate: conservation laws
+//! (pipes neither lose nor duplicate nor corrupt packets unless that is
+//! their explicit job), FIFO link discipline, and determinism.
+
+use proptest::prelude::*;
+use reorder_netsim::pipes::{
+    ArqConfig, CrossTraffic, DelayJitter, DummynetConfig, DummynetReorder, MultipathRoute,
+    SplitMode, StripingLink, WirelessArq, DOWN, UP,
+};
+use reorder_netsim::{Ctx, Device, LinkParams, Port, SimTime, Simulator, TraceHandle};
+use reorder_wire::{Ipv4Addr4, Packet, PacketBuilder, TcpFlags};
+use std::time::Duration;
+
+struct Blackhole;
+impl Device for Blackhole {
+    fn on_packet(&mut self, _: &mut Ctx<'_>, _: Port, _: Packet) {}
+}
+
+fn probe(n: u16) -> Packet {
+    PacketBuilder::tcp()
+        .src(Ipv4Addr4::new(10, 0, 0, 1), 1000)
+        .dst(Ipv4Addr4::new(10, 0, 0, 2), 80)
+        .seq(u32::from(n))
+        .flags(TcpFlags::ACK)
+        .ipid(n)
+        .build()
+}
+
+/// Push `n` packets with the given inter-send gaps through `pipe` and
+/// return the sequence numbers in arrival order.
+fn run_pipe(pipe: Box<dyn Device>, seed: u64, gaps_ns: &[u64]) -> Vec<u32> {
+    let mut sim = Simulator::new(seed);
+    let src = sim.add_node(Box::new(Blackhole));
+    let p = sim.add_node(pipe);
+    let dst = sim.add_node(Box::new(Blackhole));
+    let fast = LinkParams {
+        bits_per_sec: 10_000_000_000,
+        propagation: Duration::from_nanos(10),
+        queue_limit: None,
+    };
+    sim.connect(src, Port(0), p, UP, fast);
+    sim.connect(p, DOWN, dst, Port(0), fast);
+    let tap: TraceHandle = sim.tap_rx(dst);
+    for (i, &g) in gaps_ns.iter().enumerate() {
+        sim.transmit_from(src, Port(0), probe(i as u16));
+        if g > 0 {
+            sim.run_for(Duration::from_nanos(g));
+        }
+    }
+    sim.run_until_idle(SimTime::from_secs(100));
+    let order: Vec<u32> = tap
+        .borrow()
+        .iter()
+        .map(|r| r.pkt.tcp().unwrap().seq.raw())
+        .collect();
+    order
+}
+
+/// Arrival multiset must equal the send multiset (conservation).
+fn assert_conserved(order: &[u32], n: usize) {
+    let mut sorted = order.to_vec();
+    sorted.sort_unstable();
+    let expect: Vec<u32> = (0..n as u32).collect();
+    assert_eq!(sorted, expect, "packets lost or duplicated");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn dummynet_conserves_packets(
+        seed in 0u64..1000,
+        prob in 0.0f64..=1.0,
+        gaps in proptest::collection::vec(0u64..200_000, 2..60),
+    ) {
+        let pipe = DummynetReorder::new(
+            DummynetConfig { fwd_swap: prob, ..Default::default() },
+            seed,
+            "p",
+        );
+        let order = run_pipe(Box::new(pipe), seed, &gaps);
+        assert_conserved(&order, gaps.len());
+    }
+
+    #[test]
+    fn striping_conserves_packets(
+        seed in 0u64..1000,
+        links in 1usize..5,
+        gaps in proptest::collection::vec(0u64..100_000, 2..60),
+    ) {
+        let pipe = StripingLink::new(
+            links,
+            1_000_000_000,
+            Some(CrossTraffic::backbone()),
+            seed,
+            "p",
+        );
+        let order = run_pipe(Box::new(pipe), seed, &gaps);
+        assert_conserved(&order, gaps.len());
+    }
+
+    #[test]
+    fn multipath_conserves_packets(
+        seed in 0u64..1000,
+        mode in prop_oneof![
+            Just(SplitMode::PerFlow),
+            Just(SplitMode::PerPacket),
+            Just(SplitMode::Random)
+        ],
+        skew_us in 0u64..500,
+        gaps in proptest::collection::vec(0u64..100_000, 2..60),
+    ) {
+        let pipe = MultipathRoute::with_seed(
+            mode,
+            vec![
+                Duration::from_micros(50),
+                Duration::from_micros(50 + skew_us),
+            ],
+            seed,
+            "p",
+        );
+        let order = run_pipe(Box::new(pipe), seed, &gaps);
+        assert_conserved(&order, gaps.len());
+    }
+
+    #[test]
+    fn jitter_conserves_packets(
+        seed in 0u64..1000,
+        max_us in 0u64..500,
+        gaps in proptest::collection::vec(0u64..100_000, 2..60),
+    ) {
+        let pipe = DelayJitter::new(
+            Duration::ZERO,
+            Duration::from_micros(max_us),
+            seed,
+            "p",
+        );
+        let order = run_pipe(Box::new(pipe), seed, &gaps);
+        assert_conserved(&order, gaps.len());
+    }
+
+    /// ARQ may drop (that's its job) but never duplicates, and
+    /// survivors of a stalling (in-order) ARQ keep their order.
+    #[test]
+    fn arq_never_duplicates_and_stalling_preserves_order(
+        seed in 0u64..1000,
+        error in 0.0f64..0.9,
+        in_order in any::<bool>(),
+        gaps in proptest::collection::vec(0u64..100_000, 2..60),
+    ) {
+        let pipe = WirelessArq::new(
+            ArqConfig {
+                frame_error: error,
+                in_order_delivery: in_order,
+                ..Default::default()
+            },
+            seed,
+            "p",
+        );
+        let order = run_pipe(Box::new(pipe), seed, &gaps);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), order.len(), "duplicate delivery");
+        prop_assert!(order.len() <= gaps.len());
+        if in_order {
+            let mut s = order.clone();
+            s.sort_unstable();
+            prop_assert_eq!(s, order, "stalling ARQ must preserve order");
+        }
+    }
+
+    /// Per-flow splitting never reorders, regardless of skew or gaps.
+    #[test]
+    fn per_flow_multipath_never_reorders(
+        skew_us in 0u64..2000,
+        gaps in proptest::collection::vec(0u64..50_000, 2..60),
+    ) {
+        let pipe = MultipathRoute::new(
+            SplitMode::PerFlow,
+            vec![
+                Duration::from_micros(10),
+                Duration::from_micros(10 + skew_us),
+            ],
+        );
+        let order = run_pipe(Box::new(pipe), 7, &gaps);
+        let mut s = order.clone();
+        s.sort_unstable();
+        prop_assert_eq!(s, order);
+    }
+
+    /// Whatever the pipe, a run is exactly reproducible from its seed.
+    #[test]
+    fn pipes_are_deterministic(
+        seed in 0u64..1000,
+        gaps in proptest::collection::vec(0u64..100_000, 2..40),
+    ) {
+        let mk = || {
+            DummynetReorder::new(
+                DummynetConfig { fwd_swap: 0.5, ..Default::default() },
+                seed,
+                "p",
+            )
+        };
+        let a = run_pipe(Box::new(mk()), seed, &gaps);
+        let b = run_pipe(Box::new(mk()), seed, &gaps);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Plain links are FIFO: without a reordering pipe, arbitrary send
+    /// schedules arrive in order.
+    #[test]
+    fn bare_links_are_fifo(
+        gaps in proptest::collection::vec(0u64..1_000_000, 2..80),
+    ) {
+        let pipe = reorder_netsim::pipes::Forwarder::new();
+        let order = run_pipe(Box::new(pipe), 1, &gaps);
+        let sorted: Vec<u32> = (0..gaps.len() as u32).collect();
+        prop_assert_eq!(order, sorted);
+    }
+}

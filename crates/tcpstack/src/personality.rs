@@ -1,0 +1,297 @@
+//! Host "OS personalities": the implementation variations the paper's
+//! techniques probe, exploit, or must survive.
+//!
+//! §III repeatedly stresses that the tests "leverage ... common IP
+//! implementation characteristics" and that "any assumptions about this
+//! field must be validated before they can be trusted". The personality
+//! matrix below covers every variation the paper names:
+//!
+//! * IPID generation: traditional global counter, Linux 2.4's constant
+//!   zero (PMTUD), OpenBSD's pseudorandom values, Solaris's
+//!   per-destination counters;
+//! * the response to a second SYN on a half-open connection (always-RST,
+//!   spec-compliant RST/ACK, dual RST, silence);
+//! * delayed acknowledgment parameters and whether a hole-filling
+//!   segment is acknowledged immediately.
+
+use std::time::Duration;
+
+/// How a host assigns the IP identification field (§III-A, §III-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IpidScheme {
+    /// One counter shared by all destinations, incremented by `step` per
+    /// packet — the "traditional implementation" the Dual Connection
+    /// Test relies on. `step` is 1 on most stacks.
+    GlobalCounter {
+        /// Increment per packet (some stacks use byte-order quirks that
+        /// look like larger strides; 1 is typical).
+        step: u16,
+    },
+    /// A global counter transmitted in *host* (little-endian) byte
+    /// order — the classic Windows NT/2000 quirk: on the wire the IPID
+    /// appears to advance by 0x0100 per packet. Serial-number
+    /// comparison still sees a monotone sequence (with an occasional
+    /// +257 jump at byte rollover), so the Dual Connection Test keeps
+    /// working; this variant exists to prove that.
+    GlobalCounterByteSwapped,
+    /// A counter per destination host (modern Solaris). Monotone as seen
+    /// by any single prober, so "since our techniques do not depend on
+    /// IPID being unique across destinations this is not a complication".
+    PerDestination {
+        /// Increment per packet.
+        step: u16,
+    },
+    /// Pseudorandom IPIDs (OpenBSD, FreeBSD option) — defeats the Dual
+    /// Connection Test and must be detected by its validation pre-check.
+    Random,
+    /// Constant zero (Linux ≥ 2.4 with path-MTU discovery: "since
+    /// fragmentation cannot happen, transmit packets with IPID equal
+    /// to 0").
+    ConstantZero,
+}
+
+/// How a host answers a second SYN for a half-open connection (§III-D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SecondSynBehavior {
+    /// "The most common implementations always respond to a second SYN
+    /// with a RST."
+    RstAlways,
+    /// "Strictly following the TCP specification": RST if the second
+    /// SYN's sequence number is inside the window, pure ACK otherwise.
+    SpecCompliant,
+    /// "A small number of implementations generate dual RST packets."
+    DualRst,
+    /// "... or only respond to the first SYN."
+    IgnoreSecond,
+}
+
+/// Delayed acknowledgment behavior (§III-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DelayedAck {
+    /// Maximum time an ACK for in-order data may be withheld
+    /// ("implementation guidelines indicate that ACKs should not be
+    /// delayed by more than 500ms").
+    pub max_delay: Duration,
+    /// ACK at least every this many received in-order segments ("or two
+    /// received data packets").
+    pub every_segs: u32,
+    /// Whether a segment that fills a sequence hole is acknowledged
+    /// immediately (RFC 2581 behavior). Stacks that delay even these
+    /// produce the single-ACK ambiguity of §III-B.
+    pub immediate_on_hole_fill: bool,
+}
+
+impl Default for DelayedAck {
+    fn default() -> Self {
+        DelayedAck {
+            max_delay: Duration::from_millis(200),
+            every_segs: 2,
+            immediate_on_hole_fill: true,
+        }
+    }
+}
+
+impl DelayedAck {
+    /// No delaying at all (ACK every segment immediately).
+    pub fn disabled() -> Self {
+        DelayedAck {
+            max_delay: Duration::ZERO,
+            every_segs: 1,
+            immediate_on_hole_fill: true,
+        }
+    }
+}
+
+/// Complete behavioral profile of a simulated host.
+#[derive(Debug, Clone)]
+pub struct HostPersonality {
+    /// Diagnostic label ("freebsd4", "linux24", ...).
+    pub name: &'static str,
+    /// IPID assignment discipline.
+    pub ipid: IpidScheme,
+    /// Second-SYN response.
+    pub second_syn: SecondSynBehavior,
+    /// Delayed-ACK configuration.
+    pub delayed_ack: DelayedAck,
+    /// MSS the host advertises and uses for its own sends.
+    pub mss: u16,
+    /// Receive window the host advertises.
+    pub window: u16,
+    /// Whether the host answers ICMP echo requests (§II: increasingly
+    /// filtered).
+    pub answers_icmp: bool,
+    /// Whether the host sends RST for segments to closed ports.
+    pub rst_closed_ports: bool,
+}
+
+impl HostPersonality {
+    /// Traditional BSD-style stack: global IPID counter, always-RST,
+    /// immediate ACK on hole fill. The best-case measurement target.
+    pub fn freebsd4() -> Self {
+        HostPersonality {
+            name: "freebsd4",
+            ipid: IpidScheme::GlobalCounter { step: 1 },
+            second_syn: SecondSynBehavior::RstAlways,
+            delayed_ack: DelayedAck::default(),
+            mss: 1460,
+            window: 57344,
+            answers_icmp: true,
+            rst_closed_ports: true,
+        }
+    }
+
+    /// Linux 2.2-era: global counter, spec-ish SYN handling.
+    pub fn linux22() -> Self {
+        HostPersonality {
+            name: "linux22",
+            ipid: IpidScheme::GlobalCounter { step: 1 },
+            second_syn: SecondSynBehavior::SpecCompliant,
+            delayed_ack: DelayedAck::default(),
+            mss: 1460,
+            window: 32120,
+            answers_icmp: true,
+            rst_closed_ports: true,
+        }
+    }
+
+    /// Linux 2.4+: IPID constantly zero on DF packets — "ruled out ...
+    /// a constant IPID value of 0 from another 9 hosts (likely running
+    /// Linux 2.4)".
+    pub fn linux24() -> Self {
+        HostPersonality {
+            name: "linux24",
+            ipid: IpidScheme::ConstantZero,
+            second_syn: SecondSynBehavior::RstAlways,
+            delayed_ack: DelayedAck::default(),
+            mss: 1460,
+            window: 5840,
+            answers_icmp: true,
+            rst_closed_ports: true,
+        }
+    }
+
+    /// OpenBSD 3.x: pseudorandom IPIDs.
+    pub fn openbsd3() -> Self {
+        HostPersonality {
+            name: "openbsd3",
+            ipid: IpidScheme::Random,
+            second_syn: SecondSynBehavior::RstAlways,
+            delayed_ack: DelayedAck::default(),
+            mss: 1460,
+            window: 16384,
+            answers_icmp: true,
+            rst_closed_ports: true,
+        }
+    }
+
+    /// Solaris 8: per-destination IPID counters.
+    pub fn solaris8() -> Self {
+        HostPersonality {
+            name: "solaris8",
+            ipid: IpidScheme::PerDestination { step: 1 },
+            second_syn: SecondSynBehavior::RstAlways,
+            delayed_ack: DelayedAck {
+                max_delay: Duration::from_millis(100),
+                every_segs: 2,
+                immediate_on_hole_fill: true,
+            },
+            mss: 1460,
+            window: 24820,
+            answers_icmp: true,
+            rst_closed_ports: true,
+        }
+    }
+
+    /// Windows-2000-ish: global counter, aggressive delayed ACK that
+    /// also delays hole-fill ACKs (the §III-B single-ACK ambiguity), and
+    /// dual RSTs to a second SYN.
+    pub fn windows2000() -> Self {
+        HostPersonality {
+            name: "windows2000",
+            ipid: IpidScheme::GlobalCounterByteSwapped,
+            second_syn: SecondSynBehavior::DualRst,
+            delayed_ack: DelayedAck {
+                max_delay: Duration::from_millis(200),
+                every_segs: 2,
+                immediate_on_hole_fill: false,
+            },
+            mss: 1460,
+            window: 17520,
+            answers_icmp: true,
+            rst_closed_ports: true,
+        }
+    }
+
+    /// A locked-down host: ignores second SYNs, filters ICMP — the
+    /// hardest target; only the Single Connection and Data Transfer
+    /// tests work.
+    pub fn hardened() -> Self {
+        HostPersonality {
+            name: "hardened",
+            ipid: IpidScheme::Random,
+            second_syn: SecondSynBehavior::IgnoreSecond,
+            delayed_ack: DelayedAck::default(),
+            mss: 1460,
+            window: 16384,
+            answers_icmp: false,
+            rst_closed_ports: false,
+        }
+    }
+
+    /// All presets (used by the internet-population scenario builder).
+    pub fn all_presets() -> Vec<HostPersonality> {
+        vec![
+            Self::freebsd4(),
+            Self::linux22(),
+            Self::linux24(),
+            Self::openbsd3(),
+            Self::solaris8(),
+            Self::windows2000(),
+            Self::hardened(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_distinctly_named() {
+        let all = HostPersonality::all_presets();
+        let mut names: Vec<_> = all.iter().map(|p| p.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all.len());
+    }
+
+    #[test]
+    fn paper_named_behaviors_present() {
+        // Each IPID scheme named in the paper appears in some preset.
+        let all = HostPersonality::all_presets();
+        assert!(all
+            .iter()
+            .any(|p| matches!(p.ipid, IpidScheme::GlobalCounter { .. })));
+        assert!(all.iter().any(|p| p.ipid == IpidScheme::ConstantZero));
+        assert!(all.iter().any(|p| p.ipid == IpidScheme::Random));
+        assert!(all
+            .iter()
+            .any(|p| matches!(p.ipid, IpidScheme::PerDestination { .. })));
+        // Each second-SYN behavior too.
+        for b in [
+            SecondSynBehavior::RstAlways,
+            SecondSynBehavior::SpecCompliant,
+            SecondSynBehavior::DualRst,
+            SecondSynBehavior::IgnoreSecond,
+        ] {
+            assert!(all.iter().any(|p| p.second_syn == b), "{b:?} missing");
+        }
+    }
+
+    #[test]
+    fn delayed_ack_disabled_acks_every_segment() {
+        let d = DelayedAck::disabled();
+        assert_eq!(d.every_segs, 1);
+        assert!(d.max_delay.is_zero());
+    }
+}

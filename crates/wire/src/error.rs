@@ -1,0 +1,122 @@
+//! Error type shared by all decoders in this crate.
+
+use std::fmt;
+
+/// Error produced when decoding a malformed packet.
+///
+/// Decoders never panic on arbitrary input; they classify the failure so
+/// callers (e.g. a capture analyzer walking a hostile trace) can account
+/// for malformed frames instead of aborting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer is shorter than the fixed header requires.
+    Truncated {
+        /// Protocol layer that was being decoded.
+        layer: &'static str,
+        /// Bytes required to make progress.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// A version or header-length field has an unsupported value.
+    BadField {
+        /// Protocol layer that was being decoded.
+        layer: &'static str,
+        /// Name of the offending field.
+        field: &'static str,
+        /// Raw value observed.
+        value: u32,
+    },
+    /// The checksum did not verify.
+    BadChecksum {
+        /// Protocol layer whose checksum failed.
+        layer: &'static str,
+        /// Checksum carried by the packet.
+        expected: u16,
+        /// Checksum computed over the received bytes.
+        computed: u16,
+    },
+    /// A TCP option was malformed (bad length, truncated, ...).
+    BadOption {
+        /// Option kind byte.
+        kind: u8,
+        /// Option length byte, if one was present.
+        len: u8,
+    },
+    /// The IP protocol number is not one this crate understands.
+    UnsupportedProtocol(u8),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated {
+                layer,
+                needed,
+                available,
+            } => write!(
+                f,
+                "{layer}: truncated packet (need {needed} bytes, have {available})"
+            ),
+            WireError::BadField { layer, field, value } => {
+                write!(f, "{layer}: unsupported value {value:#x} in field {field}")
+            }
+            WireError::BadChecksum {
+                layer,
+                expected,
+                computed,
+            } => write!(
+                f,
+                "{layer}: checksum mismatch (carried {expected:#06x}, computed {computed:#06x})"
+            ),
+            WireError::BadOption { kind, len } => {
+                write!(f, "tcp: malformed option kind {kind} len {len}")
+            }
+            WireError::UnsupportedProtocol(p) => write!(f, "ip: unsupported protocol {p}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = WireError::Truncated {
+            layer: "ipv4",
+            needed: 20,
+            available: 3,
+        };
+        let s = e.to_string();
+        assert!(s.contains("ipv4"));
+        assert!(s.contains("20"));
+        assert!(s.contains('3'));
+    }
+
+    #[test]
+    fn checksum_error_formats_hex() {
+        let e = WireError::BadChecksum {
+            layer: "tcp",
+            expected: 0xbeef,
+            computed: 0x1234,
+        };
+        let s = e.to_string();
+        assert!(s.contains("0xbeef"));
+        assert!(s.contains("0x1234"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            WireError::UnsupportedProtocol(99),
+            WireError::UnsupportedProtocol(99)
+        );
+        assert_ne!(
+            WireError::UnsupportedProtocol(99),
+            WireError::UnsupportedProtocol(98)
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! # reorder-wire
+//!
+//! Wire formats for the packet-reordering measurement toolkit.
+//!
+//! This crate implements the subset of IPv4, TCP and ICMP that the
+//! measurement techniques of *Measuring Packet Reordering* (Bellardo &
+//! Savage, IMC 2002) manipulate directly:
+//!
+//! * [`Ipv4Header`] — including the **identification field (IPID)** whose
+//!   generation discipline the Dual Connection Test exploits,
+//! * [`TcpHeader`] — sequence/acknowledgment numbers, flags and the
+//!   options (MSS, window scale, SACK) the tests read and clamp,
+//! * [`IcmpHeader`] — echo request/reply, used by the Bennett et al.
+//!   baseline,
+//! * wrap-around-safe arithmetic for 32-bit TCP sequence numbers
+//!   ([`SeqNum`]) and the 16-bit IPID space ([`IpId`]),
+//! * the Internet checksum ([`checksum`]) with incremental update.
+//!
+//! All encode/decode paths write into caller-provided buffers and every
+//! decoder is a total function over arbitrary input: malformed input
+//! yields a [`WireError`], never a panic. Decoders are exercised by
+//! fuzz-style property tests.
+//!
+//! ```
+//! use reorder_wire::{Ipv4Addr4, PacketBuilder, TcpFlags};
+//!
+//! let pkt = PacketBuilder::tcp()
+//!     .src(Ipv4Addr4::new(10, 0, 0, 1), 4000)
+//!     .dst(Ipv4Addr4::new(10, 0, 0, 2), 80)
+//!     .seq(1).ack(0)
+//!     .flags(TcpFlags::SYN)
+//!     .ipid(0x1234)
+//!     .build();
+//! let bytes = pkt.encode();
+//! let back = reorder_wire::Packet::decode(&bytes).unwrap();
+//! assert_eq!(pkt, back);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checksum;
+pub mod error;
+pub mod icmp;
+pub mod ipid;
+pub mod ipv4;
+pub mod packet;
+pub mod seq;
+pub mod tcp;
+
+pub use error::WireError;
+pub use icmp::{IcmpHeader, IcmpType};
+pub use ipid::IpId;
+pub use ipv4::{Ipv4Addr4, Ipv4Header, Protocol};
+pub use packet::{FlowKey, Packet, PacketBuilder, Payload};
+pub use seq::SeqNum;
+pub use tcp::{TcpFlags, TcpHeader, TcpOption};

@@ -1,0 +1,227 @@
+//! Property tests: encode/decode roundtrips, decoder totality on
+//! arbitrary bytes, and checksum/serial-arithmetic invariants.
+
+use bytes::BytesMut;
+use proptest::prelude::*;
+use reorder_wire::{
+    checksum, IcmpHeader, IpId, Ipv4Addr4, Ipv4Header, Packet, PacketBuilder, Protocol, SeqNum,
+    TcpFlags, TcpHeader, TcpOption,
+};
+
+fn arb_addr() -> impl Strategy<Value = Ipv4Addr4> {
+    any::<[u8; 4]>().prop_map(Ipv4Addr4)
+}
+
+fn arb_flags() -> impl Strategy<Value = TcpFlags> {
+    (0u8..64).prop_map(TcpFlags)
+}
+
+fn arb_option() -> impl Strategy<Value = TcpOption> {
+    prop_oneof![
+        any::<u16>().prop_map(TcpOption::Mss),
+        (0u8..15).prop_map(TcpOption::WindowScale),
+        Just(TcpOption::SackPermitted),
+        proptest::collection::vec((any::<u32>(), any::<u32>()), 1..4).prop_map(|v| {
+            TcpOption::Sack(v.into_iter().map(|(a, b)| (SeqNum(a), SeqNum(b))).collect())
+        }),
+        (any::<u32>(), any::<u32>()).prop_map(|(a, b)| TcpOption::Timestamp(a, b)),
+        // Unknown kinds, avoiding the reserved ones we interpret (0,1,2,3,4,5,8).
+        (9u8..=255, proptest::collection::vec(any::<u8>(), 0..16))
+            .prop_map(|(k, d)| TcpOption::Unknown(k, d)),
+    ]
+}
+
+fn arb_tcp_header() -> impl Strategy<Value = TcpHeader> {
+    (
+        any::<u16>(),
+        any::<u16>(),
+        any::<u32>(),
+        any::<u32>(),
+        arb_flags(),
+        any::<u16>(),
+        proptest::collection::vec(arb_option(), 0..4),
+    )
+        .prop_map(|(sp, dp, seq, ack, flags, window, options)| TcpHeader {
+            src_port: sp,
+            dst_port: dp,
+            seq: SeqNum(seq),
+            ack: SeqNum(ack),
+            flags,
+            window,
+            urgent: 0,
+            options,
+        })
+        .prop_filter("options must fit in 40 bytes", |h| h.header_len() <= 60)
+}
+
+fn arb_ip_header() -> impl Strategy<Value = Ipv4Header> {
+    (
+        arb_addr(),
+        arb_addr(),
+        any::<u16>(),
+        any::<u8>(),
+        1u8..=255,
+        any::<bool>(),
+    )
+        .prop_map(|(src, dst, ident, dscp, ttl, df)| Ipv4Header {
+            dscp_ecn: dscp,
+            ident: IpId(ident),
+            dont_frag: df,
+            more_frags: false,
+            frag_offset: 0,
+            ttl,
+            protocol: Protocol::Tcp,
+            src,
+            dst,
+            options: Vec::new(),
+        })
+}
+
+proptest! {
+    #[test]
+    fn tcp_packet_roundtrips(
+        ip in arb_ip_header(),
+        tcp in arb_tcp_header(),
+        data in proptest::collection::vec(any::<u8>(), 0..1200),
+    ) {
+        let pkt = Packet {
+            ip,
+            payload: reorder_wire::Payload::Tcp { header: tcp, data },
+        };
+        let bytes = pkt.encode();
+        prop_assert_eq!(bytes.len(), pkt.wire_len());
+        let back = Packet::decode(&bytes).unwrap();
+        prop_assert_eq!(back, pkt);
+    }
+
+    #[test]
+    fn icmp_packet_roundtrips(
+        src in arb_addr(),
+        dst in arb_addr(),
+        ident in any::<u16>(),
+        seq in any::<u16>(),
+        ipid in any::<u16>(),
+        data in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let pkt = PacketBuilder::icmp_echo(ident, seq)
+            .src(src, 0)
+            .dst(dst, 0)
+            .ipid(ipid)
+            .data(data)
+            .build();
+        let back = Packet::decode(&pkt.encode()).unwrap();
+        prop_assert_eq!(back, pkt);
+    }
+
+    /// Decoders must be total: arbitrary bytes never panic.
+    #[test]
+    fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let _ = Packet::decode(&bytes);
+        let _ = Ipv4Header::decode(&bytes);
+        let _ = IcmpHeader::decode(&bytes);
+        let _ = TcpHeader::decode(&bytes, Ipv4Addr4::new(1,2,3,4), Ipv4Addr4::new(5,6,7,8));
+    }
+
+    /// Single-bit corruption anywhere in an encoded packet is detected by
+    /// some checksum (IP header bits by the IP checksum, the rest by
+    /// TCP's), except bits the checksums genuinely cannot see — for our
+    /// encoder there are none, since every byte is covered.
+    #[test]
+    fn bit_flip_is_detected(
+        ip in arb_ip_header(),
+        tcp in arb_tcp_header(),
+        data in proptest::collection::vec(any::<u8>(), 1..64),
+        flip_bit in any::<proptest::sample::Index>(),
+    ) {
+        let pkt = Packet {
+            ip,
+            payload: reorder_wire::Payload::Tcp { header: tcp, data },
+        };
+        let mut bytes = pkt.encode();
+        let nbits = bytes.len() * 8;
+        let bit = flip_bit.index(nbits);
+        bytes[bit / 8] ^= 1 << (bit % 8);
+        match Packet::decode(&bytes) {
+            Err(_) => {}
+            Ok(decoded) => {
+                // One's-complement checksums cannot distinguish 0x0000
+                // from 0xffff in the checksum field itself, and flips in
+                // length/version fields can surface as different errors.
+                // If decode succeeded the packet must differ from the
+                // original only in ways invisible on the wire: re-encoding
+                // must reproduce the mutated bytes.
+                prop_assert_eq!(decoded.encode(), bytes);
+            }
+        }
+    }
+
+    #[test]
+    fn seqnum_ordering_is_antisymmetric(a in any::<u32>(), delta in 1u32..0x7fff_ffff) {
+        let x = SeqNum(a);
+        let y = x + delta;
+        prop_assert!(x < y);
+        prop_assert!(y > x);
+        prop_assert_eq!(x.distance_to(y), delta as i32);
+        prop_assert_eq!(y.distance_to(x), -(delta as i32));
+    }
+
+    #[test]
+    fn ipid_ordering_is_antisymmetric(a in any::<u16>(), delta in 1u16..0x7fff) {
+        let x = IpId(a);
+        let y = x + delta;
+        prop_assert!(x.before(y));
+        prop_assert!(!y.before(x));
+    }
+
+    #[test]
+    fn checksum_incremental_update_is_exact(
+        mut words in proptest::collection::vec(any::<u16>(), 4..20),
+        idx in any::<proptest::sample::Index>(),
+        new in any::<u16>(),
+    ) {
+        let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_be_bytes()).collect();
+        let old_ck = checksum::internet(&bytes);
+        let i = idx.index(words.len());
+        let old = words[i];
+        words[i] = new;
+        let bytes2: Vec<u8> = words.iter().flat_map(|w| w.to_be_bytes()).collect();
+        prop_assert_eq!(
+            checksum::incremental_update(old_ck, old, new),
+            checksum::internet(&bytes2)
+        );
+    }
+
+    #[test]
+    fn checksum_chunking_invariance(
+        data in proptest::collection::vec(any::<u8>(), 0..300),
+        cuts in proptest::collection::vec(any::<proptest::sample::Index>(), 0..6),
+    ) {
+        let whole = checksum::internet(&data);
+        let mut positions: Vec<usize> = cuts.iter().map(|c| c.index(data.len() + 1)).collect();
+        positions.sort_unstable();
+        positions.dedup();
+        let mut acc = checksum::Accumulator::new();
+        let mut prev = 0;
+        for p in positions {
+            acc.add_bytes(&data[prev..p]);
+            prev = p;
+        }
+        acc.add_bytes(&data[prev..]);
+        prop_assert_eq!(acc.finish(), whole);
+    }
+}
+
+#[test]
+fn builder_doc_example_encodes_and_decodes() {
+    let pkt = PacketBuilder::tcp()
+        .src(Ipv4Addr4::new(10, 0, 0, 1), 4000)
+        .dst(Ipv4Addr4::new(10, 0, 0, 2), 80)
+        .seq(1)
+        .ack(0)
+        .flags(TcpFlags::SYN)
+        .ipid(0x1234)
+        .build();
+    let mut buf = BytesMut::new();
+    buf.extend_from_slice(&pkt.encode());
+    assert_eq!(Packet::decode(&buf).unwrap(), pkt);
+}

@@ -1,0 +1,233 @@
+//! E8 — exhaustive classification matrices for every technique
+//! (Figs. 1, 2 and 4): for each controllable delivery order and each
+//! host personality, the test must produce exactly the verdict the
+//! paper's protocol analysis predicts.
+//!
+//! Delivery order is controlled with deterministic dummynet settings:
+//! swap probability 0 (in order) or 1 (always exchanged), per
+//! direction.
+
+use reorder_core::sample::{Order, TestConfig};
+use reorder_core::scenario;
+use reorder_core::techniques::{
+    DataTransferTest, DualConnectionTest, SingleConnectionTest, SynTest,
+};
+use reorder_tcpstack::HostPersonality;
+
+const N: usize = 12;
+
+fn cfg() -> TestConfig {
+    // Pace beyond the dummynet's 50 ms hold timeout so a packet held at
+    // the end of one sample (e.g. the SYN test's politeness traffic) is
+    // flushed before the next sample's pair enters the pipe; otherwise
+    // an odd packet count per sample makes the p=1 swap pairing
+    // alternate across samples.
+    let mut c = TestConfig::samples(N);
+    c.pace = std::time::Duration::from_millis(60);
+    c
+}
+
+/// Expect every determinate verdict in the run to equal `expected`, and
+/// at least `min_det` determinate samples.
+fn expect_all(
+    run: &reorder_core::MeasurementRun,
+    dir: &str,
+    expected: Order,
+    min_det: usize,
+) {
+    let verdicts: Vec<Order> = run
+        .samples
+        .iter()
+        .map(|s| match dir {
+            "fwd" => s.outcome.fwd,
+            _ => s.outcome.rev,
+        })
+        .filter(|o| o.is_determinate())
+        .collect();
+    assert!(
+        verdicts.len() >= min_det,
+        "{dir}: only {} determinate of {} samples",
+        verdicts.len(),
+        run.samples.len()
+    );
+    assert!(
+        verdicts.iter().all(|&v| v == expected),
+        "{dir}: expected all {expected:?}, got {verdicts:?}"
+    );
+}
+
+// --- Single Connection Test (Fig. 1) ------------------------------------
+
+#[test]
+fn single_fig1_matrix() {
+    // (fwd_swap, rev_swap, expected fwd, expected rev)
+    // The reversed variant keeps both ACKs back-to-back so the reverse
+    // direction is exercisable with the swap pipe.
+    let cases = [
+        (0.0, 0.0, Order::Ordered, Order::Ordered),
+        (1.0, 0.0, Order::Reordered, Order::Ordered),
+        (0.0, 1.0, Order::Ordered, Order::Reordered),
+    ];
+    for (i, (f, r, ef, er)) in cases.into_iter().enumerate() {
+        let mut sc = scenario::validation_rig(f, r, 9100 + i as u64);
+        let run = SingleConnectionTest::reversed(cfg())
+            .run(&mut sc.prober, sc.target, 80)
+            .expect("run");
+        expect_all(&run, "fwd", ef, N / 2);
+        expect_all(&run, "rev", er, N / 2);
+    }
+    // (1,1) is special: the forward exchange delivers the pair in
+    // hole-filling order, so the second ACK rides the remote's delayed
+    // ACK timer — the reply pair is now spread hundreds of ms apart and
+    // an adjacent-swap process cannot exchange it. Forward stays fully
+    // classified; reverse legitimately reads Ordered.
+    let mut sc = scenario::validation_rig(1.0, 1.0, 9104);
+    let run = SingleConnectionTest::reversed(cfg())
+        .run(&mut sc.prober, sc.target, 80)
+        .expect("run");
+    expect_all(&run, "fwd", Order::Reordered, N / 2);
+    expect_all(&run, "rev", Order::Ordered, N / 2);
+}
+
+#[test]
+fn single_in_order_variant_forward_matrix() {
+    // The in-order variant classifies the forward path identically.
+    for (i, (f, ef)) in [(0.0, Order::Ordered), (1.0, Order::Reordered)]
+        .into_iter()
+        .enumerate()
+    {
+        let mut sc = scenario::validation_rig(f, 0.0, 9200 + i as u64);
+        let run = SingleConnectionTest::new(cfg())
+            .run(&mut sc.prober, sc.target, 80)
+            .expect("run");
+        expect_all(&run, "fwd", ef, N / 2);
+    }
+}
+
+// --- Dual Connection Test (Fig. 2) ---------------------------------------
+
+#[test]
+fn dual_fig2_matrix() {
+    let cases = [
+        (0.0, 0.0, Order::Ordered, Order::Ordered),
+        (1.0, 0.0, Order::Reordered, Order::Ordered),
+        (0.0, 1.0, Order::Ordered, Order::Reordered),
+        (1.0, 1.0, Order::Reordered, Order::Reordered),
+    ];
+    for (i, (f, r, ef, er)) in cases.into_iter().enumerate() {
+        let mut sc = scenario::validation_rig(f, r, 9300 + i as u64);
+        let run = DualConnectionTest::new(cfg())
+            .run(&mut sc.prober, sc.target, 80)
+            .expect("run");
+        expect_all(&run, "fwd", ef, N / 2);
+        expect_all(&run, "rev", er, N / 2);
+    }
+}
+
+// --- SYN Test (Fig. 4), across second-SYN personalities ------------------
+
+#[test]
+fn syn_fig4_matrix_across_personalities() {
+    let personalities = [
+        HostPersonality::freebsd4(),    // RstAlways
+        HostPersonality::linux22(),     // SpecCompliant
+        HostPersonality::windows2000(), // DualRst
+    ];
+    let cases = [
+        (0.0, 0.0, Order::Ordered, Order::Ordered),
+        (1.0, 0.0, Order::Reordered, Order::Ordered),
+        (0.0, 1.0, Order::Ordered, Order::Reordered),
+    ];
+    for (pi, p) in personalities.into_iter().enumerate() {
+        for (ci, (f, r, ef, er)) in cases.into_iter().enumerate() {
+            let mut sc =
+                scenario::validation_rig_with(f, r, p.clone(), 9400 + (pi * 10 + ci) as u64);
+            let run = SynTest::new(cfg())
+                .run(&mut sc.prober, sc.target, 80)
+                .expect("run");
+            expect_all(&run, "fwd", ef, N / 2);
+            expect_all(&run, "rev", er, N / 2);
+        }
+    }
+}
+
+#[test]
+fn syn_ignore_second_personality_forward_only() {
+    // Hosts that ignore the second SYN still yield forward verdicts via
+    // the SYN/ACK's acknowledgment number, but never reverse verdicts.
+    for (i, (f, ef)) in [(0.0, Order::Ordered), (1.0, Order::Reordered)]
+        .into_iter()
+        .enumerate()
+    {
+        let mut sc =
+            scenario::validation_rig_with(f, 0.0, HostPersonality::hardened(), 9500 + i as u64);
+        let run = SynTest::new(cfg())
+            .run(&mut sc.prober, sc.target, 80)
+            .expect("run");
+        expect_all(&run, "fwd", ef, N / 2);
+        assert_eq!(run.rev_determinate(), 0);
+    }
+}
+
+// --- Data Transfer Test (§III-E) ------------------------------------------
+
+#[test]
+fn transfer_reverse_only_matrix() {
+    let mut sc = scenario::validation_rig(0.0, 0.0, 9600);
+    let run = DataTransferTest::new(TestConfig::default())
+        .run(&mut sc.prober, sc.target, 80)
+        .expect("run");
+    expect_all(&run, "rev", Order::Ordered, 40);
+    assert_eq!(run.fwd_determinate(), 0, "no forward verdicts ever");
+
+    let mut sc = scenario::validation_rig(0.0, 1.0, 9601);
+    let run = DataTransferTest::new(TestConfig::default())
+        .run(&mut sc.prober, sc.target, 80)
+        .expect("run");
+    // With p=1 every adjacent in-flight pair is exchanged; bursts of 2
+    // segments per window mean intra-burst pairs all swap. At least
+    // 40% of the adjacent-arrival pairs must show as reordered.
+    assert!(
+        run.rev_estimate().rate() > 0.4,
+        "rate {}",
+        run.rev_estimate().rate()
+    );
+}
+
+// --- Delayed-ACK ambiguity (§III-B) ---------------------------------------
+
+#[test]
+fn delayed_ack_blindness_and_antidote() {
+    // A stack that delays even hole-filling ACKs blinds the in-order
+    // variant completely…
+    let mut sc =
+        scenario::validation_rig_with(0.0, 0.0, HostPersonality::windows2000(), 9700);
+    let run = SingleConnectionTest::new(cfg())
+        .run(&mut sc.prober, sc.target, 80)
+        .expect("run");
+    assert_eq!(run.fwd_determinate(), 0);
+    // …while the reversed variant restores visibility for pairs that
+    // arrive in the sent order (out-of-order at the receiver ⇒
+    // immediate dup ACK, always).
+    let mut sc =
+        scenario::validation_rig_with(0.0, 0.0, HostPersonality::windows2000(), 9701);
+    let run = SingleConnectionTest::reversed(cfg())
+        .run(&mut sc.prober, sc.target, 80)
+        .expect("run");
+    expect_all(&run, "fwd", Order::Ordered, N / 2);
+    // But when the network exchanges the pair, the receiver sees
+    // hole-filling order, the ACK-collapsing stack emits a single
+    // cumulative ACK, and the test must report Indeterminate — the
+    // §III-B "lone ack 4 is ambiguous" rule (it cannot be told apart
+    // from a reverse-path loss).
+    let mut sc =
+        scenario::validation_rig_with(1.0, 0.0, HostPersonality::windows2000(), 9702);
+    let run = SingleConnectionTest::reversed(cfg())
+        .run(&mut sc.prober, sc.target, 80)
+        .expect("run");
+    assert_eq!(
+        run.fwd_determinate(),
+        0,
+        "exchanged pairs against an ACK-collapsing stack are ambiguous"
+    );
+}

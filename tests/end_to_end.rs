@@ -1,0 +1,205 @@
+//! End-to-end integration: statistical recovery of configured rates,
+//! gap-profile shape, trace-validated accuracy, and cross-test
+//! consistency — the §IV workflow in miniature, spanning all four
+//! crates.
+
+use reorder_core::metrics::{GapProfile, ReorderEstimate};
+use reorder_core::sample::TestConfig;
+use reorder_core::scenario;
+use reorder_core::stats::pair_difference;
+use reorder_core::techniques::{
+    DataTransferTest, DualConnectionTest, SingleConnectionTest, SynTest,
+};
+use reorder_core::validate::validate_run;
+use reorder_netsim::pipes::CrossTraffic;
+use std::time::Duration;
+
+/// Every technique, measured on the same (statistically) path, must
+/// recover the configured swap rate within a tolerance band.
+#[test]
+fn all_techniques_recover_configured_rate() {
+    let p = 0.12;
+    let n = 150;
+    let tol = 0.06;
+    let cfg = TestConfig::samples(n);
+
+    let mut sc = scenario::validation_rig(p, p, 1);
+    let single = SingleConnectionTest::reversed(cfg)
+        .run(&mut sc.prober, sc.target, 80)
+        .expect("single");
+    let mut sc = scenario::validation_rig(p, p, 2);
+    let dual = DualConnectionTest::new(cfg)
+        .run(&mut sc.prober, sc.target, 80)
+        .expect("dual");
+    let mut sc = scenario::validation_rig(p, p, 3);
+    let syn = SynTest::new(cfg)
+        .run(&mut sc.prober, sc.target, 80)
+        .expect("syn");
+
+    for (name, run) in [("single", &single), ("dual", &dual), ("syn", &syn)] {
+        let f = run.fwd_estimate().rate();
+        let r = run.rev_estimate().rate();
+        assert!(
+            (f - p).abs() < tol,
+            "{name}: fwd {f} not within {tol} of {p}"
+        );
+        assert!(
+            (r - p).abs() < tol,
+            "{name}: rev {r} not within {tol} of {p}"
+        );
+    }
+}
+
+/// The whole §IV-A loop: measure, capture, validate — accuracy must be
+/// perfect on every technique in a deterministic simulator.
+#[test]
+fn trace_validation_is_exact_for_all_techniques() {
+    for (i, which) in ["single", "dual", "syn", "transfer"].iter().enumerate() {
+        let mut sc = scenario::validation_rig(0.2, 0.1, 20 + i as u64);
+        let cfg = TestConfig::samples(80);
+        let run = match *which {
+            "single" => SingleConnectionTest::reversed(cfg).run(&mut sc.prober, sc.target, 80),
+            "dual" => DualConnectionTest::new(cfg).run(&mut sc.prober, sc.target, 80),
+            "syn" => SynTest::new(cfg).run(&mut sc.prober, sc.target, 80),
+            _ => DataTransferTest::new(TestConfig::default()).run(&mut sc.prober, sc.target, 80),
+        }
+        .expect("run");
+        let rep = validate_run(
+            &run,
+            &sc.merged_server_rx(),
+            &sc.merged_server_tx(),
+            &sc.prober_trace(),
+        );
+        assert_eq!(
+            rep.fwd.agree, rep.fwd.checked,
+            "{which}: fwd disagreements {:?}",
+            rep.fwd.disagreements
+        );
+        assert_eq!(
+            rep.rev.agree, rep.rev.checked,
+            "{which}: rev disagreements {:?}",
+            rep.rev.disagreements
+        );
+    }
+}
+
+/// The Fig. 7 shape end-to-end: profile decays monotonically (within
+/// noise) and the small-vs-large packet prediction is ordered.
+#[test]
+fn gap_profile_decays() {
+    let mut profile = GapProfile::default();
+    for (i, gap_us) in [0u64, 25, 50, 100, 250].into_iter().enumerate() {
+        let mut sc = scenario::striped_path(CrossTraffic::backbone(), 40 + i as u64);
+        let cfg = TestConfig {
+            samples: 200,
+            gap: Duration::from_micros(gap_us),
+            pace: Duration::from_millis(2),
+            reply_timeout: Duration::from_millis(900),
+        };
+        let run = DualConnectionTest::new(cfg)
+            .run(&mut sc.prober, sc.target, 80)
+            .expect("run");
+        profile.push(
+            Duration::from_micros(gap_us),
+            ReorderEstimate::new(run.fwd_reordered(), run.fwd_determinate()),
+        );
+    }
+    let r0 = profile.interpolate(Duration::ZERO);
+    let r50 = profile.interpolate(Duration::from_micros(50));
+    let r250 = profile.interpolate(Duration::from_micros(250));
+    assert!(r0 > 0.05, "back-to-back rate {r0} too low");
+    assert!(r0 > r50 + 0.02, "no decay: {r0} vs {r50}");
+    assert!(r250 < 0.02, "tail rate {r250} too high");
+    assert!(
+        profile.predict_for_size(40, 1_000_000_000)
+            > profile.predict_for_size(1500, 1_000_000_000),
+        "small packets must be predicted to reorder more"
+    );
+}
+
+/// §IV-B consistency: two independent techniques measuring the same
+/// stationary path support the null hypothesis at 99.9%.
+#[test]
+fn independent_techniques_agree_statistically() {
+    let mut singles = Vec::new();
+    let mut syns = Vec::new();
+    for round in 0..10u64 {
+        let cfg = TestConfig::samples(40);
+        let mut sc = scenario::validation_rig(0.1, 0.05, 600 + round);
+        singles.push(
+            SingleConnectionTest::reversed(cfg)
+                .run(&mut sc.prober, sc.target, 80)
+                .expect("single")
+                .fwd_estimate()
+                .rate(),
+        );
+        let mut sc = scenario::validation_rig(0.1, 0.05, 700 + round);
+        syns.push(
+            SynTest::new(cfg)
+                .run(&mut sc.prober, sc.target, 80)
+                .expect("syn")
+                .fwd_estimate()
+                .rate(),
+        );
+    }
+    let pd = pair_difference(&singles, &syns, 0.999);
+    assert!(
+        pd.supports_null,
+        "tests disagree: mean diff {} CI {:?}",
+        pd.mean_diff, pd.ci
+    );
+}
+
+/// Measurements are exactly reproducible from the seed.
+#[test]
+fn determinism_across_full_stack() {
+    let run_once = |seed: u64| {
+        let mut sc = scenario::validation_rig(0.25, 0.15, seed);
+        let run = DualConnectionTest::new(TestConfig::samples(40))
+            .run(&mut sc.prober, sc.target, 80)
+            .expect("run");
+        (
+            run.fwd_reordered(),
+            run.rev_reordered(),
+            run.fwd_determinate(),
+            run.rev_determinate(),
+        )
+    };
+    assert_eq!(run_once(123), run_once(123));
+    assert_ne!(run_once(123), run_once(124), "different seeds must differ");
+}
+
+/// The population builder plus the survey machinery end-to-end: a
+/// clean host measures clean, a reordering host measures dirty, with
+/// all tests agreeing on which is which.
+#[test]
+fn clean_vs_dirty_host_separation() {
+    let specs = scenario::population(15, 35, 0xF165);
+    let clean = specs
+        .iter()
+        .find(|s| s.fwd_reorder == 0.0 && s.backends == 1 && s.loss < 0.005)
+        .expect("population has a clean host");
+    let dirty = specs
+        .iter()
+        .find(|s| s.fwd_reorder > 0.05 && s.backends == 1)
+        .expect("population has a reordering host");
+    let cfg = TestConfig::samples(60);
+
+    let mut sc = scenario::internet_host(clean, 1000);
+    let clean_rate = SingleConnectionTest::reversed(cfg)
+        .run(&mut sc.prober, sc.target, 80)
+        .expect("clean run")
+        .fwd_estimate()
+        .rate();
+    let mut sc = scenario::internet_host(dirty, 1001);
+    let dirty_rate = SingleConnectionTest::reversed(cfg)
+        .run(&mut sc.prober, sc.target, 80)
+        .expect("dirty run")
+        .fwd_estimate()
+        .rate();
+    assert!(clean_rate < 0.02, "clean host measured {clean_rate}");
+    assert!(
+        dirty_rate > clean_rate + 0.02,
+        "dirty {dirty_rate} vs clean {clean_rate}"
+    );
+}
