@@ -62,11 +62,9 @@ fn bench_metrics(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("exchanges", n), &arrivals, |b, a| {
             b.iter(|| exchanges(black_box(a)))
         });
-        g.bench_with_input(
-            BenchmarkId::new("non_reversing", n),
-            &arrivals,
-            |b, a| b.iter(|| non_reversing_reordered(black_box(a))),
-        );
+        g.bench_with_input(BenchmarkId::new("non_reversing", n), &arrivals, |b, a| {
+            b.iter(|| non_reversing_reordered(black_box(a)))
+        });
         g.bench_with_input(BenchmarkId::new("sack_blocks", n), &arrivals, |b, a| {
             b.iter(|| max_sack_blocks(black_box(a), 0))
         });

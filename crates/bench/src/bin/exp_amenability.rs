@@ -68,7 +68,10 @@ fn main() {
                 "probe failed"
             }
         };
-        println!("{:<26} {:<14} {:>9} {:<26}", spec.name, scheme, spec.backends, v);
+        println!(
+            "{:<26} {:<14} {:>9} {:<26}",
+            spec.name, scheme, spec.backends, v
+        );
     }
     rule(84);
     println!("amenable:            {amenable}");

@@ -58,7 +58,12 @@ fn main() {
             ..IcmpBurstTest::default()
         };
         let est = test
-            .run(&mut sc.prober, sc.target, bursts.min(60), Duration::from_millis(3))
+            .run(
+                &mut sc.prober,
+                sc.target,
+                bursts.min(60),
+                Duration::from_millis(3),
+            )
             .expect("icmp");
         println!(
             "  burst {:>3} packets: bursts with >=1 event = {}",

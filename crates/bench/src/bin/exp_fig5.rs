@@ -51,7 +51,9 @@ fn survey_host(spec: HostSpec, rounds: usize, seed: u64) -> HostResult {
                     other => other,
                 },
                 2 => SynTest::new(cfg).run(&mut sc.prober, sc.target, 80),
-                _ => DataTransferTest::new(TestConfig::default()).run(&mut sc.prober, sc.target, 80),
+                _ => {
+                    DataTransferTest::new(TestConfig::default()).run(&mut sc.prober, sc.target, 80)
+                }
             };
             let Ok(run) = run else { continue };
             measurements += 1;
@@ -85,7 +87,11 @@ fn survey_host(spec: HostSpec, rounds: usize, seed: u64) -> HostResult {
 fn print_cdf(label: &str, cdf: &Cdf) {
     println!("  {label} CDF (rate -> cumulative fraction of paths):");
     for q in [0.25, 0.5, 0.75, 0.9, 1.0] {
-        println!("    p{:<3} rate = {}", (q * 100.0) as u32, pct(cdf.quantile(q)));
+        println!(
+            "    p{:<3} rate = {}",
+            (q * 100.0) as u32,
+            pct(cdf.quantile(q))
+        );
     }
     for x in [0.0, 0.001, 0.01, 0.05, 0.10, 0.25] {
         println!(
@@ -146,10 +152,8 @@ fn main() {
         .count();
     let total_meas: usize = results.iter().map(|r| r.measurements).sum();
     let meas_with_event: usize = results.iter().map(|r| r.measurements_with_event).sum();
-    let mean_fwd: f64 =
-        results.iter().map(|r| r.fwd_rate).sum::<f64>() / results.len() as f64;
-    let mean_rev: f64 =
-        results.iter().map(|r| r.rev_rate).sum::<f64>() / results.len() as f64;
+    let mean_fwd: f64 = results.iter().map(|r| r.fwd_rate).sum::<f64>() / results.len() as f64;
+    let mean_rev: f64 = results.iter().map(|r| r.rev_rate).sum::<f64>() / results.len() as f64;
 
     println!();
     println!(
@@ -167,5 +171,8 @@ fn main() {
         "measurements with >=1 reordered sample: {}   (paper: >15%)",
         pct(meas_with_event as f64 / total_meas as f64)
     );
-    assert!(mean_fwd > mean_rev, "population built with fwd > rev must measure that way");
+    assert!(
+        mean_fwd > mean_rev,
+        "population built with fwd > rev must measure that way"
+    );
 }

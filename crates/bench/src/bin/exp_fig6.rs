@@ -66,7 +66,11 @@ fn main() {
     let mut refusals = 0;
     for seed in 0..4 {
         let mut sc = scenario::load_balanced(0.05, 0.0, 4, HostPersonality::freebsd4(), 900 + seed);
-        if let Err(ProbeError::HostUnsuitable(_)) = DualConnectionTest::new(TestConfig::samples(5)).run(&mut sc.prober, sc.target, 80) { refusals += 1 }
+        if let Err(ProbeError::HostUnsuitable(_)) =
+            DualConnectionTest::new(TestConfig::samples(5)).run(&mut sc.prober, sc.target, 80)
+        {
+            refusals += 1
+        }
     }
     println!("dual connection test refused the site in {refusals}/4 attempts (paper: unusable)");
     rule(72);
@@ -76,10 +80,7 @@ fn main() {
         .collect();
     let results = parallel_map(jobs, |(hour, seed)| measure_round(hour, samples, seed));
 
-    println!(
-        "{:>7} {:>8} {:>9} {:>9}",
-        "hour", "true", "single", "syn"
-    );
+    println!("{:>7} {:>8} {:>9} {:>9}", "hour", "true", "single", "syn");
     rule(72);
     let mut singles = Vec::new();
     let mut syns = Vec::new();

@@ -54,14 +54,14 @@ fn main() {
     );
     rule(72);
 
-    let jobs: Vec<(u64, usize, u64)> = gaps
-        .iter()
-        .map(|&g| (g, samples, 0xF16_700 + g))
-        .collect();
+    let jobs: Vec<(u64, usize, u64)> = gaps.iter().map(|&g| (g, samples, 0xF16_700 + g)).collect();
     let results = parallel_map(jobs, |(g, n, seed)| measure_point(g, n, seed));
 
     let mut profile = GapProfile::default();
-    println!("{:>8} {:>10} {:>10} {:>9}", "gap(us)", "reordered", "samples", "rate");
+    println!(
+        "{:>8} {:>10} {:>10} {:>9}",
+        "gap(us)", "reordered", "samples", "rate"
+    );
     rule(72);
     for &(gap_us, reordered, total) in &results {
         let est = reorder_core::metrics::ReorderEstimate::new(reordered, total);

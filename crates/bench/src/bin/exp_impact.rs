@@ -21,13 +21,20 @@ fn main() {
     // --- TCP: dupthresh sweep on back-to-back vs paced streams -------------
     for (label, gap) in [
         ("back-to-back 40B stream (ACK-like)", Duration::ZERO),
-        ("12us-spaced 1500B stream (data-like)", Duration::from_micros(12)),
+        (
+            "12us-spaced 1500B stream (data-like)",
+            Duration::from_micros(12),
+        ),
     ] {
         let mut sc = scenario::striped_path(CrossTraffic::backbone(), 0x1AC7);
         let size = if gap.is_zero() { 40 } else { 1500 };
         let obs = observe_stream(&mut sc, n, gap, size);
         let order = obs.arrival_order();
-        println!("{label}: {} packets, loss {:.2}%", obs.sent, obs.loss_fraction() * 100.0);
+        println!(
+            "{label}: {} packets, loss {:.2}%",
+            obs.sent,
+            obs.loss_fraction() * 100.0
+        );
         println!("  dupthresh   spurious-FR   per-1000-pkts   relative-goodput(w=64)");
         for thresh in [1usize, 2, 3, 4, 6] {
             let s = tcp::spurious_fast_retransmits(&order, thresh);
@@ -52,13 +59,21 @@ fn main() {
     // --- VoIP: playout depth requirements -----------------------------------
     println!("VoIP playout (20 ms voice frames over the same path):");
     let mut sc = scenario::striped_path(CrossTraffic::backbone(), 0x701B);
-    let obs = observe_stream(&mut sc, scale.pick(5_000, 2_000, 400), Duration::from_millis(20), 200);
+    let obs = observe_stream(
+        &mut sc,
+        scale.pick(5_000, 2_000, 400),
+        Duration::from_millis(20),
+        200,
+    );
     println!("  depth(us)   unusable-frames");
     for depth_us in [0u64, 10, 25, 50, 100, 250, 500] {
         println!(
             "  {:>9} {:>17}",
             depth_us,
-            pct(voip::unusable_fraction(&obs, Duration::from_micros(depth_us)))
+            pct(voip::unusable_fraction(
+                &obs,
+                Duration::from_micros(depth_us)
+            ))
         );
     }
     match voip::min_depth_for(&obs, 0.001) {
@@ -77,7 +92,10 @@ fn main() {
     // thresholds. (Receiver ACKs every segment so the comparison
     // isolates congestion control from delayed-ACK parity stalls.)
     println!("closed-loop sender across the striped path (256 KiB transfer, bursty windows):");
-    println!("  {:<16} {:>10} {:>9} {:>9} {:>12}", "policy", "goodput", "fast-rtx", "spurious", "final-thresh");
+    println!(
+        "  {:<16} {:>10} {:>9} {:>9} {:>12}",
+        "policy", "goodput", "fast-rtx", "spurious", "final-thresh"
+    );
     let eager = reorder_tcpstack::HostPersonality {
         delayed_ack: reorder_tcpstack::DelayedAck::disabled(),
         ..reorder_tcpstack::HostPersonality::freebsd4()
@@ -137,7 +155,10 @@ fn main() {
         "  P(>=3-reordered):       {}   (the TCP dupthresh-3 exposure)",
         pct(report.at_least_n_reordered(3))
     );
-    println!("  mean reordering-free run: {:.1} packets", report.mean_free_run());
+    println!(
+        "  mean reordering-free run: {:.1} packets",
+        report.mean_free_run()
+    );
     let max_late = report
         .late_offsets
         .iter()

@@ -55,7 +55,8 @@ fn measure_host(spec: HostSpec, rounds: usize, samples: usize, seed: u64) -> Hos
             hs.syn_rev.push(run.rev_estimate().rate());
         }
         let mut sc = scenario::internet_host(&spec, rs + 3);
-        if let Ok(run) = DataTransferTest::new(TestConfig::default()).run(&mut sc.prober, sc.target, 80)
+        if let Ok(run) =
+            DataTransferTest::new(TestConfig::default()).run(&mut sc.prober, sc.target, 80)
         {
             hs.transfer_rev.push(run.rev_estimate().rate());
         }
@@ -100,7 +101,9 @@ fn main() {
         .enumerate()
         .map(|(i, s)| (s, 0xE5_0000 + i as u64 * 4096))
         .collect();
-    let results = parallel_map(jobs, |(spec, seed)| measure_host(spec, rounds, samples, seed));
+    let results = parallel_map(jobs, |(spec, seed)| {
+        measure_host(spec, rounds, samples, seed)
+    });
 
     let fwd_single_syn = support_pct(
         &results

@@ -56,19 +56,21 @@ where
     O: Send,
     F: Fn(I) -> O + Sync,
 {
-    let workers = thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let workers = thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let n = inputs.len();
     let mut results: Vec<Option<O>> = Vec::with_capacity(n);
     results.resize_with(n, || None);
     let (tx, rx) = mpsc::channel::<(usize, O)>();
     let tasks: Vec<(usize, I)> = inputs.into_iter().enumerate().collect();
     let queue = parking::Queue::new(tasks);
-    crossbeam::scope(|s| {
+    thread::scope(|s| {
         for _ in 0..workers.min(n.max(1)) {
             let tx = tx.clone();
             let queue = &queue;
             let f = &f;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 while let Some((i, input)) = queue.pop() {
                     let out = f(input);
                     if tx.send((i, out)).is_err() {
@@ -81,13 +83,14 @@ where
         for (i, out) in rx {
             results[i] = Some(out);
         }
-    })
-    .expect("worker panicked");
-    results.into_iter().map(|o| o.expect("all tasks ran")).collect()
+    });
+    results
+        .into_iter()
+        .map(|o| o.expect("all tasks ran"))
+        .collect()
 }
 
-/// Tiny internal work queue (avoids pulling in more of crossbeam's API
-/// surface than the dependency justification covers).
+/// Tiny internal work queue shared by the scoped worker threads.
 mod parking {
     use std::sync::Mutex;
 

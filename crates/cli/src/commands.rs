@@ -47,7 +47,9 @@ fn run_technique(
         "single" => SingleConnectionTest::reversed(cfg).run(&mut sc.prober, sc.target, 80),
         "dual" => DualConnectionTest::new(cfg).run(&mut sc.prober, sc.target, 80),
         "syn" => SynTest::new(cfg).run(&mut sc.prober, sc.target, 80),
-        "transfer" => DataTransferTest::new(TestConfig::default()).run(&mut sc.prober, sc.target, 80),
+        "transfer" => {
+            DataTransferTest::new(TestConfig::default()).run(&mut sc.prober, sc.target, 80)
+        }
         other => Err(ProbeError::HostUnsuitable(format!(
             "unknown technique `{other}`"
         ))),
@@ -57,7 +59,14 @@ fn run_technique(
 /// `reorder measure`.
 pub fn measure(args: &Args) -> Result<(), ArgError> {
     args.expect_only(&[
-        "technique", "fwd", "rev", "samples", "gap-us", "personality", "lb", "seed",
+        "technique",
+        "fwd",
+        "rev",
+        "samples",
+        "gap-us",
+        "personality",
+        "lb",
+        "seed",
     ])?;
     let technique = args.get("technique").unwrap_or("single").to_string();
     let fwd: f64 = args.get_or("fwd", 0.10)?;
@@ -151,10 +160,7 @@ pub fn survey(args: &Args) -> Result<(), ArgError> {
     let rounds: usize = args.get_or("rounds", 3)?;
     let seed: u64 = args.get_or("seed", 77)?;
     let specs = scenario::population(hosts.min(15), hosts.saturating_sub(15), seed);
-    println!(
-        "{:<26} {:>9} {:>9} {:>9}",
-        "host", "fwd", "rev", "status"
-    );
+    println!("{:<26} {:>9} {:>9} {:>9}", "host", "fwd", "rev", "status");
     for (i, spec) in specs.iter().take(hosts).enumerate() {
         let cfg = TestConfig::samples(15);
         let mut fwd = ReorderEstimate::new(0, 0);
@@ -175,7 +181,11 @@ pub fn survey(args: &Args) -> Result<(), ArgError> {
             spec.name,
             fwd.rate() * 100.0,
             rev.rate() * 100.0,
-            if failures == rounds { "unreachable" } else { "ok" }
+            if failures == rounds {
+                "unreachable"
+            } else {
+                "ok"
+            }
         );
     }
     Ok(())

@@ -1,0 +1,89 @@
+//! End-to-end smoke tests: run the built `reorder` binary as a user
+//! would and assert the output carries a parseable reordering estimate.
+
+use std::process::Command;
+
+fn reorder(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_reorder"))
+        .args(args)
+        .output()
+        .expect("spawn reorder binary");
+    (
+        String::from_utf8(out.stdout).expect("stdout utf8"),
+        String::from_utf8(out.stderr).expect("stderr utf8"),
+        out.status.success(),
+    )
+}
+
+/// Parse `"<label>: <pct>% [<lo>%, <hi>%] (<k>/<n>)"` into
+/// `(rate, lo, hi, reordered, total)`.
+fn parse_estimate(line: &str) -> (f64, f64, f64, u64, u64) {
+    let (_, rest) = line.split_once(':').expect("label");
+    let mut nums = rest
+        .split(|c: char| !(c.is_ascii_digit() || c == '.'))
+        .filter(|s| !s.is_empty())
+        .map(|s| s.parse::<f64>().expect("number"));
+    let rate = nums.next().expect("rate");
+    let lo = nums.next().expect("ci low");
+    let hi = nums.next().expect("ci high");
+    let k = nums.next().expect("reordered count") as u64;
+    let n = nums.next().expect("total count") as u64;
+    (rate, lo, hi, k, n)
+}
+
+#[test]
+fn measure_single_reports_parseable_estimate() {
+    let (stdout, stderr, ok) = reorder(&[
+        "measure",
+        "--technique",
+        "single",
+        "--samples",
+        "20",
+        "--seed",
+        "1",
+    ]);
+    assert!(ok, "reorder measure failed: {stderr}");
+
+    let fwd = stdout
+        .lines()
+        .find(|l| l.trim_start().starts_with("forward:"))
+        .unwrap_or_else(|| panic!("no forward estimate in output:\n{stdout}"));
+    let (rate, lo, hi, k, n) = parse_estimate(fwd);
+    assert_eq!(n, 20, "sample count should match --samples 20");
+    assert!(k <= n, "reordered count exceeds total");
+    assert!((0.0..=100.0).contains(&rate), "rate out of range: {rate}");
+    assert!(
+        lo <= rate + 1e-9 && rate <= hi + 1e-9,
+        "point estimate outside CI"
+    );
+
+    let rev = stdout
+        .lines()
+        .find(|l| l.trim_start().starts_with("reverse:"))
+        .unwrap_or_else(|| panic!("no reverse estimate in output:\n{stdout}"));
+    let (_, _, _, rk, rn) = parse_estimate(rev);
+    assert!(rk <= rn);
+}
+
+#[test]
+fn measure_is_deterministic_per_seed() {
+    let run = || reorder(&["measure", "--samples", "20", "--seed", "7"]).0;
+    assert_eq!(run(), run(), "same seed must reproduce the same output");
+    let other = reorder(&["measure", "--samples", "20", "--seed", "8"]).0;
+    assert_ne!(run(), other, "different seeds should differ somewhere");
+}
+
+#[test]
+fn help_and_errors() {
+    let (stdout, _, ok) = reorder(&["help"]);
+    assert!(ok);
+    assert!(stdout.contains("USAGE"));
+
+    let (_, stderr, ok) = reorder(&["measure", "--bogus-flag", "1"]);
+    assert!(!ok, "unknown option must fail");
+    assert!(stderr.contains("bogus-flag"));
+
+    let (_, stderr, ok) = reorder(&["frobnicate"]);
+    assert!(!ok, "unknown command must fail");
+    assert!(stderr.contains("frobnicate"));
+}

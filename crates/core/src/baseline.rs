@@ -102,11 +102,9 @@ impl IcmpBurstTest {
         let replies = p.recv_n_where(
             move |pkt| {
                 pkt.ip.dst == local
-                    && pkt
-                        .icmp()
-                        .is_some_and(|h| {
-                            h.icmp_type == reorder_wire::IcmpType::EchoReply && h.ident == ident
-                        })
+                    && pkt.icmp().is_some_and(|h| {
+                        h.icmp_type == reorder_wire::IcmpType::EchoReply && h.ident == ident
+                    })
             },
             self.burst,
             self.collect_timeout,
@@ -147,9 +145,7 @@ impl IcmpBurstTest {
                         with_event += 1;
                     }
                 }
-                Err(ProbeError::HostUnsuitable(e)) => {
-                    return Err(ProbeError::HostUnsuitable(e))
-                }
+                Err(ProbeError::HostUnsuitable(e)) => return Err(ProbeError::HostUnsuitable(e)),
                 Err(_) => {}
             }
         }

@@ -100,7 +100,9 @@ pub fn observe_stream(
         .0
         .iter()
         .filter(|r| {
-            r.pkt.tcp().is_some_and(|t| t.dst_port == 33_333 && t.src_port == 40_000)
+            r.pkt
+                .tcp()
+                .is_some_and(|t| t.dst_port == 33_333 && t.src_port == 40_000)
         })
         .map(|r| (u64::from(r.pkt.tcp().expect("tcp").seq.raw()), r.time))
         .collect();
@@ -280,7 +282,10 @@ pub mod voip {
         lateness.sort_unstable();
         // Depth d admits all packets with lateness <= d. Walk candidate
         // depths (the observed lateness values) from small to large.
-        lateness.iter().find(|&&d| unusable_fraction(obs, d) <= target).copied()
+        lateness
+            .iter()
+            .find(|&&d| unusable_fraction(obs, d) <= target)
+            .copied()
     }
 
     #[cfg(test)]

@@ -54,8 +54,8 @@ pub mod metrics;
 pub mod probe;
 pub mod rfc4737;
 pub mod sample;
-pub mod sender;
 pub mod scenario;
+pub mod sender;
 pub mod stats;
 pub mod techniques;
 pub mod validate;

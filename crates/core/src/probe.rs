@@ -9,9 +9,7 @@
 //! advance simulated time, and collect matching replies.
 
 use reorder_netsim::{MailboxQueue, NodeId, Port, RxPacket, SimTime, Simulator};
-use reorder_wire::{
-    FlowKey, IpId, Ipv4Addr4, Packet, PacketBuilder, SeqNum, TcpFlags, TcpOption,
-};
+use reorder_wire::{FlowKey, IpId, Ipv4Addr4, Packet, PacketBuilder, SeqNum, TcpFlags, TcpOption};
 use std::fmt;
 use std::time::Duration;
 
@@ -387,7 +385,13 @@ mod tests {
         let mut p = prober();
         // 10.0.0.9 does not exist; the host ignores wrong destinations.
         let err = p
-            .handshake(Ipv4Addr4::new(10, 0, 0, 9), 80, 1460, 65535, Duration::from_millis(100))
+            .handshake(
+                Ipv4Addr4::new(10, 0, 0, 9),
+                80,
+                1460,
+                65535,
+                Duration::from_millis(100),
+            )
             .unwrap_err();
         assert!(matches!(err, ProbeError::Timeout { .. }));
     }
@@ -444,7 +448,7 @@ mod tests {
         let r = p.recv_where(
             |pkt| {
                 pkt.flow() == Some(flow.reversed())
-                    && pkt.tcp().map_or(false, |t| t.flags.contains(TcpFlags::RST))
+                    && pkt.tcp().is_some_and(|t| t.flags.contains(TcpFlags::RST))
             },
             Duration::from_secs(1),
         );

@@ -157,7 +157,11 @@ pub fn analyze(arrivals: &[Arrival]) -> Rfc4737Report {
     let events = reordered.iter().filter(|&&r| r).count();
     Rfc4737Report {
         received: n,
-        ratio: if n == 0 { 0.0 } else { events as f64 / n as f64 },
+        ratio: if n == 0 {
+            0.0
+        } else {
+            events as f64 / n as f64
+        },
         reordered,
         extents,
         late_offsets,
@@ -270,10 +274,7 @@ mod tests {
             })
             .collect();
         let r = analyze(&arrivals);
-        assert_eq!(
-            r.reordered,
-            crate::metrics::non_reversing_reordered(&seqs)
-        );
+        assert_eq!(r.reordered, crate::metrics::non_reversing_reordered(&seqs));
         assert_eq!(r.extents, crate::metrics::reordering_extents(&seqs));
     }
 
@@ -296,9 +297,6 @@ mod tests {
             spurious
         );
         // Late offsets are small (queue imbalance scale, < 1 ms).
-        assert!(r
-            .late_offsets
-            .iter()
-            .all(|&d| d < Duration::from_millis(1)));
+        assert!(r.late_offsets.iter().all(|&d| d < Duration::from_millis(1)));
     }
 }

@@ -306,7 +306,9 @@ mod tests {
         assert!(!PacketMatcher::flow(flow()).ipid(IpId(43)).matches(&p));
         assert!(PacketMatcher::flow(flow()).flags(TcpFlags::PSH).matches(&p));
         assert!(!PacketMatcher::flow(flow()).flags(TcpFlags::RST).matches(&p));
-        assert!(!PacketMatcher::flow(flow()).without(TcpFlags::PSH).matches(&p));
+        assert!(!PacketMatcher::flow(flow())
+            .without(TcpFlags::PSH)
+            .matches(&p));
         assert!(PacketMatcher::flow(flow()).min_data(2).matches(&p));
         assert!(!PacketMatcher::flow(flow()).min_data(3).matches(&p));
         // Wrong direction.

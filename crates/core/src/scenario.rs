@@ -5,11 +5,11 @@
 use crate::probe::Prober;
 use rand::rngs::SmallRng;
 use rand::Rng;
+use reorder_netsim::pipes::DummynetConfig;
 use reorder_netsim::pipes::{
     ArqConfig, BalanceMode, CrossTraffic, DelayJitter, DummynetReorder, LoadBalancer,
     MultipathRoute, RandomLoss, SplitMode, StripingLink, WirelessArq, DOWN, UP,
 };
-use reorder_netsim::pipes::DummynetConfig;
 use reorder_netsim::{
     rng as simrng, LinkParams, Mailbox, NodeId, Port, Simulator, Trace, TraceHandle,
 };
@@ -282,7 +282,10 @@ pub fn multipath_path(skew: Duration, seed: u64) -> Scenario {
     pipe_path(
         Box::new(MultipathRoute::with_seed(
             SplitMode::Random,
-            vec![Duration::from_micros(100), Duration::from_micros(100) + skew],
+            vec![
+                Duration::from_micros(100),
+                Duration::from_micros(100) + skew,
+            ],
             seed,
             "multipath",
         )),
@@ -407,7 +410,9 @@ pub fn internet_host(spec: &HostSpec, seed: u64) -> Scenario {
     let mut sim = Simulator::new(seed);
     let (mb, queue) = Mailbox::new();
     let me = sim.add_node(Box::new(mb));
-    let loss = sim.add_node(Box::new(RandomLoss::new(spec.loss, spec.loss, seed, "loss")));
+    let loss = sim.add_node(Box::new(RandomLoss::new(
+        spec.loss, spec.loss, seed, "loss",
+    )));
     // Constant per-path extra delay (min == max preserves order). Any
     // i.i.d. jitter wider than the probe spacing would itself reorder
     // ~half of all back-to-back pairs — that's the §IV-C sensitivity —
@@ -435,7 +440,10 @@ pub fn internet_host(spec: &HostSpec, seed: u64) -> Scenario {
     let mut server_rx = Vec::new();
     let mut server_tx = Vec::new();
     if spec.backends > 1 {
-        let lb = sim.add_node(Box::new(LoadBalancer::new(BalanceMode::PerFlow, spec.backends)));
+        let lb = sim.add_node(Box::new(LoadBalancer::new(
+            BalanceMode::PerFlow,
+            spec.backends,
+        )));
         sim.connect(dummy, DOWN, lb, Port(0), fast_lan());
         for b in 0..spec.backends {
             let mut cfg = TcpHostConfig::web_server(TARGET_ADDR, spec.personality.clone());

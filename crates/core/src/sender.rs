@@ -163,9 +163,10 @@ pub fn run_transfer(
         let ack_pkt = p.recv_where(
             |pkt| {
                 pkt.flow() == Some(flow.reversed())
-                    && pkt
-                        .tcp()
-                        .is_some_and(|t| t.flags.contains(TcpFlags::ACK) && !t.flags.intersects(TcpFlags::SYN | TcpFlags::RST))
+                    && pkt.tcp().is_some_and(|t| {
+                        t.flags.contains(TcpFlags::ACK)
+                            && !t.flags.intersects(TcpFlags::SYN | TcpFlags::RST)
+                    })
             },
             cfg.rto,
         );

@@ -98,10 +98,7 @@ pub fn autocorrelation(xs: &[f64], k: usize) -> f64 {
     if denom == 0.0 {
         return 0.0;
     }
-    let num: f64 = xs
-        .windows(k + 1)
-        .map(|w| (w[0] - m) * (w[k] - m))
-        .sum();
+    let num: f64 = xs.windows(k + 1).map(|w| (w[0] - m) * (w[k] - m)).sum();
     num / denom
 }
 
@@ -139,20 +136,19 @@ pub fn runs_test_z(xs: &[f64]) -> f64 {
         sorted[n / 2]
     };
     // Classify above/below, dropping exact ties.
-    let signs: Vec<bool> = xs.iter().filter(|&&x| x != median).map(|&x| x > median).collect();
+    let signs: Vec<bool> = xs
+        .iter()
+        .filter(|&&x| x != median)
+        .map(|&x| x > median)
+        .collect();
     let n1 = signs.iter().filter(|&&s| s).count() as f64;
     let n2 = signs.len() as f64 - n1;
     if n1 == 0.0 || n2 == 0.0 {
         return 0.0;
     }
-    let runs = 1.0
-        + signs
-            .windows(2)
-            .filter(|w| w[0] != w[1])
-            .count() as f64;
+    let runs = 1.0 + signs.windows(2).filter(|w| w[0] != w[1]).count() as f64;
     let expected = 2.0 * n1 * n2 / (n1 + n2) + 1.0;
-    let var = 2.0 * n1 * n2 * (2.0 * n1 * n2 - n1 - n2)
-        / ((n1 + n2) * (n1 + n2) * (n1 + n2 - 1.0));
+    let var = 2.0 * n1 * n2 * (2.0 * n1 * n2 - n1 - n2) / ((n1 + n2) * (n1 + n2) * (n1 + n2 - 1.0));
     if var <= 0.0 {
         return 0.0;
     }
@@ -197,8 +193,12 @@ mod tests {
     #[test]
     fn noisy_equal_means_support_null() {
         // Same underlying rate, independent noise.
-        let a: Vec<f64> = (0..40).map(|i| 0.1 + 0.01 * ((i * 7 % 13) as f64 - 6.0)).collect();
-        let b: Vec<f64> = (0..40).map(|i| 0.1 + 0.01 * ((i * 11 % 13) as f64 - 6.0)).collect();
+        let a: Vec<f64> = (0..40)
+            .map(|i| 0.1 + 0.01 * ((i * 7 % 13) as f64 - 6.0))
+            .collect();
+        let b: Vec<f64> = (0..40)
+            .map(|i| 0.1 + 0.01 * ((i * 11 % 13) as f64 - 6.0))
+            .collect();
         let d = pair_difference(&a, &b, 0.999);
         assert!(d.supports_null, "mean_diff={} ci={:?}", d.mean_diff, d.ci);
     }
@@ -230,7 +230,9 @@ mod tests {
         let xs: Vec<f64> = (0..64).map(|i| (i as f64 / 10.0).sin()).collect();
         assert!(autocorrelation(&xs, 1) > 0.8);
         // Alternating series: strongly negative at lag 1.
-        let alt: Vec<f64> = (0..64).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let alt: Vec<f64> = (0..64)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         assert!(autocorrelation(&alt, 1) < -0.8);
     }
 
@@ -250,7 +252,9 @@ mod tests {
         let trend: Vec<f64> = (0..40).map(|i| i as f64).collect();
         assert!(runs_test_z(&trend) < -3.0);
         // Perfect alternation has the maximum number of runs.
-        let alt: Vec<f64> = (0..40).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let alt: Vec<f64> = (0..40)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         assert!(runs_test_z(&alt) > 3.0);
         // A fixed scrambled series stays well within bounds (a plain
         // multiplicative sequence would be a sawtooth and rightly get

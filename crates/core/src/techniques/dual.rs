@@ -43,9 +43,7 @@ impl IpidVerdict {
         match self {
             IpidVerdict::Amenable => "shared monotone IPID space",
             IpidVerdict::ConstantZero => "constant IPID 0 (likely Linux 2.4)",
-            IpidVerdict::NonMonotonic => {
-                "non-monotonic IPIDs (random generation or load balancer)"
-            }
+            IpidVerdict::NonMonotonic => "non-monotonic IPIDs (random generation or load balancer)",
         }
     }
 }
@@ -137,7 +135,10 @@ fn probe_once(
 /// shared increasing space, within-connection differences dominate the
 /// between-connection differences.
 pub fn classify_ipids(ids: &[IpId]) -> IpidVerdict {
-    assert!(ids.len() >= 4 && ids.len().is_multiple_of(2), "need interleaved pairs");
+    assert!(
+        ids.len() >= 4 && ids.len().is_multiple_of(2),
+        "need interleaved pairs"
+    );
     if ids.iter().all(|id| id.raw() == 0) {
         return IpidVerdict::ConstantZero;
     }
@@ -401,10 +402,12 @@ mod tests {
 
     #[test]
     fn classify_random() {
-        let ids: Vec<IpId> = [0x8d21u16, 0x1f00, 0x77aa, 0x0201, 0xeeee, 0x1234, 0x9999, 0x4242]
-            .iter()
-            .map(|&v| IpId(v))
-            .collect();
+        let ids: Vec<IpId> = [
+            0x8d21u16, 0x1f00, 0x77aa, 0x0201, 0xeeee, 0x1234, 0x9999, 0x4242,
+        ]
+        .iter()
+        .map(|&v| IpId(v))
+        .collect();
         assert_eq!(classify_ipids(&ids), IpidVerdict::NonMonotonic);
     }
 
@@ -511,7 +514,8 @@ mod tests {
         let mut sc = scenario::validation_rig_with(0.0, 0.0, HostPersonality::solaris8(), 55);
         let test = DualConnectionTest::new(TestConfig::samples(5));
         assert_eq!(
-            test.probe_amenability(&mut sc.prober, sc.target, 80).unwrap(),
+            test.probe_amenability(&mut sc.prober, sc.target, 80)
+                .unwrap(),
             IpidVerdict::Amenable
         );
     }

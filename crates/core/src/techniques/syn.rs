@@ -167,11 +167,9 @@ impl SynTest {
 
         // Politeness: if no RST was exchanged the server still holds a
         // half-open connection — complete and close it.
-        let saw_rst = replies.iter().any(|r| {
-            r.pkt
-                .tcp()
-                .is_some_and(|t| t.flags.contains(TcpFlags::RST))
-        });
+        let saw_rst = replies
+            .iter()
+            .any(|r| r.pkt.tcp().is_some_and(|t| t.flags.contains(TcpFlags::RST)));
         if !saw_rst {
             let first_arrived_seq = synack_tcp.ack - 1;
             let mut conn = ClientConn {
@@ -336,9 +334,13 @@ mod tests {
             .run(&mut sc.prober, sc.target, 80)
             .expect("run");
         assert_eq!(run.samples.len(), 10);
-        let conn = sc
-            .prober
-            .handshake(sc.target, 80, 1460, 65535, std::time::Duration::from_secs(1));
+        let conn = sc.prober.handshake(
+            sc.target,
+            80,
+            1460,
+            65535,
+            std::time::Duration::from_secs(1),
+        );
         assert!(conn.is_ok(), "server must still accept connections");
     }
 }

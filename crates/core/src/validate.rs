@@ -176,9 +176,15 @@ mod tests {
                 .expect("run")
         });
         assert!(rep.fwd.checked >= 40, "checked {}", rep.fwd.checked);
-        assert_eq!(rep.fwd.agree, rep.fwd.checked, "fwd verdicts must match trace");
+        assert_eq!(
+            rep.fwd.agree, rep.fwd.checked,
+            "fwd verdicts must match trace"
+        );
         assert!(rep.rev.checked >= 40);
-        assert_eq!(rep.rev.agree, rep.rev.checked, "rev verdicts must match trace");
+        assert_eq!(
+            rep.rev.agree, rep.rev.checked,
+            "rev verdicts must match trace"
+        );
         assert!(rep.fwd.actual_reordered > 0, "swaps must actually occur");
     }
 

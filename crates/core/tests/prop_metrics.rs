@@ -13,9 +13,7 @@ use reorder_core::techniques::IpidVerdict;
 use reorder_wire::IpId;
 
 fn arb_permutation(max_len: usize) -> impl Strategy<Value = Vec<u64>> {
-    (1..max_len).prop_flat_map(|n| {
-        Just((0..n as u64).collect::<Vec<u64>>()).prop_shuffle()
-    })
+    (1..max_len).prop_flat_map(|n| Just((0..n as u64).collect::<Vec<u64>>()).prop_shuffle())
 }
 
 proptest! {

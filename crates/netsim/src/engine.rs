@@ -82,8 +82,15 @@ impl Ctx<'_> {
 
 #[derive(Debug)]
 enum EventKind {
-    Deliver { node: NodeId, port: Port, pkt: Packet },
-    Timer { node: NodeId, token: u64 },
+    Deliver {
+        node: NodeId,
+        port: Port,
+        pkt: Packet,
+    },
+    Timer {
+        node: NodeId,
+        token: u64,
+    },
 }
 
 struct Event {

@@ -65,7 +65,12 @@ pub fn parse_pcap(bytes: &[u8]) -> Result<Vec<(u64, Vec<u8>)>, String> {
             return Err("truncated record header".into());
         }
         let f = |i: usize| {
-            u32::from_le_bytes([bytes[off + i], bytes[off + i + 1], bytes[off + i + 2], bytes[off + i + 3]])
+            u32::from_le_bytes([
+                bytes[off + i],
+                bytes[off + i + 1],
+                bytes[off + i + 2],
+                bytes[off + i + 3],
+            ])
         };
         let ts_sec = u64::from(f(0));
         let ts_usec = u64::from(f(4));
@@ -74,7 +79,10 @@ pub fn parse_pcap(bytes: &[u8]) -> Result<Vec<(u64, Vec<u8>)>, String> {
         if bytes.len() - off < incl {
             return Err("truncated record body".into());
         }
-        records.push((ts_sec * 1_000_000 + ts_usec, bytes[off..off + incl].to_vec()));
+        records.push((
+            ts_sec * 1_000_000 + ts_usec,
+            bytes[off..off + incl].to_vec(),
+        ));
         off += incl;
     }
     Ok(records)
@@ -116,7 +124,11 @@ mod tests {
 
     #[test]
     fn roundtrip_preserves_packets_and_times() {
-        let trace = Trace(vec![rec(1, 1_500_000), rec(2, 1_500_123), rec(3, 2_000_001)]);
+        let trace = Trace(vec![
+            rec(1, 1_500_000),
+            rec(2, 1_500_123),
+            rec(3, 2_000_001),
+        ]);
         let bytes = to_pcap_bytes(&trace);
         let parsed = parse_pcap(&bytes).expect("parse");
         assert_eq!(parsed.len(), 3);

@@ -108,7 +108,14 @@ mod tests {
             .build()
     }
 
-    fn rig(mode: BalanceMode, k: usize) -> (Simulator, crate::engine::NodeId, Vec<crate::capture::TraceHandle>) {
+    fn rig(
+        mode: BalanceMode,
+        k: usize,
+    ) -> (
+        Simulator,
+        crate::engine::NodeId,
+        Vec<crate::capture::TraceHandle>,
+    ) {
         let mut sim = Simulator::new(0);
         let up = sim.add_node(Box::new(Blackhole));
         let lb = sim.add_node(Box::new(LoadBalancer::new(mode, k)));

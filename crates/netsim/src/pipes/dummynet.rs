@@ -79,8 +79,14 @@ impl DummynetReorder {
         DummynetReorder {
             cfg,
             dirs: [
-                DirState::new(cfg.fwd_swap, rng::stream(master_seed, &format!("{label}.fwd"))),
-                DirState::new(cfg.rev_swap, rng::stream(master_seed, &format!("{label}.rev"))),
+                DirState::new(
+                    cfg.fwd_swap,
+                    rng::stream(master_seed, &format!("{label}.fwd")),
+                ),
+                DirState::new(
+                    cfg.rev_swap,
+                    rng::stream(master_seed, &format!("{label}.rev")),
+                ),
             ],
         }
     }
@@ -253,7 +259,8 @@ mod tests {
                 fwd_swap: 0.3,
                 ..Default::default()
             };
-            let (mut sim, src, _, _, tap) = rig(Box::new(DummynetReorder::new(cfg, seed, "d")), seed);
+            let (mut sim, src, _, _, tap) =
+                rig(Box::new(DummynetReorder::new(cfg, seed, "d")), seed);
             send_and_collect(&mut sim, src, &tap, 200, Duration::ZERO)
         };
         assert_eq!(run(5), run(5));

@@ -72,7 +72,10 @@ pub(crate) mod testutil {
 
     /// Harness: src --(fast)--> [pipe] --(fast)--> dst. Returns
     /// (sim, src node, pipe node, dst node, rx tap on dst).
-    pub fn rig(pipe: Box<dyn Device>, seed: u64) -> (Simulator, NodeId, NodeId, NodeId, TraceHandle) {
+    pub fn rig(
+        pipe: Box<dyn Device>,
+        seed: u64,
+    ) -> (Simulator, NodeId, NodeId, NodeId, TraceHandle) {
         let mut sim = Simulator::new(seed);
         let src = sim.add_node(Box::new(Blackhole));
         let p = sim.add_node(pipe);

@@ -187,7 +187,11 @@ mod tests {
         };
         let (mut sim, src, _, _, tap) = rig(Box::new(WirelessArq::new(cfg, 9, "w")), 9);
         let order = send_and_collect(&mut sim, src, &tap, 200, Duration::ZERO);
-        assert!(order.len() < 120, "most frames should drop ({} arrived)", order.len());
+        assert!(
+            order.len() < 120,
+            "most frames should drop ({} arrived)",
+            order.len()
+        );
     }
 
     #[test]

@@ -732,7 +732,11 @@ mod tests {
     fn fin_teardown() {
         let mut c = established(cfg());
         let mut out = Vec::new();
-        c.on_segment(&seg(1, 7001, TcpFlags::FIN | TcpFlags::ACK, 100), &[], &mut out);
+        c.on_segment(
+            &seg(1, 7001, TcpFlags::FIN | TcpFlags::ACK, 100),
+            &[],
+            &mut out,
+        );
         assert_eq!(out.len(), 1);
         assert!(out[0].flags.contains(TcpFlags::FIN));
         assert_eq!(out[0].ack, SeqNum(2), "FIN consumes a sequence number");
@@ -755,7 +759,11 @@ mod tests {
         // negotiated? Peer MSS comes from the SYN (1460 here); the
         // window clamp is per-segment flow control.
         let req = b"GET / HTTP/1.0\r\n\r\n";
-        c.on_segment(&seg(1, 7001, TcpFlags::ACK | TcpFlags::PSH, 2920), req, &mut out);
+        c.on_segment(
+            &seg(1, 7001, TcpFlags::ACK | TcpFlags::PSH, 2920),
+            req,
+            &mut out,
+        );
         // First: delayed-ack handling may or may not emit; find data.
         let data: Vec<&SegmentOut> = out.iter().filter(|s| !s.data.is_empty()).collect();
         let sent: usize = data.iter().map(|s| s.data.len()).sum();
@@ -764,11 +772,7 @@ mod tests {
         // ACK everything so far; more data flows.
         let acked = c.snd_nxt;
         out.clear();
-        c.on_segment(
-            &seg(19, acked.raw(), TcpFlags::ACK, 2920),
-            &[],
-            &mut out,
-        );
+        c.on_segment(&seg(19, acked.raw(), TcpFlags::ACK, 2920), &[], &mut out);
         let sent2: usize = out.iter().map(|s| s.data.len()).sum();
         assert!(sent2 > 0, "ack should clock out more data");
     }
@@ -781,7 +785,11 @@ mod tests {
         });
         let mut out = Vec::new();
         let req = b"GET / HTTP/1.0\r\n\r\n";
-        c.on_segment(&seg(1, 7001, TcpFlags::ACK | TcpFlags::PSH, 65535), req, &mut out);
+        c.on_segment(
+            &seg(1, 7001, TcpFlags::ACK | TcpFlags::PSH, 65535),
+            req,
+            &mut out,
+        );
         let last = c.snd_nxt;
         out.clear();
         // ACK the whole object.
@@ -799,7 +807,10 @@ mod tests {
         });
         let mut out = Vec::new();
         c.on_segment(&seg(1, 7001, TcpFlags::ACK, 65535), b"A", &mut out);
-        assert!(out.iter().all(|s| s.data.is_empty()), "probe bytes must not trigger content");
+        assert!(
+            out.iter().all(|s| s.data.is_empty()),
+            "probe bytes must not trigger content"
+        );
     }
 
     #[test]
@@ -810,7 +821,11 @@ mod tests {
         });
         let mut out = Vec::new();
         let req = b"GET / HTTP/1.0\r\n\r\n";
-        c.on_segment(&seg(1, 7001, TcpFlags::ACK | TcpFlags::PSH, 65535), req, &mut out);
+        c.on_segment(
+            &seg(1, 7001, TcpFlags::ACK | TcpFlags::PSH, 65535),
+            req,
+            &mut out,
+        );
         let body: Vec<u8> = out.iter().flat_map(|s| s.data.clone()).collect();
         assert_eq!(body.len(), 300);
         for (k, b) in body.iter().enumerate() {
@@ -842,7 +857,11 @@ mod tests {
         });
         let mut out = Vec::new();
         let req = b"GET / HTTP/1.0\r\n\r\n";
-        c.on_segment(&seg(1, 7001, TcpFlags::ACK | TcpFlags::PSH, 65535), req, &mut out);
+        c.on_segment(
+            &seg(1, 7001, TcpFlags::ACK | TcpFlags::PSH, 65535),
+            req,
+            &mut out,
+        );
         let high = c.snd_nxt;
         out.clear();
         c.on_segment(&seg(19, high.raw(), TcpFlags::ACK, 65535), &[], &mut out);

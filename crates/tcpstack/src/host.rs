@@ -13,9 +13,7 @@ use crate::personality::HostPersonality;
 use rand::rngs::SmallRng;
 use rand::Rng;
 use reorder_netsim::{rng, Ctx, Device, Port};
-use reorder_wire::{
-    Ipv4Addr4, Ipv4Header, Packet, Payload, Protocol, SeqNum, TcpFlags, TcpHeader,
-};
+use reorder_wire::{Ipv4Addr4, Ipv4Header, Packet, Payload, Protocol, SeqNum, TcpFlags, TcpHeader};
 use std::collections::HashMap;
 
 /// Configuration of a simulated host.
@@ -117,7 +115,13 @@ impl TcpHost {
         SeqNum(self.iss_counter)
     }
 
-    fn send_segment(&mut self, ctx: &mut Ctx<'_>, to: Ipv4Addr4, ports: (u16, u16), seg: SegmentOut) {
+    fn send_segment(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        to: Ipv4Addr4,
+        ports: (u16, u16),
+        seg: SegmentOut,
+    ) {
         // Background load advances a shared IPID counter between our
         // packets, as on a real busy server.
         if self.cfg.background_load > 0.0 {
@@ -298,11 +302,20 @@ mod tests {
     const ME: Ipv4Addr4 = Ipv4Addr4::new(10, 0, 0, 1);
     const SRV: Ipv4Addr4 = Ipv4Addr4::new(10, 0, 0, 2);
 
-    fn rig(personality: HostPersonality) -> (Simulator, reorder_netsim::NodeId, reorder_netsim::MailboxQueue) {
+    fn rig(
+        personality: HostPersonality,
+    ) -> (
+        Simulator,
+        reorder_netsim::NodeId,
+        reorder_netsim::MailboxQueue,
+    ) {
         let mut sim = Simulator::new(5);
         let (mb, q) = Mailbox::new();
         let me = sim.add_node(Box::new(mb));
-        let host = TcpHost::new(TcpHostConfig::web_server(SRV, personality), sim.master_seed());
+        let host = TcpHost::new(
+            TcpHostConfig::web_server(SRV, personality),
+            sim.master_seed(),
+        );
         let srv = sim.add_node(Box::new(host));
         sim.connect(me, Port(0), srv, Port(0), LinkParams::lan());
         (sim, me, q)
@@ -362,7 +375,10 @@ mod tests {
             .flags(TcpFlags::SYN)
             .build();
         sim.transmit_from(me, Port(0), p);
-        let echo = PacketBuilder::icmp_echo(9, 1).src(ME, 0).dst(SRV, 0).build();
+        let echo = PacketBuilder::icmp_echo(9, 1)
+            .src(ME, 0)
+            .dst(SRV, 0)
+            .build();
         sim.transmit_from(me, Port(0), echo);
         sim.run_until_idle(SimTime::from_secs(1));
         assert!(drain(&q).is_empty());

@@ -111,7 +111,10 @@ mod tests {
         let ids: Vec<IpId> = (0..100).map(|_| g.next(A)).collect();
         let monotone = ids.windows(2).filter(|w| w[0].before(w[1])).count();
         // A monotone counter would give 99/99; random gives ~50.
-        assert!(monotone < 80, "random IPIDs looked monotone ({monotone}/99)");
+        assert!(
+            monotone < 80,
+            "random IPIDs looked monotone ({monotone}/99)"
+        );
     }
 
     #[test]

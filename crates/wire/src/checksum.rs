@@ -128,8 +128,10 @@ mod tests {
 
     #[test]
     fn verify_roundtrip() {
-        let mut pkt = vec![0x45, 0x00, 0x00, 0x14, 0xde, 0xad, 0x00, 0x00, 0x40, 0x06, 0, 0, 1, 2,
-            3, 4, 5, 6, 7, 8];
+        let mut pkt = vec![
+            0x45, 0x00, 0x00, 0x14, 0xde, 0xad, 0x00, 0x00, 0x40, 0x06, 0, 0, 1, 2, 3, 4, 5, 6, 7,
+            8,
+        ];
         let ck = internet(&pkt);
         pkt[10] = (ck >> 8) as u8;
         pkt[11] = ck as u8;

@@ -58,7 +58,11 @@ impl fmt::Display for WireError {
                 f,
                 "{layer}: truncated packet (need {needed} bytes, have {available})"
             ),
-            WireError::BadField { layer, field, value } => {
+            WireError::BadField {
+                layer,
+                field,
+                value,
+            } => {
                 write!(f, "{layer}: unsupported value {value:#x} in field {field}")
             }
             WireError::BadChecksum {

@@ -295,7 +295,10 @@ mod tests {
         buf[0] = 0x65; // version 6
         assert!(matches!(
             Ipv4Header::decode(&buf),
-            Err(WireError::BadField { field: "version", .. })
+            Err(WireError::BadField {
+                field: "version",
+                ..
+            })
         ));
     }
 

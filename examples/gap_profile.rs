@@ -45,7 +45,11 @@ fn main() {
     println!();
     println!("predictions from the measured profile (leading-edge spacing =");
     println!("serialization time at 1 Gbit/s):");
-    for (label, bytes) in [("40B ACK", 40usize), ("576B segment", 576), ("1500B MTU", 1500)] {
+    for (label, bytes) in [
+        ("40B ACK", 40usize),
+        ("576B segment", 576),
+        ("1500B MTU", 1500),
+    ] {
         println!(
             "  back-to-back {label:<13} -> exchange probability {:>5.2}%",
             profile.predict_for_size(bytes, 1_000_000_000) * 100.0

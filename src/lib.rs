@@ -1,0 +1,22 @@
+//! Workspace facade for the packet-reordering measurement toolkit — a
+//! reproduction of **"Measuring Packet Reordering"** (J. Bellardo &
+//! S. Savage, IMC 2002) in simulation.
+//!
+//! The real functionality lives in the member crates; this crate
+//! re-exports them under one roof and owns the workspace-level
+//! integration tests (`tests/`) and examples (`examples/`).
+//!
+//! * [`wire`] — IPv4/TCP/ICMP encoding, decoding, checksums.
+//! * [`netsim`] — deterministic discrete-event network simulator.
+//! * [`tcpstack`] — TCP endpoints with OS personalities and IPID generators.
+//! * [`core`] — the four measurement techniques, metrics, scenarios.
+//! * [`bench`] — experiment drivers reproducing the paper's figures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use reorder_bench as bench;
+pub use reorder_core as core;
+pub use reorder_netsim as netsim;
+pub use reorder_tcpstack as tcpstack;
+pub use reorder_wire as wire;

@@ -29,12 +29,7 @@ fn cfg() -> TestConfig {
 
 /// Expect every determinate verdict in the run to equal `expected`, and
 /// at least `min_det` determinate samples.
-fn expect_all(
-    run: &reorder_core::MeasurementRun,
-    dir: &str,
-    expected: Order,
-    min_det: usize,
-) {
+fn expect_all(run: &reorder_core::MeasurementRun, dir: &str, expected: Order, min_det: usize) {
     let verdicts: Vec<Order> = run
         .samples
         .iter()
@@ -200,8 +195,7 @@ fn transfer_reverse_only_matrix() {
 fn delayed_ack_blindness_and_antidote() {
     // A stack that delays even hole-filling ACKs blinds the in-order
     // variant completely…
-    let mut sc =
-        scenario::validation_rig_with(0.0, 0.0, HostPersonality::windows2000(), 9700);
+    let mut sc = scenario::validation_rig_with(0.0, 0.0, HostPersonality::windows2000(), 9700);
     let run = SingleConnectionTest::new(cfg())
         .run(&mut sc.prober, sc.target, 80)
         .expect("run");
@@ -209,8 +203,7 @@ fn delayed_ack_blindness_and_antidote() {
     // …while the reversed variant restores visibility for pairs that
     // arrive in the sent order (out-of-order at the receiver ⇒
     // immediate dup ACK, always).
-    let mut sc =
-        scenario::validation_rig_with(0.0, 0.0, HostPersonality::windows2000(), 9701);
+    let mut sc = scenario::validation_rig_with(0.0, 0.0, HostPersonality::windows2000(), 9701);
     let run = SingleConnectionTest::reversed(cfg())
         .run(&mut sc.prober, sc.target, 80)
         .expect("run");
@@ -220,8 +213,7 @@ fn delayed_ack_blindness_and_antidote() {
     // cumulative ACK, and the test must report Indeterminate — the
     // §III-B "lone ack 4 is ambiguous" rule (it cannot be told apart
     // from a reverse-path loss).
-    let mut sc =
-        scenario::validation_rig_with(1.0, 0.0, HostPersonality::windows2000(), 9702);
+    let mut sc = scenario::validation_rig_with(1.0, 0.0, HostPersonality::windows2000(), 9702);
     let run = SingleConnectionTest::reversed(cfg())
         .run(&mut sc.prober, sc.target, 80)
         .expect("run");

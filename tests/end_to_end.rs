@@ -111,8 +111,7 @@ fn gap_profile_decays() {
     assert!(r0 > r50 + 0.02, "no decay: {r0} vs {r50}");
     assert!(r250 < 0.02, "tail rate {r250} too high");
     assert!(
-        profile.predict_for_size(40, 1_000_000_000)
-            > profile.predict_for_size(1500, 1_000_000_000),
+        profile.predict_for_size(40, 1_000_000_000) > profile.predict_for_size(1500, 1_000_000_000),
         "small packets must be predicted to reorder more"
     );
 }

@@ -45,8 +45,11 @@ fn load_balancer_defeats_dual_but_not_syn() {
         let mut sc =
             scenario::load_balanced(0.3, 0.0, 4, HostPersonality::freebsd4(), 12_000 + seed);
         if matches!(
-            DualConnectionTest::new(TestConfig::samples(5))
-                .probe_amenability(&mut sc.prober, sc.target, 80),
+            DualConnectionTest::new(TestConfig::samples(5)).probe_amenability(
+                &mut sc.prober,
+                sc.target,
+                80
+            ),
             Ok(IpidVerdict::NonMonotonic)
         ) {
             dual_rejections += 1;
@@ -88,10 +91,7 @@ fn per_packet_balancer_survived() {
     sim.connect(fwd, DOWN, lb, Port(0), LinkParams::lan());
     for b in 0..2 {
         let host = TcpHost::new(
-            TcpHostConfig::web_server(
-                scenario::TARGET_ADDR,
-                HostPersonality::freebsd4(),
-            ),
+            TcpHostConfig::web_server(scenario::TARGET_ADDR, HostPersonality::freebsd4()),
             13_001 + b,
         );
         let node = sim.add_node(Box::new(host));
@@ -193,7 +193,9 @@ fn population_contains_hostile_hosts() {
     assert!(specs
         .iter()
         .any(|s| s.personality.ipid == IpidScheme::ConstantZero));
-    assert!(specs.iter().any(|s| s.personality.ipid == IpidScheme::Random));
+    assert!(specs
+        .iter()
+        .any(|s| s.personality.ipid == IpidScheme::Random));
     assert!(specs.iter().any(|s| s.backends > 1));
     assert!(specs.iter().any(|s| s.object_size < 512));
 }

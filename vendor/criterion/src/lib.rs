@@ -1,0 +1,244 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses:
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`],
+//! [`BenchmarkId`], [`Throughput`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Statistics are intentionally simple — a warmup pass followed by a
+//! timed measurement pass, reporting mean time per iteration and
+//! throughput. Good enough to compare hot paths locally; not a
+//! replacement for the real crate's analysis.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const WARMUP: Duration = Duration::from_millis(50);
+const MEASURE: Duration = Duration::from_millis(200);
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Honor a benchmark-name filter passed on the command line
+    /// (`cargo bench -- <filter>`); harness flags are ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        self.filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 100,
+        }
+    }
+
+    /// Run a standalone benchmark (its own single-entry group).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut g = self.benchmark_group(id.name.clone());
+        g.bench_function(id, f);
+        g.finish();
+        self
+    }
+
+    fn matches(&self, full_name: &str) -> bool {
+        match &self.filter {
+            Some(f) => full_name.contains(f.as_str()),
+            None => true,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the target number of measurement samples (advisory here).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Declare how much work one iteration performs, enabling
+    /// throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id);
+        if self.criterion.matches(&full) {
+            let mut b = Bencher::default();
+            f(&mut b);
+            b.report(&full, self.throughput);
+        }
+        self
+    }
+
+    /// Benchmark a closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id);
+        if self.criterion.matches(&full) {
+            let mut b = Bencher::default();
+            f(&mut b, input);
+            b.report(&full, self.throughput);
+        }
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Times a closure: warmup, then a measurement window.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled in by [`Bencher::iter`].
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Measure `f`, recording the mean time per call.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warmup: establish a per-iteration estimate.
+        let start = Instant::now();
+        let mut warm_iters = 0u64;
+        while start.elapsed() < WARMUP {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = start.elapsed().as_secs_f64() / warm_iters as f64;
+        // Measurement: fixed wall-clock budget, batched.
+        let target = ((MEASURE.as_secs_f64() / per_iter) as u64).clamp(1, 10_000_000);
+        let start = Instant::now();
+        for _ in 0..target {
+            black_box(f());
+        }
+        self.mean_ns = start.elapsed().as_secs_f64() * 1e9 / target as f64;
+    }
+
+    fn report(&self, name: &str, throughput: Option<Throughput>) {
+        if self.mean_ns == 0.0 {
+            return;
+        }
+        let rate = match throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  ({:.1} Melem/s)", n as f64 / self.mean_ns * 1e3)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!(
+                    "  ({:.1} MiB/s)",
+                    n as f64 / self.mean_ns * 1e9 / (1 << 20) as f64
+                )
+            }
+            None => String::new(),
+        };
+        println!("{name:<50} {:>12.1} ns/iter{rate}", self.mean_ns);
+    }
+}
+
+/// Work performed per iteration, for throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Logical elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark name, optionally parameterized.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// A name/parameter pair, displayed as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.parameter {
+            Some(p) => write!(f, "{}/{}", self.name, p),
+            None => write!(f, "{}", self.name),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            name: name.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId {
+            name,
+            parameter: None,
+        }
+    }
+}
+
+/// Define a function running a sequence of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,92 @@
+//! The [`Arbitrary`] trait and [`any`]: default strategies per type.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::fmt::Debug;
+use std::marker::PhantomData;
+
+/// Types with a canonical "anything goes" strategy.
+pub trait Arbitrary: Sized + Debug {
+    /// The strategy [`any`] returns for this type.
+    type Strategy: Strategy<Value = Self>;
+
+    /// Build that strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `A`: uniform over the whole domain for
+/// primitives, element-wise for arrays.
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+/// Uniform strategy over a primitive's full domain.
+pub struct AnyPrimitive<T> {
+    _marker: PhantomData<T>,
+}
+
+/// Generation over the full domain of a primitive type.
+pub trait PrimitiveSample: Sized {
+    /// Draw one value.
+    fn sample(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_primitive_int {
+    ($($t:ty),*) => {$(
+        impl PrimitiveSample for $t {
+            fn sample(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_primitive_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl PrimitiveSample for bool {
+    fn sample(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl<T: PrimitiveSample + Debug> Strategy for AnyPrimitive<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::sample(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_primitive {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            type Strategy = AnyPrimitive<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyPrimitive { _marker: PhantomData }
+            }
+        }
+    )*};
+}
+impl_arbitrary_primitive!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+/// Element-wise strategy for fixed-size arrays.
+pub struct ArrayStrategy<S, const N: usize> {
+    element: S,
+}
+
+impl<S: Strategy, const N: usize> Strategy for ArrayStrategy<S, N>
+where
+    S::Value: Debug,
+{
+    type Value = [S::Value; N];
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        std::array::from_fn(|_| self.element.new_value(rng))
+    }
+}
+
+impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+    type Strategy = ArrayStrategy<T::Strategy, N>;
+    fn arbitrary() -> Self::Strategy {
+        ArrayStrategy {
+            element: T::arbitrary(),
+        }
+    }
+}

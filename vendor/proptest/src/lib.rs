@@ -1,0 +1,161 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses.
+//!
+//! The build environment has no registry access, so the workspace
+//! vendors a miniature property-testing harness with the same surface:
+//! the [`proptest!`] macro, strategies ([`strategy::Strategy`] with
+//! `prop_map` / `prop_filter` / `prop_flat_map` / `prop_shuffle`,
+//! [`strategy::Just`], numeric-range strategies, tuples,
+//! [`collection::vec`], [`sample::Index`], [`prop_oneof!`]), the
+//! assertion macros, and [`test_runner::Config`].
+//!
+//! The one deliberate simplification: failing cases are reported but
+//! **not shrunk**. Generation is fully deterministic (fixed seed), so a
+//! reported failure reproduces exactly on re-run.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod prelude;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// Define property tests. Mirrors `proptest::proptest!`: an optional
+/// `#![proptest_config(..)]` inner attribute followed by `fn` items
+/// whose parameters use `pattern in strategy` syntax.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: munches one `fn` item at a
+/// time, turning its `pat in strategy` parameter list into a tuple
+/// strategy driven by the [`test_runner::TestRunner`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    (
+        ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let strategy = ($($strat,)+);
+            let mut runner = $crate::test_runner::TestRunner::new($cfg);
+            runner.run(&strategy, |($($pat,)+)| {
+                $body
+                ::core::result::Result::Ok(())
+            });
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Uniform choice between several strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Like `assert!`, but reports the failure through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Like `assert_eq!`, but reports the failure through the runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::core::result::Result::Err(
+                        $crate::test_runner::TestCaseError::fail(format!(
+                            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                            stringify!($left),
+                            stringify!($right),
+                            l,
+                            r
+                        )),
+                    );
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::core::result::Result::Err(
+                        $crate::test_runner::TestCaseError::fail(format!(
+                            "{}\n  left: {:?}\n right: {:?}",
+                            format!($($fmt)+),
+                            l,
+                            r
+                        )),
+                    );
+                }
+            }
+        }
+    };
+}
+
+/// Like `assert_ne!`, but reports the failure through the runner.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if *l == *r {
+                    return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!(
+                            "assertion failed: `{} != {}`\n  both: {:?}",
+                            stringify!($left),
+                            stringify!($right),
+                            l
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Discard the current case (it does not count toward the case budget)
+/// when a generated input fails a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}

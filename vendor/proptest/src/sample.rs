@@ -1,0 +1,35 @@
+//! Sampling helpers: [`Index`], a length-agnostic collection index.
+
+use crate::arbitrary::Arbitrary;
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// An index into a collection of as-yet-unknown size: generated as raw
+/// entropy, resolved against a concrete length with [`Index::index`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Index(u64);
+
+impl Index {
+    /// Resolve against a collection of `len` elements (`len > 0`).
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on an empty collection");
+        (self.0 % len as u64) as usize
+    }
+}
+
+/// Strategy producing arbitrary [`Index`] values.
+pub struct IndexStrategy;
+
+impl Strategy for IndexStrategy {
+    type Value = Index;
+    fn new_value(&self, rng: &mut TestRng) -> Index {
+        Index(rng.next_u64())
+    }
+}
+
+impl Arbitrary for Index {
+    type Strategy = IndexStrategy;
+    fn arbitrary() -> Self::Strategy {
+        IndexStrategy
+    }
+}

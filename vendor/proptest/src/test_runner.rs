@@ -1,0 +1,150 @@
+//! Case generation loop, configuration, and failure reporting.
+
+use crate::strategy::Strategy;
+use std::fmt;
+
+/// Runner configuration. `ProptestConfig` in the prelude is an alias.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Upper bound on rejected cases (via `prop_assume!` or
+    /// `prop_filter`) before the run is abandoned.
+    pub max_global_rejects: u32,
+}
+
+impl Config {
+    /// Configuration running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Config {
+            cases,
+            ..Config::default()
+        }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The property was violated; the test fails.
+    Fail(String),
+    /// The input did not satisfy a precondition; the case is discarded.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A property violation.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// A discarded input.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "test case failed: {r}"),
+            TestCaseError::Reject(r) => write!(f, "input rejected: {r}"),
+        }
+    }
+}
+
+/// Result type the generated test closures return.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Deterministic generation RNG (SplitMix64). A fixed stream keeps runs
+/// reproducible: a failure reported once fails identically on re-run.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Start a stream from `seed`.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Drives a strategy through the configured number of cases.
+pub struct TestRunner {
+    config: Config,
+    rng: TestRng,
+}
+
+impl TestRunner {
+    /// Runner with the given configuration and the fixed default seed.
+    pub fn new(config: Config) -> Self {
+        TestRunner {
+            config,
+            rng: TestRng::new(0x7072_6f70_7465_7374), // "proptest"
+        }
+    }
+
+    /// Generate and execute cases until `config.cases` succeed. Panics
+    /// (failing the enclosing `#[test]`) on the first property
+    /// violation, reporting the generated input.
+    pub fn run<S, F>(&mut self, strategy: &S, test: F)
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> TestCaseResult,
+    {
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        while passed < self.config.cases {
+            let value = strategy.new_value(&mut self.rng);
+            let repr = format!("{value:?}");
+            match test(value) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(reason)) => {
+                    rejected += 1;
+                    if rejected > self.config.max_global_rejects {
+                        panic!(
+                            "proptest: too many rejected inputs ({rejected}); \
+                             last precondition: {reason}"
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(reason)) => {
+                    panic!(
+                        "proptest: property failed after {passed} passing case(s)\n\
+                         {reason}\nfailing input: {repr}"
+                    );
+                }
+            }
+        }
+    }
+}
