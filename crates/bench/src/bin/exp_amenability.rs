@@ -5,95 +5,83 @@
 //! behavior from 8 hosts (likely due to transparent load balancers) and
 //! a constant IPID value of 0 from another 9 hosts (likely running
 //! Linux 2.4)."
+//!
+//! Runs through the `reorder-survey` campaign engine in
+//! amenability-only mode: the population generator draws the hosts,
+//! the work-stealing pool fans the probes out, and the streaming
+//! aggregator tallies the verdicts. `REORDER_SCALE=quick|std|full`
+//! trades population size for time.
 
-use reorder_bench::{parallel_map, rule, Scale};
-use reorder_core::sample::TestConfig;
-use reorder_core::scenario::{self, HostSpec};
-use reorder_core::techniques::{DualConnectionTest, IpidVerdict};
+use reorder_bench::{rule, Scale};
+use reorder_core::techniques::IpidVerdict;
+use reorder_survey::{run_campaign, CampaignConfig};
 use reorder_tcpstack::IpidScheme;
 
-fn probe_host(spec: HostSpec, seed: u64) -> (HostSpec, Option<IpidVerdict>) {
-    let mut sc = scenario::internet_host(&spec, seed);
-    let verdict = DualConnectionTest::new(TestConfig::samples(5))
-        .probe_amenability(&mut sc.prober, sc.target, 80)
-        .ok();
-    (spec, verdict)
-}
-
 fn main() {
-    let _ = Scale::from_env();
-    let specs = scenario::population(15, 35, 0xF165);
+    let scale = Scale::from_env();
+    let cfg = CampaignConfig {
+        hosts: scale.pick(2000, 50, 12),
+        seed: 0xF165,
+        amenability_only: true,
+        ..CampaignConfig::default()
+    };
     println!("E6: dual-connection-test amenability across the population (§IV-B)");
     rule(84);
 
-    let jobs: Vec<(HostSpec, u64)> = specs
-        .into_iter()
-        .enumerate()
-        .map(|(i, s)| (s, 0xE6_0000 + i as u64 * 17))
-        .collect();
-    let results = parallel_map(jobs, |(spec, seed)| probe_host(spec, seed));
+    let out = run_campaign(&cfg, None::<&mut Vec<u8>>).expect("no sink, no error");
 
-    let mut amenable = 0;
-    let mut zero = 0;
-    let mut nonmono = 0;
-    let mut failed = 0;
+    // Per-host table at survey scale; at campaign scale show the head.
+    let shown = out.reports.len().min(50);
     println!(
         "{:<26} {:<14} {:>9} {:<26}",
         "host", "ipid scheme", "backends", "validator verdict"
     );
     rule(84);
-    for (spec, verdict) in &results {
-        let scheme = match spec.personality.ipid {
+    for r in &out.reports[..shown] {
+        let scheme = match r.spec.personality.ipid {
             IpidScheme::GlobalCounter { .. } => "global",
             IpidScheme::GlobalCounterByteSwapped => "global-bswap",
             IpidScheme::PerDestination { .. } => "per-dest",
             IpidScheme::Random => "random",
             IpidScheme::ConstantZero => "zero",
         };
-        let v = match verdict {
-            Some(IpidVerdict::Amenable) => {
-                amenable += 1;
-                "amenable"
-            }
-            Some(IpidVerdict::ConstantZero) => {
-                zero += 1;
-                "constant zero"
-            }
-            Some(IpidVerdict::NonMonotonic) => {
-                nonmono += 1;
-                "non-monotonic"
-            }
-            None => {
-                failed += 1;
-                "probe failed"
-            }
-        };
+        let v = r.verdict.map_or("probe-failed", IpidVerdict::label);
         println!(
             "{:<26} {:<14} {:>9} {:<26}",
-            spec.name, scheme, spec.backends, v
+            r.spec.name, scheme, r.spec.backends, v
         );
     }
+    if shown < out.reports.len() {
+        println!("... ({} more hosts)", out.reports.len() - shown);
+    }
     rule(84);
-    println!("amenable:            {amenable}");
-    println!("constant IPID zero:  {zero}    (paper: 9 hosts, \"likely Linux 2.4\")");
-    println!("non-monotonic:       {nonmono}    (paper: 8 hosts, \"likely load balancers\")");
-    println!("probe failed:        {failed}");
+    let s = &out.summary;
+    println!("amenable:            {}", s.amenable);
+    println!(
+        "constant IPID zero:  {}    (paper: 9 hosts, \"likely Linux 2.4\")",
+        s.constant_zero
+    );
+    println!(
+        "non-monotonic:       {}    (paper: 8 hosts, \"likely load balancers\")",
+        s.non_monotonic
+    );
+    println!("probe failed:        {}", s.probe_failed);
 
     // Cross-check the verdicts against the ground-truth host configs.
     let mut correct = 0;
     let mut checked = 0;
-    for (spec, verdict) in &results {
-        let Some(v) = verdict else { continue };
+    for r in &out.reports {
+        let Some(v) = r.verdict else { continue };
         checked += 1;
-        let expected = match (spec.personality.ipid, spec.backends) {
+        let expected = match (r.spec.personality.ipid, r.spec.backends) {
             (IpidScheme::ConstantZero, _) => IpidVerdict::ConstantZero,
             (IpidScheme::Random, _) => IpidVerdict::NonMonotonic,
             // A balanced site *may* pass if both connections hash to
             // one backend; count either verdict as defensible.
-            (_, b) if b > 1 => *v,
+            (_, b) if b > 1 => v,
             _ => IpidVerdict::Amenable,
         };
-        if *v == expected {
+        if v == expected {
             correct += 1;
         }
     }

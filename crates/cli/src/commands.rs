@@ -10,6 +10,7 @@ use reorder_core::techniques::{
 use reorder_core::validate::validate_run;
 use reorder_core::{MeasurementRun, ProbeError};
 use reorder_netsim::pipes::{ArqConfig, CrossTraffic};
+use reorder_survey::{run_campaign, CampaignConfig, TechniqueChoice};
 use reorder_tcpstack::HostPersonality;
 use std::time::Duration;
 
@@ -24,6 +25,22 @@ fn personality(name: &str) -> Result<HostPersonality, ArgError> {
         "hardened" => HostPersonality::hardened(),
         other => return Err(ArgError(format!("unknown personality `{other}`"))),
     })
+}
+
+/// The techniques `measure` accepts (no `auto` — a canned rig has no
+/// amenability question). Validation is exhaustive: an unknown value is
+/// an [`ArgError`] listing the accepted set, never silently ignored.
+const MEASURE_TECHNIQUES: [&str; 4] = ["single", "dual", "syn", "transfer"];
+
+fn measure_technique(name: &str) -> Result<&str, ArgError> {
+    if MEASURE_TECHNIQUES.contains(&name) {
+        Ok(name)
+    } else {
+        Err(ArgError(format!(
+            "unknown technique `{name}` (accepted: {})",
+            MEASURE_TECHNIQUES.join(", ")
+        )))
+    }
 }
 
 fn fmt_estimate(label: &str, e: ReorderEstimate) -> String {
@@ -50,9 +67,7 @@ fn run_technique(
         "transfer" => {
             DataTransferTest::new(TestConfig::default()).run(&mut sc.prober, sc.target, 80)
         }
-        other => Err(ProbeError::HostUnsuitable(format!(
-            "unknown technique `{other}`"
-        ))),
+        other => unreachable!("technique `{other}` validated by measure_technique"),
     }
 }
 
@@ -68,7 +83,7 @@ pub fn measure(args: &Args) -> Result<(), ArgError> {
         "lb",
         "seed",
     ])?;
-    let technique = args.get("technique").unwrap_or("single").to_string();
+    let technique = measure_technique(args.get("technique").unwrap_or("single"))?.to_string();
     let fwd: f64 = args.get_or("fwd", 0.10)?;
     let rev: f64 = args.get_or("rev", 0.05)?;
     let samples: usize = args.get_or("samples", 100)?;
@@ -153,41 +168,94 @@ pub fn profile(args: &Args) -> Result<(), ArgError> {
     Ok(())
 }
 
-/// `reorder survey`.
+/// Parse a comma-separated list of µs gaps ("0,100,300").
+fn parse_gaps(s: &str) -> Result<Vec<u64>, ArgError> {
+    s.split(',')
+        .map(str::trim)
+        .filter(|t| !t.is_empty())
+        .map(|t| {
+            t.parse()
+                .map_err(|_| ArgError(format!("invalid gap `{t}` in --gaps-us (want µs integers)")))
+        })
+        .collect()
+}
+
+/// `reorder survey` — the sharded campaign engine (`reorder-survey`)
+/// run over a generated host population. Output on stdout is
+/// byte-identical across reruns and worker counts for a fixed seed;
+/// timing goes to stderr.
 pub fn survey(args: &Args) -> Result<(), ArgError> {
-    args.expect_only(&["hosts", "rounds", "seed"])?;
-    let hosts: usize = args.get_or("hosts", 10)?;
-    let rounds: usize = args.get_or("rounds", 3)?;
-    let seed: u64 = args.get_or("seed", 77)?;
-    let specs = scenario::population(hosts.min(15), hosts.saturating_sub(15), seed);
-    println!("{:<26} {:>9} {:>9} {:>9}", "host", "fwd", "rev", "status");
-    for (i, spec) in specs.iter().take(hosts).enumerate() {
-        let cfg = TestConfig::samples(15);
-        let mut fwd = ReorderEstimate::new(0, 0);
-        let mut rev = ReorderEstimate::new(0, 0);
-        let mut failures = 0;
-        for round in 0..rounds {
-            let mut sc = scenario::internet_host(spec, seed + (i * 100 + round) as u64);
-            match SingleConnectionTest::reversed(cfg).run(&mut sc.prober, sc.target, 80) {
-                Ok(run) => {
-                    fwd = fwd.merge(&run.fwd_estimate());
-                    rev = rev.merge(&run.rev_estimate());
-                }
-                Err(_) => failures += 1,
-            }
-        }
-        println!(
-            "{:<26} {:>8.2}% {:>8.2}% {:>9}",
-            spec.name,
-            fwd.rate() * 100.0,
-            rev.rate() * 100.0,
-            if failures == rounds {
-                "unreachable"
-            } else {
-                "ok"
-            }
-        );
+    args.expect_only(&[
+        "hosts",
+        "workers",
+        "rounds",
+        "samples",
+        "seed",
+        "technique",
+        "jsonl",
+        "gaps-us",
+        "no-baseline",
+        "amenability-only",
+        "per-host",
+    ])?;
+    let cfg = CampaignConfig {
+        hosts: args.get_or("hosts", 50)?,
+        workers: args.get_or("workers", 0)?,
+        rounds: args.get_or("rounds", 1)?,
+        samples: args.get_or("samples", 15)?,
+        seed: args.get_or("seed", 77)?,
+        technique: TechniqueChoice::parse(args.get("technique").unwrap_or("auto"))
+            .map_err(ArgError)?,
+        baseline: !args.switch("no-baseline"),
+        amenability_only: args.switch("amenability-only"),
+        gaps_us: parse_gaps(args.get("gaps-us").unwrap_or(""))?,
+        model: Default::default(),
+    };
+
+    let started = std::time::Instant::now();
+    let mut file = match args.get("jsonl") {
+        Some(path) => Some(
+            std::fs::File::create(path)
+                .map(std::io::BufWriter::new)
+                .map_err(|e| ArgError(format!("creating {path}: {e}")))?,
+        ),
+        None => None,
+    };
+    let out = run_campaign(&cfg, file.as_mut())
+        .map_err(|e| ArgError(format!("writing JSONL report: {e}")))?;
+    if let Some(mut f) = file {
+        use std::io::Write as _;
+        f.flush()
+            .map_err(|e| ArgError(format!("writing JSONL report: {e}")))?;
     }
+    let wall = started.elapsed();
+
+    if args.switch("per-host") {
+        println!(
+            "{:<22} {:<12} {:<13} {:>10} {:>9} {:>9} {:>12}",
+            "host", "personality", "verdict", "technique", "fwd", "rev", "status"
+        );
+        for r in &out.reports {
+            println!(
+                "{:<22} {:<12} {:<13} {:>10} {:>8.2}% {:>8.2}% {:>12}",
+                r.spec.name,
+                r.spec.personality.name,
+                r.verdict.map_or("probe-failed", |v| v.label()),
+                r.technique,
+                r.fwd.rate() * 100.0,
+                r.rev.rate() * 100.0,
+                if r.reachable { "ok" } else { "unreachable" }
+            );
+        }
+    }
+    print!("{}", out.summary.render());
+    eprintln!(
+        "campaign: {} hosts in {:.2}s on {} worker(s), {} steal(s)",
+        cfg.hosts,
+        wall.as_secs_f64(),
+        out.stats.workers,
+        out.stats.steals
+    );
     Ok(())
 }
 
@@ -306,6 +374,46 @@ mod tests {
     #[test]
     fn survey_command_runs_small() {
         survey(&parse("survey --hosts 3 --rounds 1")).expect("survey");
+    }
+
+    #[test]
+    fn survey_full_flag_set_runs() {
+        let path = std::env::temp_dir().join("reorder_cli_survey_test.jsonl");
+        let cmd = format!(
+            "survey --hosts 4 --workers 2 --samples 4 --seed 9 --technique auto \
+             --gaps-us 0,50 --per-host --jsonl {}",
+            path.display()
+        );
+        survey(&parse(&cmd)).expect("survey");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 4);
+        assert!(text.lines().all(|l| l.starts_with("{\"id\":")));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn measure_rejects_unknown_technique_with_accepted_set() {
+        let e = measure(&parse("measure --technique warp")).unwrap_err();
+        assert!(e.0.contains("unknown technique `warp`"), "{e}");
+        for t in MEASURE_TECHNIQUES {
+            assert!(e.0.contains(t), "error must list `{t}`: {e}");
+        }
+    }
+
+    #[test]
+    fn survey_rejects_unknown_technique_with_accepted_set() {
+        let e = survey(&parse("survey --hosts 2 --technique warp")).unwrap_err();
+        assert!(e.0.contains("unknown technique `warp`"), "{e}");
+        for t in TechniqueChoice::ACCEPTED {
+            assert!(e.0.contains(t), "error must list `{t}`: {e}");
+        }
+    }
+
+    #[test]
+    fn survey_rejects_bad_gaps() {
+        assert!(survey(&parse("survey --hosts 2 --gaps-us 0,x")).is_err());
+        assert_eq!(parse_gaps("0, 50,300").unwrap(), vec![0, 50, 300]);
+        assert_eq!(parse_gaps("").unwrap(), Vec::<u64>::new());
     }
 
     #[test]

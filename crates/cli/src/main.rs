@@ -34,8 +34,21 @@ COMMANDS:
                --max-us N           sweep upper bound (default 300)
                --step-us N          sweep step (default 25)
                --seed S
-  survey     scorecard over a simulated host population (§IV-B style)
-               --hosts N --rounds R --seed S
+  survey     sharded measurement campaign over a generated host
+             population (§IV-B scaled up; deterministic in --seed,
+             byte-identical across worker counts)
+               --hosts N            population size (default 50)
+               --workers W          worker threads (default 0 = all cores)
+               --samples N          samples per technique run (default 15)
+               --rounds R           measurement rounds per host (default 1)
+               --technique T        auto|single|dual|syn|transfer (default auto:
+                                    IPID-validate, dual where amenable, SYN fallback)
+               --jsonl FILE         write one JSON line per host
+               --gaps-us LIST       extra gap sweep, e.g. 0,100,300 (§IV-C)
+               --per-host           print the per-host table too
+               --no-baseline        skip the data-transfer baseline
+               --amenability-only   verdicts only, no measurement
+               --seed S
   validate   measure and cross-check against the capture trace (§IV-A)
                --fwd P --rev P --samples N --seed S
   pcap       run a measurement and export the server-side trace

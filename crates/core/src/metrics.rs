@@ -11,8 +11,8 @@
 use std::time::Duration;
 
 /// A reordering-rate estimate: `reordered` events out of `total`
-/// determinate samples.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// determinate samples. `Default` is the empty estimate (0/0).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ReorderEstimate {
     /// Reordered (exchanged) samples.
     pub reordered: usize,

@@ -55,15 +55,32 @@ impl Scenario {
     }
 }
 
-/// Merge several live traces into one, ordered by time (stable within a
-/// trace).
+/// Merge several live traces into one, ordered by time. Each input
+/// trace is already time-ordered (the capture taps append in event
+/// order), so this is a reserve-sized k-way merge rather than a
+/// flatten-and-sort. Ties break stably: earlier handles in the slice
+/// win, and within one handle the capture order is preserved.
 pub fn merge_traces(handles: &[TraceHandle]) -> Trace {
-    let mut all: Vec<_> = handles
-        .iter()
-        .flat_map(|h| h.borrow().iter().cloned().collect::<Vec<_>>())
-        .collect();
-    all.sort_by_key(|r| r.time);
-    Trace(all)
+    let borrowed: Vec<_> = handles.iter().map(|h| h.borrow()).collect();
+    let total: usize = borrowed.iter().map(|t| t.len()).sum();
+    let mut out = Vec::with_capacity(total);
+    let mut cursor = vec![0usize; borrowed.len()];
+    for _ in 0..total {
+        // k is tiny (one entry per backend), so a linear min scan beats
+        // a heap here.
+        let mut best: Option<usize> = None;
+        for (k, t) in borrowed.iter().enumerate() {
+            if cursor[k] < t.len()
+                && best.is_none_or(|b| t[cursor[k]].time < borrowed[b][cursor[b]].time)
+            {
+                best = Some(k);
+            }
+        }
+        let k = best.expect("total bounds the loop");
+        out.push(borrowed[k][cursor[k]].clone());
+        cursor[k] += 1;
+    }
+    Trace(out)
 }
 
 fn fast_lan() -> LinkParams {
@@ -299,6 +316,46 @@ pub fn wireless_path(cfg: ArqConfig, seed: u64) -> Scenario {
     pipe_path(Box::new(WirelessArq::new(cfg, seed, "arq")), seed)
 }
 
+/// Which reordering mechanism sits in a population host's path. The
+/// §IV-B population is dummynet-style adjacent swaps; the campaign
+/// engine (`reorder-survey`) draws from all of the §V causes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PathMechanism {
+    /// Modified-dummynet adjacent swaps at the spec's
+    /// `fwd_reorder`/`rev_reorder` probabilities.
+    Dummynet,
+    /// An N-way striped link with Poisson cross-traffic (§IV-C).
+    Striping {
+        /// Number of parallel links.
+        links: usize,
+        /// Per-link rate in bits per second.
+        bits_per_sec: u64,
+    },
+    /// Packet-sprayed multipath with a one-way delay skew between the
+    /// two routes (§V).
+    Multipath {
+        /// Extra one-way delay of the slower route.
+        skew: Duration,
+    },
+    /// Wireless link-layer ARQ without resequencing (§V).
+    WirelessArq {
+        /// Per-transmission frame error probability.
+        frame_error: f64,
+    },
+}
+
+impl PathMechanism {
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PathMechanism::Dummynet => "dummynet",
+            PathMechanism::Striping { .. } => "striping",
+            PathMechanism::Multipath { .. } => "multipath",
+            PathMechanism::WirelessArq { .. } => "arq",
+        }
+    }
+}
+
 /// Path characteristics of one simulated Internet host (for the §IV-B
 /// population).
 #[derive(Debug, Clone)]
@@ -315,10 +372,35 @@ pub struct HostSpec {
     pub loss: f64,
     /// One-way propagation delay.
     pub delay: Duration,
+    /// Constant per-path extra delay applied by the jitter stage
+    /// (min == max, so it never reorders by itself — see
+    /// [`internet_host`]).
+    pub jitter: Duration,
     /// Number of load-balancer backends (1 = no balancer).
     pub backends: usize,
     /// Served object size in bytes.
     pub object_size: usize,
+    /// The reordering mechanism in the path.
+    pub mechanism: PathMechanism,
+}
+
+impl HostSpec {
+    /// A clean direct path (no loss, no reordering, one backend) — the
+    /// base most tests and generators start from.
+    pub fn clean(name: &str, personality: HostPersonality) -> Self {
+        HostSpec {
+            name: name.to_string(),
+            personality,
+            fwd_reorder: 0.0,
+            rev_reorder: 0.0,
+            loss: 0.0,
+            delay: Duration::from_millis(10),
+            jitter: Duration::from_micros(150),
+            backends: 1,
+            object_size: 12 * 1024,
+            mechanism: PathMechanism::Dummynet,
+        }
+    }
 }
 
 /// Generate the measurement population of §IV-B: `popular` well-known
@@ -371,8 +453,10 @@ pub fn population(popular: usize, random: usize, seed: u64) -> Vec<HostSpec> {
             },
             loss: rng.gen_range(0.0..0.01),
             delay: Duration::from_millis(rng.gen_range(5..60)),
+            jitter: Duration::from_micros(150),
             backends: if rng.gen_bool(0.4) { 4 } else { 1 },
             object_size: 16 * 1024,
+            mechanism: PathMechanism::Dummynet,
         });
     }
     for i in 0..random {
@@ -393,19 +477,24 @@ pub fn population(popular: usize, random: usize, seed: u64) -> Vec<HostSpec> {
             },
             loss: rng.gen_range(0.0..0.02),
             delay: Duration::from_millis(rng.gen_range(5..120)),
+            jitter: Duration::from_micros(150),
             backends: if rng.gen_bool(0.1) { 2 } else { 1 },
             object_size: if rng.gen_bool(0.15) {
                 256 // redirect-sized: defeats the transfer test (§III-E)
             } else {
                 12 * 1024
             },
+            mechanism: PathMechanism::Dummynet,
         });
     }
     specs
 }
 
 /// Build the path to one population host: probe — loss — jitter —
-/// dummynet — (balancer) — host(s).
+/// reordering mechanism — (balancer) — host(s). The mechanism stage is
+/// chosen by [`HostSpec::mechanism`]; the §IV-B population uses
+/// dummynet swaps, the campaign engine also draws striping, multipath
+/// and wireless-ARQ paths.
 pub fn internet_host(spec: &HostSpec, seed: u64) -> Scenario {
     let mut sim = Simulator::new(seed);
     let (mb, queue) = Mailbox::new();
@@ -416,23 +505,53 @@ pub fn internet_host(spec: &HostSpec, seed: u64) -> Scenario {
     // Constant per-path extra delay (min == max preserves order). Any
     // i.i.d. jitter wider than the probe spacing would itself reorder
     // ~half of all back-to-back pairs — that's the §IV-C sensitivity —
-    // so the population paths keep the dummynet as the sole reordering
-    // source and their configured rates meaningful.
+    // so the population paths keep the mechanism stage as the sole
+    // reordering source and their configured rates meaningful.
     let jitter = sim.add_node(Box::new(DelayJitter::new(
-        Duration::from_micros(150),
-        Duration::from_micros(150),
+        spec.jitter,
+        spec.jitter,
         seed,
         "jitter",
     )));
-    let dummy = sim.add_node(Box::new(DummynetReorder::new(
-        DummynetConfig {
-            fwd_swap: spec.fwd_reorder,
-            rev_swap: spec.rev_reorder,
-            max_hold: Duration::from_millis(50),
-        },
-        seed,
-        "dummynet",
-    )));
+    let mech: Box<dyn reorder_netsim::Device> = match spec.mechanism {
+        PathMechanism::Dummynet => Box::new(DummynetReorder::new(
+            DummynetConfig {
+                fwd_swap: spec.fwd_reorder,
+                rev_swap: spec.rev_reorder,
+                max_hold: Duration::from_millis(50),
+            },
+            seed,
+            "dummynet",
+        )),
+        PathMechanism::Striping {
+            links,
+            bits_per_sec,
+        } => Box::new(StripingLink::new(
+            links,
+            bits_per_sec,
+            Some(CrossTraffic::backbone()),
+            seed,
+            "stripe",
+        )),
+        PathMechanism::Multipath { skew } => Box::new(MultipathRoute::with_seed(
+            SplitMode::Random,
+            vec![
+                Duration::from_micros(100),
+                Duration::from_micros(100) + skew,
+            ],
+            seed,
+            "multipath",
+        )),
+        PathMechanism::WirelessArq { frame_error } => Box::new(WirelessArq::new(
+            ArqConfig {
+                frame_error,
+                ..ArqConfig::default()
+            },
+            seed,
+            "arq",
+        )),
+    };
+    let dummy = sim.add_node(mech);
     sim.connect(me, Port(0), loss, UP, fast_lan());
     sim.connect(loss, DOWN, jitter, UP, wan(spec.delay.as_millis() as u64));
     sim.connect(jitter, DOWN, dummy, UP, fast_lan());
@@ -527,6 +646,69 @@ mod tests {
             .filter(|t| !t.borrow().is_empty())
             .count();
         assert!(hit >= 2, "expected spread over backends, got {hit}");
+    }
+
+    #[test]
+    fn merge_traces_breaks_ties_stably() {
+        use reorder_netsim::{Dir, SimTime, TraceRecord};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        // Distinguish records by IPID; handle A gets even IDs, B odd.
+        let rec = |t: u64, ipid: u16| TraceRecord {
+            time: SimTime::from_micros(t),
+            node: NodeId(0),
+            port: Port(0),
+            dir: Dir::Rx,
+            pkt: reorder_wire::PacketBuilder::tcp()
+                .src(Ipv4Addr4::new(1, 1, 1, 1), 1)
+                .dst(Ipv4Addr4::new(2, 2, 2, 2), 2)
+                .ipid(ipid)
+                .build(),
+        };
+        let a: TraceHandle = Rc::new(RefCell::new(vec![rec(10, 0), rec(20, 2), rec(20, 4)]));
+        let b: TraceHandle = Rc::new(RefCell::new(vec![rec(10, 1), rec(20, 3), rec(30, 5)]));
+        let merged = merge_traces(&[a, b]);
+        let ids: Vec<u16> = merged.0.iter().map(|r| r.pkt.ip.ident.raw()).collect();
+        // Time-ordered; at equal times every record of the earlier
+        // handle precedes the later handle's, preserving capture order.
+        assert!(merged.0.windows(2).all(|w| w[0].time <= w[1].time));
+        assert_eq!(ids, vec![0, 1, 2, 4, 3, 5]);
+    }
+
+    #[test]
+    fn merge_traces_empty_inputs() {
+        assert!(merge_traces(&[]).is_empty());
+        let empty: TraceHandle = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        assert!(merge_traces(&[empty]).is_empty());
+    }
+
+    #[test]
+    fn mechanism_paths_measurable() {
+        // Every PathMechanism variant produces a path a measurement can
+        // complete on.
+        let mechanisms = [
+            PathMechanism::Dummynet,
+            PathMechanism::Striping {
+                links: 2,
+                bits_per_sec: 1_000_000_000,
+            },
+            PathMechanism::Multipath {
+                skew: Duration::from_micros(80),
+            },
+            PathMechanism::WirelessArq { frame_error: 0.1 },
+        ];
+        for (i, mech) in mechanisms.into_iter().enumerate() {
+            let spec = HostSpec {
+                fwd_reorder: 0.1,
+                mechanism: mech,
+                ..HostSpec::clean("mech", HostPersonality::freebsd4())
+            };
+            let mut sc = internet_host(&spec, 900 + i as u64);
+            sc.prober
+                .handshake(sc.target, 80, 1460, 65535, Duration::from_secs(1))
+                .unwrap_or_else(|e| panic!("handshake via {}: {e}", mech.label()));
+        }
     }
 
     #[test]

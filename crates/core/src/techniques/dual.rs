@@ -38,6 +38,15 @@ pub enum IpidVerdict {
 }
 
 impl IpidVerdict {
+    /// Short label for tables and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            IpidVerdict::Amenable => "amenable",
+            IpidVerdict::ConstantZero => "constant-zero",
+            IpidVerdict::NonMonotonic => "non-monotonic",
+        }
+    }
+
     /// Human-readable explanation.
     pub fn describe(self) -> &'static str {
         match self {

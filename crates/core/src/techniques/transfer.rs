@@ -231,14 +231,9 @@ mod tests {
         // 256-byte object fits one clamped segment → unusable (§III-E:
         // HTTP-redirect-sized responses).
         let spec = scenario::HostSpec {
-            name: "tiny".into(),
-            personality: reorder_tcpstack::HostPersonality::freebsd4(),
-            fwd_reorder: 0.0,
-            rev_reorder: 0.0,
-            loss: 0.0,
             delay: Duration::from_millis(5),
-            backends: 1,
             object_size: 200,
+            ..scenario::HostSpec::clean("tiny", reorder_tcpstack::HostPersonality::freebsd4())
         };
         let mut sc = scenario::internet_host(&spec, 83);
         match DataTransferTest::new(TestConfig::default()).run(&mut sc.prober, sc.target, 80) {

@@ -1,0 +1,344 @@
+//! Layer 4a: streaming aggregation.
+//!
+//! The aggregator absorbs [`HostReport`]s one at a time (the engine
+//! feeds it in host-id order) and keeps only O(1) state per breakdown
+//! key: merged `(reordered, total)` counts, online mean/CI via
+//! [`reorder_core::stats::Streaming`], and fixed-bucket rate
+//! histograms. Nothing per-sample is ever retained — memory is
+//! O(hosts) for the reports the engine keeps, O(1) here.
+
+use crate::pipeline::HostReport;
+use reorder_core::metrics::ReorderEstimate;
+use reorder_core::stats::Streaming;
+use reorder_core::techniques::IpidVerdict;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Upper bucket bounds of [`RateHistogram`] (a first bucket catches
+/// exact zero). Chosen to resolve the Fig. 5 range: most hosts near
+/// zero, a tail out to tens of percent.
+pub const RATE_BUCKETS: [f64; 8] = [0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 1.0];
+
+/// Fixed-bucket histogram over per-host reordering rates — the
+/// streaming stand-in for the Fig. 5 CDF.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RateHistogram {
+    zero: u64,
+    counts: [u64; RATE_BUCKETS.len()],
+}
+
+impl RateHistogram {
+    /// Fold in one host's rate.
+    pub fn push(&mut self, rate: f64) {
+        if rate <= 0.0 {
+            self.zero += 1;
+            return;
+        }
+        for (i, &ub) in RATE_BUCKETS.iter().enumerate() {
+            if rate <= ub {
+                self.counts[i] += 1;
+                return;
+            }
+        }
+        self.counts[RATE_BUCKETS.len() - 1] += 1;
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.zero + self.counts.iter().sum::<u64>()
+    }
+
+    /// Hosts with exactly zero measured reordering.
+    pub fn zeros(&self) -> u64 {
+        self.zero
+    }
+
+    /// `(label, count)` rows, zero bucket first.
+    pub fn rows(&self) -> Vec<(String, u64)> {
+        let mut rows = vec![("0".to_string(), self.zero)];
+        let mut lo = 0.0;
+        for (i, &ub) in RATE_BUCKETS.iter().enumerate() {
+            rows.push((
+                format!("({:.1}%, {:.1}%]", lo * 100.0, ub * 100.0),
+                self.counts[i],
+            ));
+            lo = ub;
+        }
+        rows
+    }
+}
+
+/// Per-breakdown-key accumulator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GroupAgg {
+    /// Hosts in the group.
+    pub hosts: u64,
+    /// Pooled forward estimate (sums of counts — order-independent).
+    pub fwd: ReorderEstimate,
+    /// Pooled reverse estimate.
+    pub rev: ReorderEstimate,
+    /// Online stats over per-host forward rates.
+    pub fwd_rates: Streaming,
+}
+
+impl GroupAgg {
+    fn absorb(&mut self, r: &HostReport) {
+        self.hosts += 1;
+        self.fwd = self.fwd.merge(&r.fwd);
+        self.rev = self.rev.merge(&r.rev);
+        if r.fwd.total > 0 {
+            self.fwd_rates.push(r.fwd.rate());
+        }
+    }
+}
+
+/// Campaign-wide streaming summary.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignSummary {
+    /// Hosts surveyed.
+    pub hosts: u64,
+    /// Hosts with at least one successful measurement round (or, in
+    /// amenability-only mode, a verdict).
+    pub reachable: u64,
+    /// Amenability tallies: amenable / constant-zero / non-monotonic /
+    /// probe-failed.
+    pub amenable: u64,
+    /// Constant-zero IPID verdicts (paper: "likely Linux 2.4").
+    pub constant_zero: u64,
+    /// Non-monotonic IPID verdicts (paper: "likely load balancers").
+    pub non_monotonic: u64,
+    /// Amenability probes that failed outright.
+    pub probe_failed: u64,
+    /// Hosts whose measured fwd or rev rate was nonzero.
+    pub reordering_hosts: u64,
+    /// Online stats over per-host forward rates.
+    pub fwd_rates: Streaming,
+    /// Online stats over per-host reverse rates.
+    pub rev_rates: Streaming,
+    /// Pooled forward estimate over all samples of all hosts.
+    pub fwd_pooled: ReorderEstimate,
+    /// Pooled reverse estimate.
+    pub rev_pooled: ReorderEstimate,
+    /// Pooled reverse estimate of the transfer baseline.
+    pub baseline_pooled: ReorderEstimate,
+    /// Histogram of per-host forward rates.
+    pub fwd_hist: RateHistogram,
+    /// Breakdown by measuring technique.
+    pub by_technique: BTreeMap<&'static str, GroupAgg>,
+    /// Breakdown by OS personality.
+    pub by_personality: BTreeMap<&'static str, GroupAgg>,
+    /// Breakdown by path mechanism.
+    pub by_mechanism: BTreeMap<&'static str, GroupAgg>,
+    /// Campaign gap profile: gap µs → pooled forward estimate.
+    pub gap_profile: BTreeMap<u64, ReorderEstimate>,
+}
+
+impl CampaignSummary {
+    /// Fold in one host's report. The engine calls this in host-id
+    /// order, which pins the floating-point accumulation order and
+    /// keeps the rendered summary byte-identical across worker counts.
+    pub fn absorb(&mut self, r: &HostReport) {
+        self.hosts += 1;
+        if r.reachable {
+            self.reachable += 1;
+        }
+        match r.verdict {
+            Some(IpidVerdict::Amenable) => self.amenable += 1,
+            Some(IpidVerdict::ConstantZero) => self.constant_zero += 1,
+            Some(IpidVerdict::NonMonotonic) => self.non_monotonic += 1,
+            None => self.probe_failed += 1,
+        }
+        if r.fwd.reordered > 0 || r.rev.reordered > 0 {
+            self.reordering_hosts += 1;
+        }
+        if r.fwd.total > 0 {
+            self.fwd_rates.push(r.fwd.rate());
+            self.fwd_hist.push(r.fwd.rate());
+        }
+        if r.rev.total > 0 {
+            self.rev_rates.push(r.rev.rate());
+        }
+        self.fwd_pooled = self.fwd_pooled.merge(&r.fwd);
+        self.rev_pooled = self.rev_pooled.merge(&r.rev);
+        if let Some(b) = r.baseline_rev {
+            self.baseline_pooled = self.baseline_pooled.merge(&b);
+        }
+        self.by_technique.entry(r.technique).or_default().absorb(r);
+        self.by_personality
+            .entry(r.spec.personality.name)
+            .or_default()
+            .absorb(r);
+        self.by_mechanism
+            .entry(r.spec.mechanism.label())
+            .or_default()
+            .absorb(r);
+        for &(gap, est) in &r.gap_points {
+            let e = self.gap_profile.entry(gap).or_default();
+            *e = e.merge(&est);
+        }
+    }
+
+    /// Render the summary table (deterministic: every map is a
+    /// `BTreeMap`, every float printed with fixed precision).
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let rule = "-".repeat(66);
+        let _ = writeln!(s, "campaign summary: {} hosts", self.hosts);
+        let _ = writeln!(s, "{rule}");
+        let _ = writeln!(
+            s,
+            "reachable: {}   unreachable: {}   reordering observed: {}",
+            self.reachable,
+            self.hosts - self.reachable,
+            self.reordering_hosts
+        );
+        let _ = writeln!(
+            s,
+            "ipid verdicts: amenable {}  constant-zero {}  non-monotonic {}  failed {}",
+            self.amenable, self.constant_zero, self.non_monotonic, self.probe_failed
+        );
+        if self.fwd_rates.count() > 0 {
+            let (lo, hi) = self.fwd_rates.ci(0.95);
+            let _ = writeln!(
+                s,
+                "fwd rate/host: mean {:.4}% (95% CI [{:.4}%, {:.4}%], n={})   pooled {:.4}% ({}/{})",
+                self.fwd_rates.mean() * 100.0,
+                lo.max(0.0) * 100.0,
+                hi * 100.0,
+                self.fwd_rates.count(),
+                self.fwd_pooled.rate() * 100.0,
+                self.fwd_pooled.reordered,
+                self.fwd_pooled.total,
+            );
+        }
+        if self.rev_rates.count() > 0 {
+            let _ = writeln!(
+                s,
+                "rev rate/host: mean {:.4}%   pooled {:.4}% ({}/{})   transfer baseline {:.4}% ({}/{})",
+                self.rev_rates.mean() * 100.0,
+                self.rev_pooled.rate() * 100.0,
+                self.rev_pooled.reordered,
+                self.rev_pooled.total,
+                self.baseline_pooled.rate() * 100.0,
+                self.baseline_pooled.reordered,
+                self.baseline_pooled.total,
+            );
+        }
+        if self.fwd_hist.total() > 0 {
+            let _ = writeln!(s, "{rule}");
+            let _ = writeln!(s, "fwd rate histogram (hosts)");
+            let max = self
+                .fwd_hist
+                .rows()
+                .iter()
+                .map(|&(_, c)| c)
+                .max()
+                .unwrap_or(1)
+                .max(1);
+            for (label, count) in self.fwd_hist.rows() {
+                let bar = "#".repeat((count * 40 / max) as usize);
+                let _ = writeln!(s, "{label:>16} {count:>7}  {bar}");
+            }
+        }
+        for (title, map) in [
+            ("technique", &self.by_technique),
+            ("personality", &self.by_personality),
+            ("mechanism", &self.by_mechanism),
+        ] {
+            let _ = writeln!(s, "{rule}");
+            let _ = writeln!(
+                s,
+                "{:<14} {:>7} {:>12} {:>12} {:>12}",
+                format!("by {title}"),
+                "hosts",
+                "fwd pooled",
+                "fwd mean",
+                "rev pooled"
+            );
+            for (key, g) in map.iter() {
+                let _ = writeln!(
+                    s,
+                    "{key:<14} {:>7} {:>11.4}% {:>11.4}% {:>11.4}%",
+                    g.hosts,
+                    g.fwd.rate() * 100.0,
+                    g.fwd_rates.mean() * 100.0,
+                    g.rev.rate() * 100.0,
+                );
+            }
+        }
+        if !self.gap_profile.is_empty() {
+            let _ = writeln!(s, "{rule}");
+            let _ = writeln!(s, "{:>8} {:>12} {:>12}", "gap(us)", "fwd pooled", "samples");
+            for (gap, est) in &self.gap_profile {
+                let _ = writeln!(
+                    s,
+                    "{gap:>8} {:>11.4}% {:>12}",
+                    est.rate() * 100.0,
+                    est.total
+                );
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{survey_host, HostJob};
+    use reorder_core::scenario::HostSpec;
+    use reorder_tcpstack::HostPersonality;
+
+    #[test]
+    fn histogram_buckets() {
+        let mut h = RateHistogram::default();
+        for r in [0.0, 0.0005, 0.004, 0.02, 0.3, 0.9, 0.0] {
+            h.push(r);
+        }
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.zeros(), 2);
+        let rows = h.rows();
+        assert_eq!(rows.len(), 1 + RATE_BUCKETS.len());
+        assert_eq!(rows[0].1, 2); // zero bucket
+        assert_eq!(rows[1].1, 1); // (0, 0.1%]
+        assert_eq!(rows[2].1, 1); // (0.1%, 0.5%]
+        assert_eq!(rows[4].1, 1); // (1%, 2.5%]
+        assert_eq!(rows.last().unwrap().1, 2); // (25%, 100%]
+        assert_eq!(rows.iter().map(|&(_, c)| c).sum::<u64>(), 7);
+    }
+
+    #[test]
+    fn summary_absorbs_and_renders() {
+        let job = HostJob {
+            samples: 5,
+            ..HostJob::default()
+        };
+        let mut sum = CampaignSummary::default();
+        for (i, p) in [
+            HostPersonality::freebsd4(),
+            HostPersonality::openbsd3(),
+            HostPersonality::linux24(),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let spec = HostSpec {
+                fwd_reorder: 0.2,
+                ..HostSpec::clean("agg", p)
+            };
+            sum.absorb(&survey_host(i as u64, &spec, 700 + i as u64, &job));
+        }
+        assert_eq!(sum.hosts, 3);
+        assert_eq!(sum.amenable, 1);
+        assert_eq!(sum.non_monotonic, 1);
+        assert_eq!(sum.constant_zero, 1);
+        assert!(sum.by_technique.contains_key("dual"));
+        assert!(sum.by_technique.contains_key("syn"));
+        assert_eq!(sum.by_personality.len(), 3);
+        let rendered = sum.render();
+        assert!(rendered.contains("campaign summary: 3 hosts"));
+        assert!(rendered.contains("by technique"));
+        assert!(rendered.contains("by personality"));
+        assert!(rendered.contains("by mechanism"));
+    }
+}

@@ -1,0 +1,215 @@
+//! The campaign engine: population → sharded scheduler → per-host
+//! pipeline → streaming aggregation and sinks.
+//!
+//! Determinism invariants (asserted by `tests/determinism.rs`):
+//!
+//! * host `i`'s spec and measurement seed depend only on `(model,
+//!   master seed, i)` — never on the worker that ran it;
+//! * the JSONL sink and summary absorb results in host-id order via
+//!   the scheduler's reorder buffer, pinning float accumulation order;
+//! * therefore campaign output is byte-identical across reruns *and*
+//!   worker counts.
+
+use crate::aggregate::CampaignSummary;
+use crate::pipeline::{survey_host, HostJob, HostReport, TechniqueChoice};
+use crate::population::PopulationModel;
+use crate::report::jsonl_line;
+use crate::scheduler::{run_sharded, PoolStats};
+use reorder_netsim::rng as simrng;
+use std::io::{self, Write};
+
+/// Everything a campaign needs.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Hosts to survey.
+    pub hosts: usize,
+    /// Worker threads (0 = all available cores).
+    pub workers: usize,
+    /// Master seed; every host seed derives from it.
+    pub seed: u64,
+    /// Samples per technique run.
+    pub samples: usize,
+    /// Measurement rounds per host.
+    pub rounds: usize,
+    /// Technique selection (default: the paper's auto protocol).
+    pub technique: TechniqueChoice,
+    /// Take the data-transfer reverse-path baseline.
+    pub baseline: bool,
+    /// Amenability verdicts only, no measurement (§IV-B survey mode).
+    pub amenability_only: bool,
+    /// Inter-packet gaps (µs) for a campaign-level gap profile.
+    pub gaps_us: Vec<u64>,
+    /// Population distributions.
+    pub model: PopulationModel,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            hosts: 50,
+            workers: 0,
+            seed: 77,
+            samples: 15,
+            rounds: 1,
+            technique: TechniqueChoice::Auto,
+            baseline: true,
+            amenability_only: false,
+            gaps_us: Vec::new(),
+            model: PopulationModel::default(),
+        }
+    }
+}
+
+/// What a finished campaign hands back.
+#[derive(Debug)]
+pub struct CampaignOutcome {
+    /// Per-host reports, in host-id order (O(hosts) memory).
+    pub reports: Vec<HostReport>,
+    /// Streaming aggregates.
+    pub summary: CampaignSummary,
+    /// Scheduler counters (workers used, cross-shard steals).
+    pub stats: PoolStats,
+}
+
+/// Run a campaign. When `jsonl` is given, one JSON line per host is
+/// written to it, in host-id order, as results stream in. The only
+/// error source is the sink; its first write failure aborts the
+/// campaign (remaining hosts are not simulated) and is returned here.
+/// A campaign without a sink cannot fail.
+pub fn run_campaign<W: Write>(
+    cfg: &CampaignConfig,
+    jsonl: Option<&mut W>,
+) -> io::Result<CampaignOutcome> {
+    let job = HostJob {
+        samples: cfg.samples.max(1),
+        rounds: cfg.rounds.max(1),
+        technique: cfg.technique,
+        baseline: cfg.baseline,
+        amenability_only: cfg.amenability_only,
+        gaps_us: cfg.gaps_us.clone(),
+    };
+
+    let mut reports: Vec<HostReport> = Vec::with_capacity(cfg.hosts);
+    let mut summary = CampaignSummary::default();
+    let mut sink = jsonl;
+    let mut sink_err: Option<io::Error> = None;
+
+    let stats = run_sharded(
+        cfg.hosts,
+        cfg.workers,
+        |i| {
+            let id = i as u64;
+            let spec = cfg.model.host(id, cfg.seed);
+            let host_seed = simrng::derive_seed(cfg.seed, &format!("survey.run.{id}"));
+            survey_host(id, &spec, host_seed, &job)
+        },
+        |_, report| {
+            if let Some(w) = sink.as_mut() {
+                let line = jsonl_line(&report);
+                if let Err(e) = w
+                    .write_all(line.as_bytes())
+                    .and_then(|()| w.write_all(b"\n"))
+                {
+                    // A dead sink (full disk, closed pipe) aborts the
+                    // campaign instead of burning the remaining hosts'
+                    // simulation time on a report that will be Err anyway.
+                    sink_err = Some(e);
+                    return std::ops::ControlFlow::Break(());
+                }
+            }
+            summary.absorb(&report);
+            reports.push(report);
+            std::ops::ControlFlow::Continue(())
+        },
+    );
+
+    match sink_err {
+        Some(e) => Err(e),
+        None => Ok(CampaignOutcome {
+            reports,
+            summary,
+            stats,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(hosts: usize, workers: usize) -> (Vec<u8>, CampaignOutcome) {
+        let cfg = CampaignConfig {
+            hosts,
+            workers,
+            seed: 11,
+            samples: 4,
+            baseline: false,
+            ..CampaignConfig::default()
+        };
+        let mut buf = Vec::new();
+        let out = run_campaign(&cfg, Some(&mut buf)).expect("in-memory sink");
+        (buf, out)
+    }
+
+    #[test]
+    fn reports_arrive_in_id_order() {
+        let (buf, out) = quick(12, 3);
+        assert_eq!(out.reports.len(), 12);
+        assert!(out
+            .reports
+            .iter()
+            .enumerate()
+            .all(|(k, r)| r.id == k as u64));
+        assert_eq!(out.summary.hosts, 12);
+        assert_eq!(
+            buf.split(|&b| b == b'\n').filter(|l| !l.is_empty()).count(),
+            12
+        );
+    }
+
+    #[test]
+    fn worker_count_does_not_change_output() {
+        let (a, _) = quick(10, 1);
+        let (b, _) = quick(10, 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dead_sink_aborts_early() {
+        struct FailAfter(usize);
+        impl Write for FailAfter {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                if self.0 == 0 {
+                    return Err(io::Error::new(io::ErrorKind::WriteZero, "sink full"));
+                }
+                self.0 -= 1;
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let cfg = CampaignConfig {
+            hosts: 64,
+            workers: 2,
+            seed: 4,
+            samples: 3,
+            baseline: false,
+            amenability_only: true,
+            ..CampaignConfig::default()
+        };
+        // 2 writes per host (line + newline): fail inside host 2's line.
+        let mut sink = FailAfter(5);
+        let err = run_campaign(&cfg, Some(&mut sink)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WriteZero);
+    }
+
+    #[test]
+    fn summary_matches_reports() {
+        let (_, out) = quick(10, 2);
+        let reachable = out.reports.iter().filter(|r| r.reachable).count() as u64;
+        assert_eq!(out.summary.reachable, reachable);
+        let techniques: u64 = out.summary.by_technique.values().map(|g| g.hosts).sum();
+        assert_eq!(techniques, 10);
+    }
+}

@@ -1,0 +1,63 @@
+//! # reorder-survey
+//!
+//! A sharded, streaming campaign engine that scales the §IV-B host
+//! survey of *Measuring Packet Reordering* (Bellardo & Savage, IMC
+//! 2002) from the paper's 50 hosts to 100k+ simulated ones.
+//!
+//! Four layers:
+//!
+//! 1. [`population`] — generates diverse simulated hosts from
+//!    configurable distributions over OS personalities, IPID schemes
+//!    and path conditions (loss, jitter, dummynet swaps, striping,
+//!    multipath, wireless ARQ, load balancing). Every host is derived
+//!    independently from the master seed, so generation is
+//!    embarrassingly parallel and shard-count-independent.
+//! 2. [`scheduler`] — a work-stealing `std::thread` pool. Each host
+//!    simulation stays single-threaded-deterministic; parallelism is
+//!    *across* hosts, and idle workers steal from busy shards so slow
+//!    scenarios (load-balanced paths, big transfers) don't straggle.
+//! 3. [`pipeline`] — the paper's live-host protocol per host: IPID
+//!    validation first, Dual Connection Test where amenable, SYN-test
+//!    fallback, data-transfer baseline; recorded as an amenability
+//!    verdict plus per-direction estimates.
+//! 4. [`aggregate`] + [`report`] — streaming aggregation (online
+//!    mean/CI via `reorder_core::stats::Streaming`, rate histograms,
+//!    per-personality / per-technique / per-mechanism breakdowns, an
+//!    optional campaign gap profile) and report sinks (JSONL per host,
+//!    a rendered summary table). Memory is O(hosts), never O(samples):
+//!    workers reduce each `MeasurementRun` to counts before reporting.
+//!
+//! The [`engine`] ties them together. Results are byte-identical across
+//! reruns *and* worker counts for a fixed master seed: host seeds are
+//! derived per host id (not per worker), and the aggregator consumes
+//! results in id order through a reorder buffer.
+//!
+//! ```
+//! use reorder_survey::{CampaignConfig, run_campaign};
+//!
+//! let cfg = CampaignConfig {
+//!     hosts: 8,
+//!     workers: 2,
+//!     seed: 42,
+//!     samples: 5,
+//!     ..CampaignConfig::default()
+//! };
+//! let out = run_campaign(&cfg, None::<&mut Vec<u8>>).unwrap();
+//! assert_eq!(out.reports.len(), 8);
+//! assert_eq!(out.summary.hosts, 8);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod engine;
+pub mod pipeline;
+pub mod population;
+pub mod report;
+pub mod scheduler;
+
+pub use aggregate::{CampaignSummary, RateHistogram};
+pub use engine::{run_campaign, CampaignConfig, CampaignOutcome};
+pub use pipeline::{HostReport, TechniqueChoice};
+pub use population::PopulationModel;

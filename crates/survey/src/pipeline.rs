@@ -1,0 +1,360 @@
+//! Layer 3: the per-host measurement pipeline — the paper's live-host
+//! protocol (§IV-B), automated.
+//!
+//! Per host: validate the IPID space first (the §III-C pre-check),
+//! run the Dual Connection Test where amenable, fall back to the SYN
+//! test otherwise (it is immune to per-flow load balancers and IPID
+//! schemes), and take a data-transfer baseline of the reverse path
+//! when the host serves an object spanning ≥ 2 segments. Every
+//! `MeasurementRun` is reduced to `(reordered, total)` counts on the
+//! worker before it leaves this module — the aggregation stays
+//! O(hosts), not O(samples).
+
+use reorder_core::metrics::ReorderEstimate;
+use reorder_core::sample::TestConfig;
+use reorder_core::scenario::{self, HostSpec};
+use reorder_core::techniques::{
+    DataTransferTest, DualConnectionTest, IpidVerdict, SingleConnectionTest, SynTest,
+};
+use reorder_core::{MeasurementRun, ProbeError};
+use reorder_netsim::rng as simrng;
+use std::fmt;
+use std::time::Duration;
+
+/// Which technique a campaign runs against each host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TechniqueChoice {
+    /// The paper's protocol: IPID-validate, then dual where amenable,
+    /// SYN test otherwise.
+    Auto,
+    /// Force the Single Connection Test (reversed variant).
+    Single,
+    /// Force the Dual Connection Test.
+    Dual,
+    /// Force the SYN test.
+    Syn,
+    /// Force the data-transfer baseline (reverse path only).
+    Transfer,
+}
+
+impl TechniqueChoice {
+    /// Every accepted spelling, for error messages and usage text.
+    pub const ACCEPTED: [&'static str; 5] = ["auto", "single", "dual", "syn", "transfer"];
+
+    /// Exhaustive, case-sensitive parse. The error lists the accepted
+    /// set so an unknown value is never silently ignored.
+    pub fn parse(name: &str) -> Result<TechniqueChoice, String> {
+        match name {
+            "auto" => Ok(TechniqueChoice::Auto),
+            "single" => Ok(TechniqueChoice::Single),
+            "dual" => Ok(TechniqueChoice::Dual),
+            "syn" => Ok(TechniqueChoice::Syn),
+            "transfer" => Ok(TechniqueChoice::Transfer),
+            other => Err(format!(
+                "unknown technique `{other}` (accepted: {})",
+                TechniqueChoice::ACCEPTED.join(", ")
+            )),
+        }
+    }
+}
+
+impl fmt::Display for TechniqueChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TechniqueChoice::Auto => "auto",
+            TechniqueChoice::Single => "single",
+            TechniqueChoice::Dual => "dual",
+            TechniqueChoice::Syn => "syn",
+            TechniqueChoice::Transfer => "transfer",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Knobs of one host's pipeline run (shared by every host of a
+/// campaign).
+#[derive(Debug, Clone)]
+pub struct HostJob {
+    /// Samples per technique run.
+    pub samples: usize,
+    /// Measurement rounds (fresh path realization each round).
+    pub rounds: usize,
+    /// Technique selection.
+    pub technique: TechniqueChoice,
+    /// Take the data-transfer reverse-path baseline too.
+    pub baseline: bool,
+    /// Stop after the amenability verdict (the §IV-B survey mode of
+    /// `exp_amenability`).
+    pub amenability_only: bool,
+    /// Extra inter-packet gaps (µs) to measure at, for a campaign-level
+    /// gap profile (§IV-C). Empty = skip.
+    pub gaps_us: Vec<u64>,
+}
+
+impl Default for HostJob {
+    fn default() -> Self {
+        HostJob {
+            samples: 15,
+            rounds: 1,
+            technique: TechniqueChoice::Auto,
+            baseline: true,
+            amenability_only: false,
+            gaps_us: Vec::new(),
+        }
+    }
+}
+
+/// Everything the campaign keeps per host — O(1) in the sample count.
+#[derive(Debug, Clone)]
+pub struct HostReport {
+    /// Host index within the campaign.
+    pub id: u64,
+    /// The generated ground-truth spec (kept for breakdowns and
+    /// validation against verdicts).
+    pub spec: HostSpec,
+    /// IPID-validation verdict; `None` when the probe itself failed.
+    pub verdict: Option<IpidVerdict>,
+    /// Technique that produced `fwd`/`rev` ("none" in amenability-only
+    /// mode or when every round failed).
+    pub technique: &'static str,
+    /// Forward-path estimate, merged over rounds.
+    pub fwd: ReorderEstimate,
+    /// Reverse-path estimate, merged over rounds.
+    pub rev: ReorderEstimate,
+    /// Reverse-path estimate of the data-transfer baseline, when taken.
+    pub baseline_rev: Option<ReorderEstimate>,
+    /// `(gap_us, forward estimate)` sweep points, when requested.
+    pub gap_points: Vec<(u64, ReorderEstimate)>,
+    /// Rounds that produced no measurement.
+    pub failures: usize,
+    /// False when every round failed (the host is effectively
+    /// unreachable to the chosen technique).
+    pub reachable: bool,
+}
+
+fn run_one(
+    kind: &'static str,
+    spec: &HostSpec,
+    seed: u64,
+    cfg: TestConfig,
+) -> Result<MeasurementRun, ProbeError> {
+    let mut sc = scenario::internet_host(spec, seed);
+    match kind {
+        "single" => SingleConnectionTest::reversed(cfg).run(&mut sc.prober, sc.target, 80),
+        "dual" => DualConnectionTest::new(cfg).run(&mut sc.prober, sc.target, 80),
+        "syn" => SynTest::new(cfg).run(&mut sc.prober, sc.target, 80),
+        "transfer" => DataTransferTest::new(cfg).run(&mut sc.prober, sc.target, 80),
+        other => unreachable!("technique {other} validated upstream"),
+    }
+}
+
+/// Run the full pipeline against host `id`. `host_seed` must already be
+/// host-specific (the engine derives it from the master seed and id);
+/// every scenario in here derives a labeled child seed from it, so the
+/// pipeline is a pure function of `(spec, host_seed, job)`.
+pub fn survey_host(id: u64, spec: &HostSpec, host_seed: u64, job: &HostJob) -> HostReport {
+    let cfg = TestConfig::samples(job.samples);
+
+    // 1. IPID validation (§III-C pre-check) on its own connections.
+    let verdict = {
+        let mut sc = scenario::internet_host(spec, simrng::derive_seed(host_seed, "amenability"));
+        DualConnectionTest::new(TestConfig::samples(5))
+            .probe_amenability(&mut sc.prober, sc.target, 80)
+            .ok()
+    };
+
+    let mut report = HostReport {
+        id,
+        spec: spec.clone(),
+        verdict,
+        technique: "none",
+        fwd: ReorderEstimate::new(0, 0),
+        rev: ReorderEstimate::new(0, 0),
+        baseline_rev: None,
+        gap_points: Vec::new(),
+        failures: 0,
+        reachable: verdict.is_some(),
+    };
+    if job.amenability_only {
+        return report;
+    }
+
+    // 2/3. Technique selection: dual where amenable, SYN fallback.
+    let primary: &'static str = match job.technique {
+        TechniqueChoice::Auto => {
+            if verdict == Some(IpidVerdict::Amenable) {
+                "dual"
+            } else {
+                "syn"
+            }
+        }
+        TechniqueChoice::Single => "single",
+        TechniqueChoice::Dual => "dual",
+        TechniqueChoice::Syn => "syn",
+        TechniqueChoice::Transfer => "transfer",
+    };
+
+    // Once a round succeeds, the technique is pinned for the host's
+    // remaining rounds (and fallback is disabled): the merged fwd/rev
+    // counts must all come from one technique, or the per-technique
+    // breakdowns would mislabel mixed samples.
+    let mut chosen: Option<&'static str> = None;
+    for round in 0..job.rounds {
+        let kind = chosen.unwrap_or(primary);
+        let seed = simrng::derive_seed(host_seed, &format!("round{round}"));
+        let mut outcome = run_one(kind, spec, seed, cfg).map(|r| (kind, r));
+        if outcome.is_err()
+            && chosen.is_none()
+            && job.technique == TechniqueChoice::Auto
+            && kind == "dual"
+        {
+            // Mid-measurement dual failure (e.g. loss-induced timeout):
+            // fall back to the SYN test on a fresh path realization.
+            let seed = simrng::derive_seed(host_seed, &format!("round{round}.fallback"));
+            outcome = run_one("syn", spec, seed, cfg).map(|r| ("syn", r));
+        }
+        match outcome {
+            Ok((kind, run)) => {
+                chosen = Some(kind);
+                report.technique = kind;
+                report.fwd = report.fwd.merge(&run.fwd_estimate());
+                report.rev = report.rev.merge(&run.rev_estimate());
+            }
+            Err(_) => report.failures += 1,
+        }
+    }
+    report.reachable = chosen.is_some();
+
+    // 4. Data-transfer baseline of the reverse path (skipped when the
+    // primary *is* the transfer test).
+    if job.baseline && primary != "transfer" {
+        let seed = simrng::derive_seed(host_seed, "baseline");
+        report.baseline_rev = run_one("transfer", spec, seed, TestConfig::default())
+            .ok()
+            .map(|r| r.rev_estimate());
+    }
+
+    // Optional §IV-C gap sweep for the campaign-level profile. Skipped
+    // for unreachable hosts: every sweep point would burn a full
+    // doomed measurement attempt per gap.
+    if report.reachable {
+        for &gap in &job.gaps_us {
+            let seed = simrng::derive_seed(host_seed, &format!("gap{gap}"));
+            let gcfg = TestConfig::samples(job.samples).with_gap(Duration::from_micros(gap));
+            if let Ok(run) = run_one(report.technique, spec, seed, gcfg) {
+                report.gap_points.push((gap, run.fwd_estimate()));
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reorder_tcpstack::HostPersonality;
+
+    #[test]
+    fn parse_is_exhaustive() {
+        for name in TechniqueChoice::ACCEPTED {
+            assert!(TechniqueChoice::parse(name).is_ok(), "{name}");
+        }
+        let err = TechniqueChoice::parse("bogus").unwrap_err();
+        for name in TechniqueChoice::ACCEPTED {
+            assert!(err.contains(name), "error must list `{name}`: {err}");
+        }
+        assert_eq!(TechniqueChoice::parse("auto").unwrap().to_string(), "auto");
+    }
+
+    #[test]
+    fn amenable_host_uses_dual() {
+        let spec = HostSpec::clean("dual-ok", HostPersonality::freebsd4());
+        let r = survey_host(0, &spec, 101, &HostJob::default());
+        assert_eq!(r.verdict, Some(IpidVerdict::Amenable));
+        assert_eq!(r.technique, "dual");
+        assert!(r.reachable);
+        assert!(r.fwd.total > 0);
+        assert!(r.baseline_rev.is_some(), "12KiB object supports baseline");
+    }
+
+    #[test]
+    fn random_ipid_host_falls_back_to_syn() {
+        let spec = HostSpec::clean("syn-fallback", HostPersonality::openbsd3());
+        let r = survey_host(1, &spec, 202, &HostJob::default());
+        assert_eq!(r.verdict, Some(IpidVerdict::NonMonotonic));
+        assert_eq!(r.technique, "syn");
+        assert!(r.reachable);
+        assert!(r.fwd.total > 0);
+    }
+
+    #[test]
+    fn multi_round_merges_one_technique() {
+        let spec = HostSpec {
+            fwd_reorder: 0.1,
+            ..HostSpec::clean("rounds", HostPersonality::freebsd4())
+        };
+        let job = HostJob {
+            samples: 6,
+            rounds: 3,
+            baseline: false,
+            ..HostJob::default()
+        };
+        let r = survey_host(9, &spec, 808, &job);
+        assert_eq!(r.technique, "dual");
+        assert_eq!(r.failures, 0);
+        // All three rounds' samples merged under the pinned technique.
+        assert!(r.fwd.total >= 15, "merged totals, got {:?}", r.fwd);
+    }
+
+    #[test]
+    fn amenability_only_skips_measurement() {
+        let spec = HostSpec::clean("probe-only", HostPersonality::linux24());
+        let job = HostJob {
+            amenability_only: true,
+            ..HostJob::default()
+        };
+        let r = survey_host(2, &spec, 303, &job);
+        assert_eq!(r.verdict, Some(IpidVerdict::ConstantZero));
+        assert_eq!(r.technique, "none");
+        assert_eq!(r.fwd.total, 0);
+        assert!(r.baseline_rev.is_none());
+    }
+
+    #[test]
+    fn small_object_defeats_baseline_not_measurement() {
+        let spec = HostSpec {
+            object_size: 256,
+            ..HostSpec::clean("redirect", HostPersonality::freebsd4())
+        };
+        let r = survey_host(3, &spec, 404, &HostJob::default());
+        assert!(r.reachable);
+        assert!(r.baseline_rev.is_none(), "redirect-sized object");
+    }
+
+    #[test]
+    fn gap_sweep_recorded() {
+        let spec = HostSpec::clean("gaps", HostPersonality::freebsd4());
+        let job = HostJob {
+            samples: 5,
+            gaps_us: vec![0, 100],
+            ..HostJob::default()
+        };
+        let r = survey_host(4, &spec, 505, &job);
+        assert_eq!(r.gap_points.len(), 2);
+        assert_eq!(r.gap_points[0].0, 0);
+        assert_eq!(r.gap_points[1].0, 100);
+    }
+
+    #[test]
+    fn pipeline_is_deterministic() {
+        let m = crate::population::PopulationModel::default();
+        let spec = m.host(7, 42);
+        let a = survey_host(7, &spec, 606, &HostJob::default());
+        let b = survey_host(7, &spec, 606, &HostJob::default());
+        assert_eq!(a.verdict, b.verdict);
+        assert_eq!(a.technique, b.technique);
+        assert_eq!(a.fwd, b.fwd);
+        assert_eq!(a.rev, b.rev);
+        assert_eq!(a.baseline_rev, b.baseline_rev);
+    }
+}

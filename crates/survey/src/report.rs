@@ -1,0 +1,148 @@
+//! Layer 4b: report sinks — one JSONL line per host.
+//!
+//! Hand-rolled JSON (the environment has no serde): stable key order,
+//! fixed-precision floats, minimal string escaping. One line per host
+//! makes campaign output streamable and diffable — byte-identical
+//! output across reruns and worker counts is an engine invariant that
+//! the determinism tests assert on these lines.
+
+use crate::pipeline::HostReport;
+use reorder_core::metrics::ReorderEstimate;
+use std::fmt::Write as _;
+
+/// Escape a string for a JSON value (ASCII control chars, quotes,
+/// backslashes).
+fn escape(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn estimate(e: &ReorderEstimate, out: &mut String) {
+    let _ = write!(
+        out,
+        "{{\"reordered\":{},\"total\":{},\"rate\":{:.6}}}",
+        e.reordered,
+        e.total,
+        e.rate()
+    );
+}
+
+/// Serialize one host report as a single JSON line (no trailing
+/// newline).
+pub fn jsonl_line(r: &HostReport) -> String {
+    let mut s = String::with_capacity(256);
+    let _ = write!(s, "{{\"id\":{},\"name\":", r.id);
+    escape(&r.spec.name, &mut s);
+    s.push_str(",\"personality\":");
+    escape(r.spec.personality.name, &mut s);
+    s.push_str(",\"mechanism\":");
+    escape(r.spec.mechanism.label(), &mut s);
+    let _ = write!(
+        s,
+        ",\"backends\":{},\"object_size\":{},\"verdict\":",
+        r.spec.backends, r.spec.object_size
+    );
+    match r.verdict {
+        Some(v) => escape(v.label(), &mut s),
+        None => s.push_str("null"),
+    }
+    s.push_str(",\"technique\":");
+    escape(r.technique, &mut s);
+    s.push_str(",\"fwd\":");
+    estimate(&r.fwd, &mut s);
+    s.push_str(",\"rev\":");
+    estimate(&r.rev, &mut s);
+    s.push_str(",\"baseline_rev\":");
+    match &r.baseline_rev {
+        Some(b) => estimate(b, &mut s),
+        None => s.push_str("null"),
+    }
+    if !r.gap_points.is_empty() {
+        s.push_str(",\"gaps\":[");
+        for (i, (gap, est)) in r.gap_points.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{{\"gap_us\":{gap},\"fwd\":");
+            estimate(est, &mut s);
+            s.push('}');
+        }
+        s.push(']');
+    }
+    let _ = write!(
+        s,
+        ",\"failures\":{},\"status\":\"{}\"}}",
+        r.failures,
+        if r.reachable { "ok" } else { "unreachable" }
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reorder_core::scenario::HostSpec;
+    use reorder_core::techniques::IpidVerdict;
+    use reorder_tcpstack::HostPersonality;
+
+    fn report() -> HostReport {
+        HostReport {
+            id: 3,
+            spec: HostSpec::clean("host000003.survey", HostPersonality::freebsd4()),
+            verdict: Some(IpidVerdict::Amenable),
+            technique: "dual",
+            fwd: ReorderEstimate::new(2, 40),
+            rev: ReorderEstimate::new(0, 40),
+            baseline_rev: Some(ReorderEstimate::new(1, 8)),
+            gap_points: vec![(0, ReorderEstimate::new(2, 10))],
+            failures: 0,
+            reachable: true,
+        }
+    }
+
+    #[test]
+    fn line_shape_is_stable() {
+        let line = jsonl_line(&report());
+        assert!(line.starts_with("{\"id\":3,\"name\":\"host000003.survey\""));
+        assert!(line.contains("\"verdict\":\"amenable\""));
+        assert!(line.contains("\"fwd\":{\"reordered\":2,\"total\":40,\"rate\":0.050000}"));
+        assert!(line.contains("\"baseline_rev\":{\"reordered\":1,\"total\":8,\"rate\":0.125000}"));
+        assert!(line.contains("\"gaps\":[{\"gap_us\":0,"));
+        assert!(line.ends_with("\"failures\":0,\"status\":\"ok\"}"));
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn nulls_for_missing_parts() {
+        let mut r = report();
+        r.verdict = None;
+        r.baseline_rev = None;
+        r.gap_points.clear();
+        r.reachable = false;
+        let line = jsonl_line(&r);
+        assert!(line.contains("\"verdict\":null"));
+        assert!(line.contains("\"baseline_rev\":null"));
+        assert!(!line.contains("\"gaps\""));
+        assert!(line.contains("\"status\":\"unreachable\""));
+    }
+
+    #[test]
+    fn escaping() {
+        let mut out = String::new();
+        escape("a\"b\\c\nd\u{1}", &mut out);
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+}

@@ -1,0 +1,230 @@
+//! Layer 2: the sharded, work-stealing scheduler.
+//!
+//! Hosts are dealt round-robin across one shard (a deque) per worker.
+//! Each worker drains its own shard from the front; when empty it
+//! steals from the *back* of the other shards, so a shard that drew
+//! several slow scenarios (wide load balancers, long transfers) is
+//! relieved by idle workers instead of straggling the campaign.
+//!
+//! Simulations are single-threaded and `!Send`, so the job closure
+//! receives only the host *index* and builds everything it needs
+//! locally — the same discipline as `reorder_bench::parallel_map`, plus
+//! stealing and streaming consumption.
+//!
+//! Results are consumed **in job-index order** regardless of completion
+//! order, via a reorder buffer on the collecting thread. That is what
+//! makes campaign reports byte-identical across worker counts.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Mutex};
+use std::thread;
+
+/// Counters the pool reports after a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Worker threads used.
+    pub workers: usize,
+    /// Jobs executed after being stolen from another worker's shard.
+    pub steals: u64,
+    /// True when `consume` broke the run off early; trailing jobs were
+    /// skipped or discarded.
+    pub aborted: bool,
+}
+
+/// Resolve a requested worker count: 0 means "all available cores".
+pub fn resolve_workers(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    }
+}
+
+/// Run `jobs` indices through `job` on `workers` threads and feed every
+/// result to `consume` **in index order**. `job` must be a pure
+/// function of the index for the order-independence guarantee to mean
+/// anything. `consume` may return [`ControlFlow::Break`] to abort the
+/// campaign early (e.g. a failed sink): queued shards are drained, the
+/// workers stop, and remaining results are discarded. Returns pool
+/// counters.
+pub fn run_sharded<R, J, C>(jobs: usize, workers: usize, job: J, mut consume: C) -> PoolStats
+where
+    R: Send,
+    J: Fn(usize) -> R + Sync,
+    C: FnMut(usize, R) -> ControlFlow<()>,
+{
+    let workers = resolve_workers(workers).min(jobs.max(1));
+    // Deal round-robin: shard w holds indices ≡ w (mod workers).
+    let mut deques: Vec<VecDeque<usize>> = vec![VecDeque::new(); workers];
+    for i in 0..jobs {
+        deques[i % workers].push_back(i);
+    }
+    let shards: Vec<Mutex<VecDeque<usize>>> = deques.into_iter().map(Mutex::new).collect();
+    let steals = AtomicU64::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+
+    let aborted = thread::scope(|s| {
+        for w in 0..workers {
+            let tx = tx.clone();
+            let shards = &shards;
+            let steals = &steals;
+            let job = &job;
+            s.spawn(move || {
+                loop {
+                    // Own shard first (front), then steal (back).
+                    let mut next = shards[w].lock().expect("shard poisoned").pop_front();
+                    if next.is_none() {
+                        for v in 1..workers {
+                            let victim = (w + v) % workers;
+                            let got = shards[victim].lock().expect("shard poisoned").pop_back();
+                            if got.is_some() {
+                                steals.fetch_add(1, Ordering::Relaxed);
+                                next = got;
+                                break;
+                            }
+                        }
+                    }
+                    let Some(i) = next else { break };
+                    if tx.send((i, job(i))).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(tx);
+
+        // Streaming, order-restoring consumption: results arrive in
+        // completion order; release them to `consume` in index order.
+        // The pending buffer is bounded by the in-flight disorder
+        // window — O(jobs) worst case, O(workers) typical.
+        let mut pending: BTreeMap<usize, R> = BTreeMap::new();
+        let mut next = 0usize;
+        let mut aborted = false;
+        'recv: for (i, r) in &rx {
+            pending.insert(i, r);
+            while let Some(r) = pending.remove(&next) {
+                let flow = consume(next, r);
+                next += 1;
+                if flow.is_break() {
+                    aborted = true;
+                    break 'recv;
+                }
+            }
+        }
+        if aborted {
+            // Stop the workers promptly: drain the queued shards (so
+            // nothing further is popped) and close the channel (so
+            // in-flight sends fail and the workers exit).
+            for shard in &shards {
+                shard.lock().expect("shard poisoned").clear();
+            }
+            drop(rx);
+        } else {
+            assert!(pending.is_empty(), "worker died mid-campaign");
+            assert_eq!(next, jobs, "missing results");
+        }
+        aborted
+    });
+
+    PoolStats {
+        workers,
+        steals: steals.load(Ordering::Relaxed),
+        aborted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn consumes_every_job_in_order() {
+        for workers in [1, 2, 4, 7] {
+            let mut seen = Vec::new();
+            let stats = run_sharded(
+                100,
+                workers,
+                |i| i * 3,
+                |i, r| {
+                    seen.push((i, r));
+                    ControlFlow::Continue(())
+                },
+            );
+            assert_eq!(seen.len(), 100);
+            assert!(seen
+                .iter()
+                .enumerate()
+                .all(|(k, &(i, r))| k == i && r == i * 3));
+            assert!(stats.workers <= workers.max(1));
+            assert!(!stats.aborted);
+        }
+    }
+
+    #[test]
+    fn zero_jobs_is_fine() {
+        let stats = run_sharded(0, 4, |i| i, |_, _: usize| panic!("no jobs to consume"));
+        assert_eq!(stats.steals, 0);
+    }
+
+    #[test]
+    fn workers_cap_at_job_count() {
+        let stats = run_sharded(2, 16, |i| i, |_, _| ControlFlow::Continue(()));
+        assert_eq!(stats.workers, 2);
+    }
+
+    #[test]
+    fn stealing_relieves_a_straggling_shard() {
+        // With round-robin dealing over 2 workers, shard 0 gets all the
+        // slow jobs (even indices). Worker 1 must steal some of them.
+        let stats = run_sharded(
+            40,
+            2,
+            |i| {
+                if i % 2 == 0 {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                i
+            },
+            |_, _| ControlFlow::Continue(()),
+        );
+        if stats.workers == 2 {
+            assert!(stats.steals > 0, "expected steals, got {stats:?}");
+        }
+    }
+
+    #[test]
+    fn break_aborts_promptly() {
+        // Break on the third result: the pool must stop without
+        // consuming the rest, and report the abort.
+        let mut consumed = 0usize;
+        let stats = run_sharded(
+            500,
+            4,
+            |i| {
+                std::thread::sleep(Duration::from_micros(200));
+                i
+            },
+            |_, _| {
+                consumed += 1;
+                if consumed == 3 {
+                    ControlFlow::Break(())
+                } else {
+                    ControlFlow::Continue(())
+                }
+            },
+        );
+        assert!(stats.aborted);
+        assert_eq!(consumed, 3);
+    }
+
+    #[test]
+    fn resolve_workers_auto() {
+        assert!(resolve_workers(0) >= 1);
+        assert_eq!(resolve_workers(3), 3);
+    }
+}

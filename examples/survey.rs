@@ -1,95 +1,64 @@
 //! Survey a population of simulated Internet hosts, the way §IV-B
-//! surveyed 50 real ones: cycle all four tests round-robin over each
-//! host, skip tests the host defeats (random IPIDs, load balancers,
-//! redirect-sized objects), and print a per-host scorecard.
+//! surveyed 50 real ones — now through the `reorder-survey` campaign
+//! engine: the population generator draws the hosts, a work-stealing
+//! pool fans them out across cores, the pipeline IPID-validates each
+//! host and picks the right technique (dual where amenable, SYN
+//! fallback, transfer baseline), and the streaming aggregator renders
+//! the campaign summary.
 //!
 //! ```sh
-//! cargo run --example survey -- [hosts] [rounds]
+//! cargo run --release --example survey -- [hosts] [workers]
 //! ```
 
-use reorder_core::sample::TestConfig;
-use reorder_core::scenario;
-use reorder_core::techniques::{
-    DataTransferTest, DualConnectionTest, SingleConnectionTest, SynTest,
-};
-use reorder_core::ProbeError;
+use reorder::survey::{run_campaign, CampaignConfig};
 
 fn main() {
     let mut args = std::env::args().skip(1);
     let hosts: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(12);
-    let rounds: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+    let workers: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(0);
 
-    let specs = scenario::population(4, hosts.saturating_sub(4), 77);
-    let cfg = TestConfig::samples(15);
+    let cfg = CampaignConfig {
+        hosts,
+        workers,
+        seed: 77,
+        samples: 15,
+        ..CampaignConfig::default()
+    };
+    let out = run_campaign(&cfg, None::<&mut Vec<u8>>).expect("no sink, no error");
+
     println!(
-        "{:<26} {:>9} {:>9} {:>9} {:>9} {:>10}",
-        "host", "single", "dual", "syn", "transfer", "verdict"
+        "{:<22} {:<12} {:<13} {:>9} {:>9} {:>9} {:>9}",
+        "host", "personality", "verdict", "technique", "fwd", "rev", "baseline"
     );
-    println!("{}", "-".repeat(78));
-
-    for (i, spec) in specs.iter().enumerate() {
-        let mut single = (0usize, 0usize);
-        let mut dual = (0usize, 0usize);
-        let mut syn = (0usize, 0usize);
-        let mut transfer = (0usize, 0usize);
-        let mut dual_note = "";
-        let mut transfer_note = "";
-        for round in 0..rounds {
-            let seed = 0x50_0000 + (i * 100 + round) as u64;
-            let mut sc = scenario::internet_host(spec, seed);
-            if let Ok(r) = SingleConnectionTest::reversed(cfg).run(&mut sc.prober, sc.target, 80) {
-                single.0 += r.fwd_reordered();
-                single.1 += r.fwd_determinate();
-            }
-            let mut sc = scenario::internet_host(spec, seed + 1);
-            match DualConnectionTest::new(cfg).run(&mut sc.prober, sc.target, 80) {
-                Ok(r) => {
-                    dual.0 += r.fwd_reordered();
-                    dual.1 += r.fwd_determinate();
-                }
-                Err(ProbeError::HostUnsuitable(_)) => dual_note = "excluded",
-                Err(_) => {}
-            }
-            let mut sc = scenario::internet_host(spec, seed + 2);
-            if let Ok(r) = SynTest::new(cfg).run(&mut sc.prober, sc.target, 80) {
-                syn.0 += r.fwd_reordered();
-                syn.1 += r.fwd_determinate();
-            }
-            let mut sc = scenario::internet_host(spec, seed + 3);
-            match DataTransferTest::new(TestConfig::default()).run(&mut sc.prober, sc.target, 80) {
-                Ok(r) => {
-                    transfer.0 += r.rev_reordered();
-                    transfer.1 += r.rev_determinate();
-                }
-                Err(ProbeError::HostUnsuitable(_)) => transfer_note = "too small",
-                Err(_) => {}
-            }
-        }
-        let show = |(x, n): (usize, usize), note: &str| {
-            if !note.is_empty() {
-                format!("{note:>9}")
-            } else if n == 0 {
+    println!("{}", "-".repeat(91));
+    for r in &out.reports {
+        let show = |e: reorder::core::metrics::ReorderEstimate| {
+            if e.total == 0 {
                 format!("{:>9}", "-")
             } else {
-                format!("{:>8.1}%", x as f64 / n as f64 * 100.0)
+                format!("{:>8.1}%", e.rate() * 100.0)
             }
         };
-        let verdict = if single.0 + syn.0 + dual.0 + transfer.0 > 0 {
-            "reorders"
-        } else {
-            "clean"
-        };
         println!(
-            "{:<26} {} {} {} {} {:>10}",
-            spec.name,
-            show(single, ""),
-            show(dual, dual_note),
-            show(syn, ""),
-            show(transfer, transfer_note),
-            verdict
+            "{:<22} {:<12} {:<13} {:>9} {} {} {}",
+            r.spec.name,
+            r.spec.personality.name,
+            r.verdict.map_or("probe-failed", |v| v.label()),
+            r.technique,
+            show(r.fwd),
+            show(r.rev),
+            show(r.baseline_rev.unwrap_or_default()),
         );
     }
     println!();
-    println!("single/dual/syn columns: forward-path rate; transfer: reverse-path rate.");
-    println!("'excluded' = IPID validation rejected the host (random IPIDs or load balancer).");
+    print!("{}", out.summary.render());
+    println!(
+        "('non-monotonic' = IPID validation rejected the host — random IPIDs or a \
+         load balancer — so the SYN test measured it instead.)"
+    );
+    // Scheduler counters vary run to run; keep stdout byte-identical.
+    eprintln!(
+        "campaign: {} worker(s), {} steal(s)",
+        out.stats.workers, out.stats.steals
+    );
 }

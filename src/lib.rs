@@ -10,6 +10,7 @@
 //! * [`netsim`] — deterministic discrete-event network simulator.
 //! * [`tcpstack`] — TCP endpoints with OS personalities and IPID generators.
 //! * [`core`] — the four measurement techniques, metrics, scenarios.
+//! * [`survey`] — the sharded, streaming campaign engine (§IV-B at scale).
 //! * [`bench`] — experiment drivers reproducing the paper's figures.
 
 #![forbid(unsafe_code)]
@@ -18,5 +19,6 @@
 pub use reorder_bench as bench;
 pub use reorder_core as core;
 pub use reorder_netsim as netsim;
+pub use reorder_survey as survey;
 pub use reorder_tcpstack as tcpstack;
 pub use reorder_wire as wire;

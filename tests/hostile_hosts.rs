@@ -152,14 +152,8 @@ fn hardened_and_tiny_object_hosts() {
     assert!((0.05..0.3).contains(&rate), "rate {rate}");
 
     let spec = scenario::HostSpec {
-        name: "redirector".into(),
-        personality: HostPersonality::freebsd4(),
-        fwd_reorder: 0.0,
-        rev_reorder: 0.0,
-        loss: 0.0,
-        delay: std::time::Duration::from_millis(10),
-        backends: 1,
         object_size: 128, // fits one clamped segment
+        ..scenario::HostSpec::clean("redirector", HostPersonality::freebsd4())
     };
     let mut sc = scenario::internet_host(&spec, 15_001);
     match DataTransferTest::new(TestConfig::default()).run(&mut sc.prober, sc.target, 80) {
