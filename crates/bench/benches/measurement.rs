@@ -3,12 +3,11 @@
 //! metric computations.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use reorder_bench::run_technique;
 use reorder_core::metrics::{exchanges, max_sack_blocks, non_reversing_reordered, Cdf};
 use reorder_core::sample::TestConfig;
 use reorder_core::scenario;
-use reorder_core::techniques::{
-    DataTransferTest, DualConnectionTest, SingleConnectionTest, SynTest,
-};
+use reorder_core::TestKind;
 
 fn bench_techniques(c: &mut Criterion) {
     let samples = 20usize;
@@ -19,33 +18,35 @@ fn bench_techniques(c: &mut Criterion) {
     g.bench_function("single_connection_20_samples", |b| {
         b.iter(|| {
             let mut sc = scenario::validation_rig(0.05, 0.05, 11);
-            SingleConnectionTest::reversed(TestConfig::samples(samples))
-                .run(&mut sc.prober, sc.target, 80)
-                .unwrap()
+            run_technique(
+                TestKind::SingleConnectionReversed,
+                &mut sc,
+                TestConfig::samples(samples),
+            )
+            .unwrap()
         })
     });
     g.bench_function("dual_connection_20_samples", |b| {
         b.iter(|| {
             let mut sc = scenario::validation_rig(0.05, 0.05, 12);
-            DualConnectionTest::new(TestConfig::samples(samples))
-                .run(&mut sc.prober, sc.target, 80)
-                .unwrap()
+            run_technique(
+                TestKind::DualConnection,
+                &mut sc,
+                TestConfig::samples(samples),
+            )
+            .unwrap()
         })
     });
     g.bench_function("syn_test_20_samples", |b| {
         b.iter(|| {
             let mut sc = scenario::validation_rig(0.05, 0.05, 13);
-            SynTest::new(TestConfig::samples(samples))
-                .run(&mut sc.prober, sc.target, 80)
-                .unwrap()
+            run_technique(TestKind::Syn, &mut sc, TestConfig::samples(samples)).unwrap()
         })
     });
     g.bench_function("data_transfer_full_object", |b| {
         b.iter(|| {
             let mut sc = scenario::validation_rig(0.0, 0.05, 14);
-            DataTransferTest::new(TestConfig::default())
-                .run(&mut sc.prober, sc.target, 80)
-                .unwrap()
+            run_technique(TestKind::DataTransfer, &mut sc, TestConfig::default()).unwrap()
         })
     });
     g.finish();

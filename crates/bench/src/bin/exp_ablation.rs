@@ -15,11 +15,11 @@
 //! * **dummynet swap** (adjacent exchange): flat in gap (up to its hold
 //!   horizon) — which is why it is a *calibration* device, not a model.
 
-use reorder_bench::{parallel_map, pct, rule, Scale};
+use reorder_bench::{parallel_map, pct, rule, run_technique, Scale};
 use reorder_core::metrics::ReorderEstimate;
 use reorder_core::sample::TestConfig;
 use reorder_core::scenario;
-use reorder_core::techniques::DualConnectionTest;
+use reorder_core::TestKind;
 use reorder_netsim::pipes::{ArqConfig, CrossTraffic, DummynetConfig, DummynetReorder};
 use std::time::Duration;
 
@@ -77,7 +77,7 @@ fn measure(mech: Mechanism, gap_us: u64, samples: usize, seed: u64) -> f64 {
         pace: Duration::from_millis(2),
         reply_timeout: Duration::from_millis(900),
     };
-    match DualConnectionTest::new(cfg).run(&mut sc.prober, sc.target, 80) {
+    match run_technique(TestKind::DualConnection, &mut sc, cfg) {
         Ok(run) => ReorderEstimate::new(run.fwd_reordered(), run.fwd_determinate()).rate(),
         Err(_) => f64::NAN,
     }

@@ -8,11 +8,11 @@
 //! * Paxson (passive TCP traces): unidirectional but entangled with
 //!   TCP's send dynamics; reported as session fractions.
 
-use reorder_bench::{pct, rule, Scale};
+use reorder_bench::{pct, rule, run_technique, Scale};
 use reorder_core::baseline::{paxson_session, IcmpBurstTest};
 use reorder_core::sample::TestConfig;
 use reorder_core::scenario;
-use reorder_core::techniques::{SingleConnectionTest, SynTest};
+use reorder_core::TestKind;
 use std::time::Duration;
 
 fn main() {
@@ -36,9 +36,12 @@ fn main() {
             .expect("icmp");
         // Ours: per-direction rates.
         let mut sc = scenario::validation_rig(fwd, rev, seed + 10);
-        let run = SingleConnectionTest::reversed(TestConfig::samples(samples))
-            .run(&mut sc.prober, sc.target, 80)
-            .expect("single");
+        let run = run_technique(
+            TestKind::SingleConnectionReversed,
+            &mut sc,
+            TestConfig::samples(samples),
+        )
+        .expect("single");
         println!(
             "  {label:<26} icmp-bursts-with-event {}   single: fwd {} rev {}",
             pct(icmp.rate()),
@@ -87,9 +90,12 @@ fn main() {
         Err(e) => println!("  bennett: {e}"),
         Ok(est) => println!("  bennett unexpectedly worked: {}", pct(est.rate())),
     }
-    let run = SingleConnectionTest::reversed(TestConfig::samples(samples))
-        .run(&mut sc.prober, sc.target, 80)
-        .expect("single");
+    let run = run_technique(
+        TestKind::SingleConnectionReversed,
+        &mut sc,
+        TestConfig::samples(samples),
+    )
+    .expect("single");
     println!(
         "  single connection test still works: fwd {} over {} samples",
         pct(run.fwd_estimate().rate()),
@@ -123,9 +129,7 @@ fn main() {
     );
     // Versus our per-pair estimate on the same path:
     let mut sc = scenario::validation_rig(0.0, 0.10, 4999);
-    let run = SynTest::new(TestConfig::samples(samples))
-        .run(&mut sc.prober, sc.target, 80)
-        .expect("syn");
+    let run = run_technique(TestKind::Syn, &mut sc, TestConfig::samples(samples)).expect("syn");
     println!(
         "  syn test on the same path, rev rate: {} (the controlled quantity)",
         pct(run.rev_estimate().rate())

@@ -8,13 +8,11 @@
 //! reverse path reordering", and "more than 15% of measurements had at
 //! least one reordered sample".
 
-use reorder_bench::{parallel_map, pct, rule, Scale};
+use reorder_bench::{parallel_map, pct, rule, run_technique, Scale};
 use reorder_core::metrics::Cdf;
 use reorder_core::sample::TestConfig;
 use reorder_core::scenario::{self, HostSpec};
-use reorder_core::techniques::{
-    DataTransferTest, DualConnectionTest, SingleConnectionTest, SynTest,
-};
+use reorder_core::{ProbeError, TestKind};
 
 struct HostResult {
     name: String,
@@ -36,24 +34,29 @@ fn survey_host(spec: HostSpec, rounds: usize, seed: u64) -> HostResult {
     let mut dual_excluded = false;
 
     let cfg = TestConfig::samples(15);
+    // Cycle through the tests, as the paper's prober did. The reversed
+    // single-connection variant is the deployable two-sided one.
+    let cycle = [
+        TestKind::SingleConnectionReversed,
+        TestKind::DualConnection,
+        TestKind::Syn,
+        TestKind::DataTransfer,
+    ];
     for round in 0..rounds {
         let round_seed = seed.wrapping_add(round as u64).wrapping_mul(0x9E37_79B9);
-        // Cycle through the tests, as the paper's prober did.
-        for test_idx in 0..4 {
-            let mut sc = scenario::internet_host(&spec, round_seed + test_idx);
-            let run = match test_idx {
-                0 => SingleConnectionTest::reversed(cfg).run(&mut sc.prober, sc.target, 80),
-                1 => match DualConnectionTest::new(cfg).run(&mut sc.prober, sc.target, 80) {
-                    Err(reorder_core::ProbeError::HostUnsuitable(_)) => {
-                        dual_excluded = true;
-                        continue;
-                    }
-                    other => other,
-                },
-                2 => SynTest::new(cfg).run(&mut sc.prober, sc.target, 80),
-                _ => {
-                    DataTransferTest::new(TestConfig::default()).run(&mut sc.prober, sc.target, 80)
+        for (test_idx, kind) in cycle.into_iter().enumerate() {
+            let mut sc = scenario::internet_host(&spec, round_seed + test_idx as u64);
+            let kind_cfg = if kind == TestKind::DataTransfer {
+                TestConfig::default() // object size sets the count
+            } else {
+                cfg
+            };
+            let run = match run_technique(kind, &mut sc, kind_cfg) {
+                Err(ProbeError::HostUnsuitable(_)) if kind == TestKind::DualConnection => {
+                    dual_excluded = true;
+                    continue;
                 }
+                other => other,
             };
             let Ok(run) = run else { continue };
             measurements += 1;

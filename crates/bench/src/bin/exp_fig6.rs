@@ -9,11 +9,10 @@
 //! The site's reordering rate drifts over time (diurnal load); the two
 //! independent tests track the same underlying process.
 
-use reorder_bench::{parallel_map, pct, rule, Scale};
+use reorder_bench::{parallel_map, pct, rule, run_technique, Scale};
 use reorder_core::sample::TestConfig;
 use reorder_core::scenario;
-use reorder_core::techniques::{DualConnectionTest, SingleConnectionTest, SynTest};
-use reorder_core::ProbeError;
+use reorder_core::{ProbeError, TestKind};
 use reorder_tcpstack::HostPersonality;
 
 /// The "true" time-varying swap probability: a diurnal cycle plus a
@@ -36,13 +35,11 @@ fn measure_round(hour: f64, samples: usize, seed: u64) -> Round {
     // Independent scenario instances at the same instant — the two
     // tests run close together in time, like the paper's round-robin.
     let mut sc = scenario::load_balanced(p, 0.0, 4, HostPersonality::freebsd4(), seed);
-    let single = SingleConnectionTest::reversed(cfg)
-        .run(&mut sc.prober, sc.target, 80)
+    let single = run_technique(TestKind::SingleConnectionReversed, &mut sc, cfg)
         .map(|r| r.fwd_estimate().rate())
         .unwrap_or(f64::NAN);
     let mut sc = scenario::load_balanced(p, 0.0, 4, HostPersonality::freebsd4(), seed + 7);
-    let syn = SynTest::new(cfg)
-        .run(&mut sc.prober, sc.target, 80)
+    let syn = run_technique(TestKind::Syn, &mut sc, cfg)
         .map(|r| r.fwd_estimate().rate())
         .unwrap_or(f64::NAN);
     Round {
@@ -67,7 +64,7 @@ fn main() {
     for seed in 0..4 {
         let mut sc = scenario::load_balanced(0.05, 0.0, 4, HostPersonality::freebsd4(), 900 + seed);
         if let Err(ProbeError::HostUnsuitable(_)) =
-            DualConnectionTest::new(TestConfig::samples(5)).run(&mut sc.prober, sc.target, 80)
+            run_technique(TestKind::DualConnection, &mut sc, TestConfig::samples(5))
         {
             refusals += 1
         }

@@ -11,11 +11,11 @@
 //! traffic (the physical mechanism §IV-C identifies); the instrument is
 //! the Dual Connection Test with its gap parameter.
 
-use reorder_bench::{parallel_map, pct, rule, Scale};
+use reorder_bench::{parallel_map, pct, rule, run_technique, Scale};
 use reorder_core::metrics::GapProfile;
 use reorder_core::sample::TestConfig;
 use reorder_core::scenario;
-use reorder_core::techniques::DualConnectionTest;
+use reorder_core::TestKind;
 use reorder_netsim::pipes::CrossTraffic;
 use std::time::Duration;
 
@@ -27,8 +27,7 @@ fn measure_point(gap_us: u64, samples: usize, seed: u64) -> (u64, usize, usize) 
         pace: Duration::from_millis(2),
         reply_timeout: Duration::from_millis(900),
     };
-    let run = DualConnectionTest::new(cfg)
-        .run(&mut sc.prober, sc.target, 80)
+    let run = run_technique(TestKind::DualConnection, &mut sc, cfg)
         .expect("striped path host is amenable");
     (gap_us, run.fwd_reordered(), run.fwd_determinate())
 }

@@ -11,13 +11,11 @@
 //! the other approaches — sometimes less than half as many reordering
 //! events."
 
-use reorder_bench::{parallel_map, pct, rule, Scale};
+use reorder_bench::{parallel_map, pct, rule, run_technique, Scale};
 use reorder_core::sample::TestConfig;
 use reorder_core::scenario::{self, HostSpec};
 use reorder_core::stats::pair_difference;
-use reorder_core::techniques::{
-    DataTransferTest, DualConnectionTest, SingleConnectionTest, SynTest,
-};
+use reorder_core::TestKind;
 
 #[derive(Default, Clone)]
 struct HostSeries {
@@ -40,24 +38,22 @@ fn measure_host(spec: HostSpec, rounds: usize, samples: usize, seed: u64) -> Hos
     for round in 0..rounds {
         let rs = seed + round as u64 * 101;
         let mut sc = scenario::internet_host(&spec, rs);
-        if let Ok(run) = SingleConnectionTest::reversed(cfg).run(&mut sc.prober, sc.target, 80) {
+        if let Ok(run) = run_technique(TestKind::SingleConnectionReversed, &mut sc, cfg) {
             hs.single_fwd.push(run.fwd_estimate().rate());
             hs.single_rev.push(run.rev_estimate().rate());
         }
         let mut sc = scenario::internet_host(&spec, rs + 1);
-        if let Ok(run) = DualConnectionTest::new(cfg).run(&mut sc.prober, sc.target, 80) {
+        if let Ok(run) = run_technique(TestKind::DualConnection, &mut sc, cfg) {
             hs.dual_fwd.push(run.fwd_estimate().rate());
             hs.dual_rev.push(run.rev_estimate().rate());
         }
         let mut sc = scenario::internet_host(&spec, rs + 2);
-        if let Ok(run) = SynTest::new(cfg).run(&mut sc.prober, sc.target, 80) {
+        if let Ok(run) = run_technique(TestKind::Syn, &mut sc, cfg) {
             hs.syn_fwd.push(run.fwd_estimate().rate());
             hs.syn_rev.push(run.rev_estimate().rate());
         }
         let mut sc = scenario::internet_host(&spec, rs + 3);
-        if let Ok(run) =
-            DataTransferTest::new(TestConfig::default()).run(&mut sc.prober, sc.target, 80)
-        {
+        if let Ok(run) = run_technique(TestKind::DataTransfer, &mut sc, TestConfig::default()) {
             hs.transfer_rev.push(run.rev_estimate().rate());
         }
     }

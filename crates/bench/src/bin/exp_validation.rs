@@ -14,12 +14,10 @@
 //! {transfer} = exactly 114 test runs, each validated packet-by-packet
 //! against the capture traces.
 
-use reorder_bench::{parallel_map, pct, rule, Scale};
+use reorder_bench::{parallel_map, pct, rule, run_technique, Scale};
 use reorder_core::sample::TestConfig;
 use reorder_core::scenario;
-use reorder_core::techniques::{
-    DataTransferTest, DualConnectionTest, SingleConnectionTest, SynTest, TestKind,
-};
+use reorder_core::techniques::TestKind;
 use reorder_core::validate::{validate_run, ValidationReport};
 
 #[derive(Clone, Copy)]
@@ -42,19 +40,12 @@ struct JobResult {
 
 fn run_job(job: Job) -> JobResult {
     let mut sc = scenario::validation_rig(job.fwd, job.rev, job.seed);
-    let cfg = TestConfig::samples(job.samples);
-    let run = match job.kind {
-        // The reversed variant is the deployable one for two-sided
-        // measurement (immediate ACKs in both directions).
-        TestKind::SingleConnection | TestKind::SingleConnectionReversed => {
-            SingleConnectionTest::reversed(cfg).run(&mut sc.prober, sc.target, 80)
-        }
-        TestKind::DualConnection => DualConnectionTest::new(cfg).run(&mut sc.prober, sc.target, 80),
-        TestKind::Syn => SynTest::new(cfg).run(&mut sc.prober, sc.target, 80),
-        TestKind::DataTransfer => {
-            DataTransferTest::new(TestConfig::default()).run(&mut sc.prober, sc.target, 80)
-        }
+    let cfg = if job.kind == TestKind::DataTransfer {
+        TestConfig::default() // object size sets the count
+    } else {
+        TestConfig::samples(job.samples)
     };
+    let run = run_technique(job.kind, &mut sc, cfg);
     match run {
         Ok(run) => {
             let report = validate_run(

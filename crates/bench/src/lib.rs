@@ -12,8 +12,26 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use reorder_core::sample::{MeasurementRun, TestConfig};
+use reorder_core::scenario::Scenario;
+use reorder_core::{ProbeError, Session, TestKind};
 use std::sync::mpsc;
 use std::thread;
+
+/// Run one registry technique against a scenario's target on port 80 —
+/// the one dispatch helper every `exp_*` binary shares (each used to
+/// carry its own copy of the same four-armed match). The returned
+/// [`MeasurementRun`] keeps per-sample forensics, which the validation
+/// experiments need; summarize with
+/// [`reorder_core::Measurement::from_run`] when only estimates matter.
+pub fn run_technique(
+    kind: TestKind,
+    sc: &mut Scenario,
+    cfg: TestConfig,
+) -> Result<MeasurementRun, ProbeError> {
+    let mut session = Session::new(&mut sc.prober, sc.target, 80);
+    reorder_core::technique(kind, cfg).execute(&mut session)
+}
 
 /// Experiment scale, from `REORDER_SCALE`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

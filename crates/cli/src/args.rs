@@ -26,7 +26,7 @@ impl fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 impl Args {
-    /// Parse an iterator of arguments (excluding argv[0]).
+    /// Parse an iterator of arguments (excluding `argv[0]`).
     pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, ArgError> {
         let mut args = Args::default();
         let mut it = argv.into_iter().peekable();

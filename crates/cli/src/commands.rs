@@ -3,12 +3,9 @@
 use crate::args::{ArgError, Args};
 use reorder_core::metrics::ReorderEstimate;
 use reorder_core::sample::TestConfig;
-use reorder_core::scenario::{self, Scenario};
-use reorder_core::techniques::{
-    DataTransferTest, DualConnectionTest, SingleConnectionTest, SynTest,
-};
+use reorder_core::scenario;
 use reorder_core::validate::validate_run;
-use reorder_core::{MeasurementRun, ProbeError};
+use reorder_core::{technique, Measurer, Session, TestKind};
 use reorder_netsim::pipes::{ArqConfig, CrossTraffic};
 use reorder_survey::{run_campaign, CampaignConfig, TechniqueChoice};
 use reorder_tcpstack::HostPersonality;
@@ -28,19 +25,14 @@ fn personality(name: &str) -> Result<HostPersonality, ArgError> {
 }
 
 /// The techniques `measure` accepts (no `auto` — a canned rig has no
-/// amenability question). Validation is exhaustive: an unknown value is
-/// an [`ArgError`] listing the accepted set, never silently ignored.
-const MEASURE_TECHNIQUES: [&str; 4] = ["single", "dual", "syn", "transfer"];
-
-fn measure_technique(name: &str) -> Result<&str, ArgError> {
-    if MEASURE_TECHNIQUES.contains(&name) {
-        Ok(name)
-    } else {
-        Err(ArgError(format!(
-            "unknown technique `{name}` (accepted: {})",
-            MEASURE_TECHNIQUES.join(", ")
-        )))
-    }
+/// amenability question). Parsing goes through `TestKind::from_str`,
+/// the registry's one string-keyed entry point; an unknown value is an
+/// [`ArgError`] listing the accepted set, never silently ignored. Both
+/// single-connection variants are explicit: `single` is the in-order
+/// variant, `single-rev` the delayed-ACK-proof reversed one.
+fn measure_technique(name: &str) -> Result<TestKind, ArgError> {
+    name.parse()
+        .map_err(|e: reorder_core::UnknownTestKind| ArgError(e.to_string()))
 }
 
 fn fmt_estimate(label: &str, e: ReorderEstimate) -> String {
@@ -55,22 +47,6 @@ fn fmt_estimate(label: &str, e: ReorderEstimate) -> String {
     )
 }
 
-fn run_technique(
-    technique: &str,
-    sc: &mut Scenario,
-    cfg: TestConfig,
-) -> Result<MeasurementRun, ProbeError> {
-    match technique {
-        "single" => SingleConnectionTest::reversed(cfg).run(&mut sc.prober, sc.target, 80),
-        "dual" => DualConnectionTest::new(cfg).run(&mut sc.prober, sc.target, 80),
-        "syn" => SynTest::new(cfg).run(&mut sc.prober, sc.target, 80),
-        "transfer" => {
-            DataTransferTest::new(TestConfig::default()).run(&mut sc.prober, sc.target, 80)
-        }
-        other => unreachable!("technique `{other}` validated by measure_technique"),
-    }
-}
-
 /// `reorder measure`.
 pub fn measure(args: &Args) -> Result<(), ArgError> {
     args.expect_only(&[
@@ -83,7 +59,7 @@ pub fn measure(args: &Args) -> Result<(), ArgError> {
         "lb",
         "seed",
     ])?;
-    let technique = measure_technique(args.get("technique").unwrap_or("single"))?.to_string();
+    let kind = measure_technique(args.get("technique").unwrap_or("single"))?;
     let fwd: f64 = args.get_or("fwd", 0.10)?;
     let rev: f64 = args.get_or("rev", 0.05)?;
     let samples: usize = args.get_or("samples", 100)?;
@@ -97,10 +73,14 @@ pub fn measure(args: &Args) -> Result<(), ArgError> {
     } else {
         scenario::validation_rig_with(fwd, rev, pers, seed)
     };
-    let cfg = TestConfig {
-        samples,
-        gap: Duration::from_micros(gap_us),
-        ..TestConfig::default()
+    let cfg = if kind == TestKind::DataTransfer {
+        TestConfig::default() // object size, not `samples`, sets the count
+    } else {
+        TestConfig {
+            samples,
+            gap: Duration::from_micros(gap_us),
+            ..TestConfig::default()
+        }
     };
     println!(
         "path: swap fwd {:.1}% / rev {:.1}%, {} backend(s), seed {}",
@@ -109,11 +89,12 @@ pub fn measure(args: &Args) -> Result<(), ArgError> {
         backends,
         seed
     );
-    match run_technique(&technique, &mut sc, cfg) {
-        Ok(run) => {
-            println!("technique: {technique}, {} samples", run.samples.len());
-            println!("  {}", fmt_estimate("forward", run.fwd_estimate()));
-            println!("  {}", fmt_estimate("reverse", run.rev_estimate()));
+    let mut session = Session::new(&mut sc.prober, sc.target, 80);
+    match Measurer::new(kind).with_config(cfg).run(&mut session) {
+        Ok(m) => {
+            println!("technique: {kind}, {} samples", m.samples);
+            println!("  {}", fmt_estimate("forward", m.fwd));
+            println!("  {}", fmt_estimate("reverse", m.rev));
             Ok(())
         }
         Err(e) => Err(ArgError(format!("measurement failed: {e}"))),
@@ -150,10 +131,12 @@ pub fn profile(args: &Args) -> Result<(), ArgError> {
             pace: Duration::from_millis(2),
             reply_timeout: Duration::from_millis(900),
         };
-        let run = DualConnectionTest::new(cfg)
-            .run(&mut sc.prober, sc.target, 80)
-            .map_err(|e| ArgError(format!("measurement failed at gap {gap}us: {e}")))?;
-        let est = run.fwd_estimate();
+        let mut session = Session::new(&mut sc.prober, sc.target, 80);
+        let est = Measurer::new(TestKind::DualConnection)
+            .with_config(cfg)
+            .run(&mut session)
+            .map_err(|e| ArgError(format!("measurement failed at gap {gap}us: {e}")))?
+            .fwd;
         if csv {
             println!("{gap},{},{},{:.6}", est.reordered, est.total, est.rate());
         } else {
@@ -166,6 +149,21 @@ pub fn profile(args: &Args) -> Result<(), ArgError> {
         gap += step_us;
     }
     Ok(())
+}
+
+/// Parse `--shard K/N` ("2/4"): 1-based shard K of N. The engine's
+/// contiguous split guarantees that concatenating the JSONL outputs of
+/// shards 1..=N reproduces the unsharded report byte-for-byte.
+fn parse_shard(s: &str) -> Result<(usize, usize), ArgError> {
+    let bad = || ArgError(format!("invalid shard `{s}` (want K/N with 1 <= K <= N)"));
+    let (k, n) = s.split_once('/').ok_or_else(bad)?;
+    let k: usize = k.trim().parse().map_err(|_| bad())?;
+    let n: usize = n.trim().parse().map_err(|_| bad())?;
+    if n >= 1 && (1..=n).contains(&k) {
+        Ok((k, n))
+    } else {
+        Err(bad())
+    }
 }
 
 /// Parse a comma-separated list of µs gaps ("0,100,300").
@@ -195,8 +193,10 @@ pub fn survey(args: &Args) -> Result<(), ArgError> {
         "jsonl",
         "gaps-us",
         "no-baseline",
+        "no-reuse",
         "amenability-only",
         "per-host",
+        "shard",
     ])?;
     let cfg = CampaignConfig {
         hosts: args.get_or("hosts", 50)?,
@@ -207,8 +207,10 @@ pub fn survey(args: &Args) -> Result<(), ArgError> {
         technique: TechniqueChoice::parse(args.get("technique").unwrap_or("auto"))
             .map_err(ArgError)?,
         baseline: !args.switch("no-baseline"),
+        reuse: !args.switch("no-reuse"),
         amenability_only: args.switch("amenability-only"),
         gaps_us: parse_gaps(args.get("gaps-us").unwrap_or(""))?,
+        shard: args.get("shard").map(parse_shard).transpose()?,
         model: Default::default(),
     };
 
@@ -266,10 +268,20 @@ pub fn validate(args: &Args) -> Result<(), ArgError> {
     let rev: f64 = args.get_or("rev", 0.05)?;
     let samples: usize = args.get_or("samples", 100)?;
     let seed: u64 = args.get_or("seed", 1)?;
-    for technique in ["single", "dual", "syn"] {
+    // The reversed single-connection variant is the deployable one for
+    // two-sided validation (immediate ACKs in both directions).
+    for kind in [
+        TestKind::SingleConnectionReversed,
+        TestKind::DualConnection,
+        TestKind::Syn,
+    ] {
         let mut sc = scenario::validation_rig(fwd, rev, seed);
-        let run = run_technique(technique, &mut sc, TestConfig::samples(samples))
-            .map_err(|e| ArgError(format!("{technique}: {e}")))?;
+        let run = {
+            let mut session = Session::new(&mut sc.prober, sc.target, 80);
+            technique(kind, TestConfig::samples(samples))
+                .execute(&mut session)
+                .map_err(|e| ArgError(format!("{kind}: {e}")))?
+        };
         let rep = validate_run(
             &run,
             &sc.merged_server_rx(),
@@ -277,7 +289,8 @@ pub fn validate(args: &Args) -> Result<(), ArgError> {
             &sc.prober_trace(),
         );
         println!(
-            "{technique:<9} fwd: {}/{} verdicts match trace (err {:+}); rev: {}/{} (err {:+})",
+            "{:<10} fwd: {}/{} verdicts match trace (err {:+}); rev: {}/{} (err {:+})",
+            kind.label(),
             rep.fwd.agree,
             rep.fwd.checked,
             rep.fwd.count_error(),
@@ -301,9 +314,15 @@ pub fn pcap(args: &Args) -> Result<(), ArgError> {
     let samples: usize = args.get_or("samples", 50)?;
     let seed: u64 = args.get_or("seed", 1)?;
     let mut sc = scenario::validation_rig(fwd, rev, seed);
-    let run = SingleConnectionTest::reversed(TestConfig::samples(samples))
-        .run(&mut sc.prober, sc.target, 80)
-        .map_err(|e| ArgError(format!("measurement failed: {e}")))?;
+    let run = {
+        let mut session = Session::new(&mut sc.prober, sc.target, 80);
+        technique(
+            TestKind::SingleConnectionReversed,
+            TestConfig::samples(samples),
+        )
+        .execute(&mut session)
+        .map_err(|e| ArgError(format!("measurement failed: {e}")))?
+    };
     let trace = sc.merged_server_rx();
     reorder_netsim::pcap::write_pcap(&trace, std::path::Path::new(&out))
         .map_err(|e| ArgError(format!("writing {out}: {e}")))?;
@@ -395,9 +414,40 @@ mod tests {
     fn measure_rejects_unknown_technique_with_accepted_set() {
         let e = measure(&parse("measure --technique warp")).unwrap_err();
         assert!(e.0.contains("unknown technique `warp`"), "{e}");
-        for t in MEASURE_TECHNIQUES {
+        for t in TestKind::ACCEPTED {
             assert!(e.0.contains(t), "error must list `{t}`: {e}");
         }
+    }
+
+    #[test]
+    fn measure_accepts_both_single_variants_explicitly() {
+        // The historical inconsistency: `single` silently ran the
+        // reversed variant. Now each spelling names its own variant.
+        measure(&parse("measure --technique single --samples 10 --seed 3")).expect("single");
+        measure(&parse(
+            "measure --technique single-rev --samples 10 --seed 3",
+        ))
+        .expect("single-rev");
+    }
+
+    #[test]
+    fn survey_accepts_shard_and_no_reuse() {
+        survey(&parse(
+            "survey --hosts 6 --shard 2/3 --no-reuse --samples 3",
+        ))
+        .expect("shard");
+    }
+
+    #[test]
+    fn shard_parsing_is_strict() {
+        assert_eq!(parse_shard("1/1").unwrap(), (1, 1));
+        assert_eq!(parse_shard("2/4").unwrap(), (2, 4));
+        assert_eq!(parse_shard(" 3 / 4 ").unwrap(), (3, 4));
+        for bad in ["", "3", "0/4", "5/4", "a/4", "4/", "/4", "1/0"] {
+            assert!(parse_shard(bad).is_err(), "`{bad}` must be rejected");
+        }
+        let e = survey(&parse("survey --hosts 4 --shard 9/2")).unwrap_err();
+        assert!(e.0.contains("invalid shard"), "{e}");
     }
 
     #[test]

@@ -20,7 +20,9 @@ USAGE: reorder <command> [options]
 
 COMMANDS:
   measure    run one technique against a dummynet-style path
-               --technique single|dual|syn|transfer   (default single)
+               --technique single|single-rev|dual|syn|transfer (default
+                                    single; single-rev is the reversed,
+                                    delayed-ACK-proof variant)
                --fwd P --rev P      adjacent-swap probabilities (default 0.1/0.05)
                --samples N          samples (default 100)
                --gap-us N           inter-packet gap in microseconds (default 0)
@@ -41,12 +43,18 @@ COMMANDS:
                --workers W          worker threads (default 0 = all cores)
                --samples N          samples per technique run (default 15)
                --rounds R           measurement rounds per host (default 1)
-               --technique T        auto|single|dual|syn|transfer (default auto:
-                                    IPID-validate, dual where amenable, SYN fallback)
+               --technique T        auto|single|single-rev|dual|syn|transfer
+                                    (default auto: IPID-validate, dual where
+                                    amenable, SYN fallback)
                --jsonl FILE         write one JSON line per host
                --gaps-us LIST       extra gap sweep, e.g. 0,100,300 (§IV-C)
+               --shard K/N          run only host-id shard K of N (1-based);
+                                    concatenating shards 1..N reproduces the
+                                    unsharded JSONL byte-for-byte
                --per-host           print the per-host table too
                --no-baseline        skip the data-transfer baseline
+               --no-reuse           fresh scenario + handshakes per phase
+                                    (per-host connection reuse is the default)
                --amenability-only   verdicts only, no measurement
                --seed S
   validate   measure and cross-check against the capture trace (§IV-A)

@@ -184,7 +184,10 @@ pub fn paxson_session(
     target: Ipv4Addr4,
     port: u16,
 ) -> Result<PaxsonSessionStats, ProbeError> {
-    let run = DataTransferTest::new(TestConfig::default()).run(p, target, port)?;
+    let run = crate::measurer::Technique::execute(
+        &DataTransferTest::new(TestConfig::default()),
+        &mut crate::measurer::Session::new(p, target, port),
+    )?;
     // Reconstruct the arrival sequence from the pairwise samples: the
     // first element of each pair plus the final pair's second element.
     let mut arrivals: Vec<u64> = Vec::with_capacity(run.samples.len() + 1);

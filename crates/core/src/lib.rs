@@ -31,25 +31,41 @@
 //!
 //! ## Quick start
 //!
+//! Every technique sits behind the [`measurer::Technique`] trait;
+//! dispatch goes through [`measurer::technique`] (or the full
+//! [`measurer::registry`]), keyed by [`TestKind`] — which parses from
+//! and prints as its command-line spelling. A [`measurer::Session`]
+//! holds the conversation with one target, and the [`Measurer`]
+//! builder folds a whole plan (technique + baseline + gap sweep) into
+//! one [`Measurement`] report:
+//!
 //! ```
-//! use reorder_core::sample::TestConfig;
+//! use reorder_core::{Measurer, Session, TestKind};
 //! use reorder_core::scenario;
-//! use reorder_core::techniques::SingleConnectionTest;
 //!
 //! // A controlled path that swaps 10% of adjacent forward pairs.
 //! let mut sc = scenario::validation_rig(0.10, 0.0, 42);
-//! let run = SingleConnectionTest::new(TestConfig::samples(50))
-//!     .run(&mut sc.prober, sc.target, 80)
+//! // Reuse: amenability probe, measurement and baseline share
+//! // handshakes (the survey engine's per-host fast path).
+//! let mut session = Session::new(&mut sc.prober, sc.target, 80).with_reuse(true);
+//! let report = Measurer::new(TestKind::DualConnection)
+//!     .with_samples(50)
+//!     .with_baseline(true)
+//!     .run(&mut session)
 //!     .expect("measurement");
-//! let est = run.fwd_estimate();
-//! assert!(est.rate() > 0.0 && est.rate() < 0.35);
+//! assert!(report.fwd.rate() > 0.0 && report.fwd.rate() < 0.35);
+//! assert!(report.baseline_rev.is_some());
 //! ```
+//!
+//! The pre-0.2 per-struct `run()` methods still exist as deprecated
+//! shims for one release; see the README's migration table.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod baseline;
 pub mod impact;
+pub mod measurer;
 pub mod metrics;
 pub mod probe;
 pub mod rfc4737;
@@ -60,9 +76,12 @@ pub mod stats;
 pub mod techniques;
 pub mod validate;
 
+pub use measurer::{
+    registry, technique, Measurement, Measurer, Requirements, Session, SessionStats, Technique,
+};
 pub use probe::{ClientConn, ProbeError, Prober};
 pub use sample::{MeasurementRun, Order, SampleOutcome, TestConfig};
 pub use techniques::{
     DataTransferTest, DualConnectionTest, IpidValidator, IpidVerdict, SingleConnectionTest,
-    SynTest, TestKind,
+    SynTest, TestKind, UnknownTestKind,
 };

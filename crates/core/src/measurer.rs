@@ -1,0 +1,887 @@
+//! The unified measurement API: one [`Technique`] trait over all of
+//! the paper's tests, a [`Session`] that owns the conversation with one
+//! target (and caches handshakes so successive phases reuse
+//! connections), and a [`Measurer`] builder that turns a plan into one
+//! [`Measurement`] report.
+//!
+//! Before this module, every consumer — the CLI, the survey pipeline,
+//! the experiment binaries, the examples — carried its own string-keyed
+//! `match` over four unrelated structs with ad-hoc `run()` signatures.
+//! Now there is exactly one dispatch point:
+//!
+//! ```
+//! use reorder_core::measurer::{technique, Session};
+//! use reorder_core::sample::TestConfig;
+//! use reorder_core::scenario;
+//! use reorder_core::TestKind;
+//!
+//! let mut sc = scenario::validation_rig(0.10, 0.0, 42);
+//! let mut session = Session::new(&mut sc.prober, sc.target, 80);
+//! let kind: TestKind = "single-rev".parse().unwrap();
+//! let run = technique(kind, TestConfig::samples(50))
+//!     .execute(&mut session)
+//!     .expect("measurement");
+//! assert!(run.fwd_estimate().rate() < 0.35);
+//! ```
+//!
+//! ## Connection reuse
+//!
+//! A [`Session`] created with [`Session::with_reuse`] keeps every
+//! checked-in connection open (keyed by technique family and advertised
+//! MSS/window) and caches the IPID amenability verdict, so an
+//! amenability probe, a measurement, a gap sweep and a baseline against
+//! the same host share handshakes and validation instead of repeating
+//! them — the survey engine's per-host fast path. Without reuse a
+//! checked-in connection is closed immediately, reproducing the
+//! historical per-run behavior packet for packet.
+
+use crate::metrics::ReorderEstimate;
+use crate::probe::{ClientConn, ProbeError, Prober};
+use crate::sample::{MeasurementRun, TestConfig};
+use crate::techniques::{
+    DataTransferTest, DualConnectionTest, IpidVerdict, SingleConnectionTest, SynTest, TestKind,
+};
+use reorder_wire::Ipv4Addr4;
+use std::fmt::Write as _;
+
+/// What a technique needs from a target and which directions it can
+/// see — the machine-readable version of the table in
+/// [`crate::techniques`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Requirements {
+    /// Produces forward-path (probe → target) verdicts.
+    pub measures_fwd: bool,
+    /// Produces reverse-path (target → probe) verdicts.
+    pub measures_rev: bool,
+    /// Number of established TCP connections one run holds open
+    /// (0 = raw per-sample flows, as in the SYN test).
+    pub connections: usize,
+    /// Requires the target's IPID space to validate as
+    /// [`IpidVerdict::Amenable`] before measuring.
+    pub needs_global_ipid: bool,
+    /// Requires the target to serve an object spanning ≥ 2 segments.
+    pub needs_object: bool,
+}
+
+/// One of the paper's measurement techniques behind a uniform,
+/// object-safe interface. All five registry entries ([`TestKind`]'s
+/// variants) implement it; dispatch happens through [`technique`] or
+/// [`registry`], never through string matches at call sites.
+pub trait Technique {
+    /// Which technique this is (labels, parsing, report keys).
+    fn kind(&self) -> TestKind;
+
+    /// Static capabilities and preconditions.
+    fn requirements(&self) -> Requirements;
+
+    /// Check the target's amenability without measuring. The default
+    /// accepts every reachable host; the dual connection test overrides
+    /// this with the §III-C IPID validation. The verdict is cached on
+    /// the session, so a following [`Technique::execute`] does not
+    /// repeat the probe.
+    fn probe_amenability(&self, session: &mut Session<'_>) -> Result<IpidVerdict, ProbeError> {
+        let _ = session;
+        Ok(IpidVerdict::Amenable)
+    }
+
+    /// Run the full measurement over `session`'s target and return the
+    /// per-sample record. Connections are checked out of (and back
+    /// into) the session, so a reusing session pays for handshakes and
+    /// IPID validation once across phases.
+    fn execute(&self, session: &mut Session<'_>) -> Result<MeasurementRun, ProbeError>;
+}
+
+/// A cached, still-open connection with the parameters it was
+/// established under.
+#[derive(Debug)]
+struct CachedConn {
+    conn: ClientConn,
+    tag: &'static str,
+    mss: u16,
+    window: u16,
+}
+
+/// Counters a session keeps about its connection economy (drives the
+/// reuse assertions in tests and the campaign bench).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Fresh handshakes performed through the session.
+    pub handshakes: usize,
+    /// Checkouts satisfied from the connection cache.
+    pub reused: usize,
+    /// IPID validations performed (at most 1 per reusing session).
+    pub validations: usize,
+}
+
+/// The conversation with one measurement target: a prober, the target
+/// address/port, and — when reuse is enabled — a cache of open
+/// connections plus the amenability verdict, shared by every technique
+/// run on the session.
+pub struct Session<'p> {
+    prober: &'p mut Prober,
+    target: Ipv4Addr4,
+    port: u16,
+    reuse: bool,
+    cache: Vec<CachedConn>,
+    verdict: Option<IpidVerdict>,
+    probe_offset: u32,
+    stats: SessionStats,
+}
+
+impl<'p> Session<'p> {
+    /// New session without connection reuse: every checkout handshakes,
+    /// every checkin closes — the historical per-run behavior.
+    pub fn new(prober: &'p mut Prober, target: Ipv4Addr4, port: u16) -> Self {
+        Session {
+            prober,
+            target,
+            port,
+            reuse: false,
+            cache: Vec::new(),
+            verdict: None,
+            probe_offset: 0,
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// Toggle connection reuse (builder style).
+    pub fn with_reuse(mut self, reuse: bool) -> Self {
+        self.reuse = reuse;
+        self
+    }
+
+    /// The target address under measurement.
+    pub fn target(&self) -> Ipv4Addr4 {
+        self.target
+    }
+
+    /// The target port under measurement.
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// Whether checkins keep connections open for later checkouts.
+    pub fn reuses_connections(&self) -> bool {
+        self.reuse
+    }
+
+    /// Direct access to the prober (techniques drive the simulation
+    /// through this).
+    pub fn prober(&mut self) -> &mut Prober {
+        self.prober
+    }
+
+    /// Connection-economy counters.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// The cached amenability verdict, if one technique already probed.
+    pub fn verdict(&self) -> Option<IpidVerdict> {
+        self.verdict
+    }
+
+    /// Record the amenability verdict (techniques call this after
+    /// validating; [`SessionStats::validations`] counts the calls).
+    pub fn set_verdict(&mut self, verdict: IpidVerdict) {
+        self.stats.validations += 1;
+        self.verdict = Some(verdict);
+    }
+
+    /// The next unused out-of-order probe byte offset. Techniques that
+    /// park bytes beyond `snd_nxt` (IPID validation, dual-connection
+    /// samples) share this counter so reused connections never re-park
+    /// an already-buffered offset.
+    pub fn probe_offset(&self) -> u32 {
+        self.probe_offset
+    }
+
+    /// Advance the shared probe offset after consuming offsets up to
+    /// (exclusive) `next`.
+    pub fn set_probe_offset(&mut self, next: u32) {
+        debug_assert!(next >= self.probe_offset);
+        self.probe_offset = next;
+    }
+
+    /// Obtain an established connection advertising `mss`/`window`. A
+    /// reusing session returns the oldest cached connection of the same
+    /// `tag` and parameters (FIFO, so a technique that checks two
+    /// connections back in gets them back in the same roles); otherwise
+    /// a fresh handshake is performed. `tag` partitions the cache by
+    /// technique family: a connection carrying dual-test out-of-order
+    /// probe bytes has receiver-side reassembly state that would
+    /// corrupt a single-connection sample, so the families never share.
+    pub fn checkout(
+        &mut self,
+        tag: &'static str,
+        mss: u16,
+        window: u16,
+        timeout: std::time::Duration,
+    ) -> Result<ClientConn, ProbeError> {
+        if self.reuse {
+            if let Some(pos) = self
+                .cache
+                .iter()
+                .position(|c| c.tag == tag && c.mss == mss && c.window == window)
+            {
+                self.stats.reused += 1;
+                return Ok(self.cache.remove(pos).conn);
+            }
+        }
+        self.stats.handshakes += 1;
+        self.prober
+            .handshake(self.target, self.port, mss, window, timeout)
+    }
+
+    /// Return a connection after use. A reusing session keeps it open
+    /// for the next checkout of the same `tag`/parameters; otherwise it
+    /// is politely closed now.
+    pub fn checkin(
+        &mut self,
+        tag: &'static str,
+        mss: u16,
+        window: u16,
+        mut conn: ClientConn,
+        timeout: std::time::Duration,
+    ) {
+        if self.reuse {
+            self.cache.push(CachedConn {
+                conn,
+                tag,
+                mss,
+                window,
+            });
+        } else {
+            self.prober.close(&mut conn, timeout);
+        }
+    }
+
+    /// Dispose of a connection that must not be reused — one whose
+    /// state is suspect after a mid-measurement error. It is politely
+    /// closed now regardless of the reuse setting (a broken connection
+    /// in the cache would poison the next checkout).
+    pub fn discard(&mut self, mut conn: ClientConn, timeout: std::time::Duration) {
+        self.prober.close(&mut conn, timeout);
+    }
+
+    /// Politely close every cached connection. Called by `Drop`, but
+    /// callable explicitly when the close traffic should happen at a
+    /// controlled point in simulated time.
+    pub fn finish(&mut self, timeout: std::time::Duration) {
+        for mut cached in self.cache.drain(..) {
+            self.prober.close(&mut cached.conn, timeout);
+        }
+    }
+}
+
+impl Drop for Session<'_> {
+    fn drop(&mut self) {
+        self.finish(std::time::Duration::from_millis(900));
+    }
+}
+
+/// Construct the technique implementing `kind` with shared knobs `cfg`.
+/// This is the single dispatch point that replaced the per-consumer
+/// string matches.
+pub fn technique(kind: TestKind, cfg: TestConfig) -> Box<dyn Technique> {
+    match kind {
+        TestKind::SingleConnection => Box::new(SingleConnectionTest::new(cfg)),
+        TestKind::SingleConnectionReversed => Box::new(SingleConnectionTest::reversed(cfg)),
+        TestKind::DualConnection => Box::new(DualConnectionTest::new(cfg)),
+        TestKind::Syn => Box::new(SynTest::new(cfg)),
+        TestKind::DataTransfer => Box::new(DataTransferTest::new(cfg)),
+    }
+}
+
+/// Every technique, boxed, in the paper's presentation order — the
+/// registry the conformance suite (and any "run them all" consumer)
+/// iterates.
+pub fn registry(cfg: TestConfig) -> Vec<Box<dyn Technique>> {
+    TestKind::all()
+        .into_iter()
+        .map(|kind| technique(kind, cfg))
+        .collect()
+}
+
+/// The unified measurement report every consumer reads: per-direction
+/// estimates, the technique that produced them, the amenability
+/// verdict (when one was probed), the optional transfer baseline and
+/// gap profile. Serializes to a single JSON line and parses back
+/// ([`Measurement::to_json`] / [`Measurement::from_json`]) so plans
+/// and reports can cross process boundaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// Technique that produced the primary estimates.
+    pub kind: TestKind,
+    /// IPID amenability verdict, when the session probed one.
+    pub verdict: Option<IpidVerdict>,
+    /// Forward-path (probe → target) estimate.
+    pub fwd: ReorderEstimate,
+    /// Reverse-path (target → probe) estimate.
+    pub rev: ReorderEstimate,
+    /// Samples taken (including discarded ones).
+    pub samples: usize,
+    /// Samples indeterminate in both directions.
+    pub discarded: usize,
+    /// Reverse-path estimate of the data-transfer baseline, when taken.
+    pub baseline_rev: Option<ReorderEstimate>,
+    /// `(gap_us, forward estimate)` sweep points, when requested.
+    pub gap_points: Vec<(u64, ReorderEstimate)>,
+}
+
+impl Measurement {
+    /// Summarize a per-sample run into the unified report.
+    pub fn from_run(kind: TestKind, run: &MeasurementRun) -> Measurement {
+        Measurement {
+            kind,
+            verdict: None,
+            fwd: run.fwd_estimate(),
+            rev: run.rev_estimate(),
+            samples: run.samples.len(),
+            discarded: run.discarded(),
+            baseline_rev: None,
+            gap_points: Vec::new(),
+        }
+    }
+
+    /// Serialize as one JSON line (stable key order, no trailing
+    /// newline). Hand-rolled: the environment has no serde.
+    pub fn to_json(&self) -> String {
+        fn estimate(out: &mut String, e: &ReorderEstimate) {
+            let _ = write!(
+                out,
+                "{{\"reordered\":{},\"total\":{}}}",
+                e.reordered, e.total
+            );
+        }
+        let mut s = String::with_capacity(192);
+        let _ = write!(s, "{{\"kind\":\"{}\",\"verdict\":", self.kind.label());
+        match self.verdict {
+            Some(v) => {
+                let _ = write!(s, "\"{}\"", v.label());
+            }
+            None => s.push_str("null"),
+        }
+        s.push_str(",\"fwd\":");
+        estimate(&mut s, &self.fwd);
+        s.push_str(",\"rev\":");
+        estimate(&mut s, &self.rev);
+        let _ = write!(
+            s,
+            ",\"samples\":{},\"discarded\":{},\"baseline_rev\":",
+            self.samples, self.discarded
+        );
+        match &self.baseline_rev {
+            Some(b) => estimate(&mut s, b),
+            None => s.push_str("null"),
+        }
+        s.push_str(",\"gaps\":[");
+        for (i, (gap, est)) in self.gap_points.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{{\"gap_us\":{gap},\"fwd\":");
+            estimate(&mut s, est);
+            s.push('}');
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// Parse a report serialized by [`Measurement::to_json`].
+    pub fn from_json(text: &str) -> Result<Measurement, String> {
+        let value = json::parse(text)?;
+        let obj = value.as_object("measurement")?;
+        let estimate = |v: &json::Value, what: &str| -> Result<ReorderEstimate, String> {
+            let o = v.as_object(what)?;
+            Ok(ReorderEstimate::new(
+                json::get(o, "reordered")?.as_usize("reordered")?,
+                json::get(o, "total")?.as_usize("total")?,
+            ))
+        };
+        let kind: TestKind = json::get(obj, "kind")?
+            .as_str("kind")?
+            .parse()
+            .map_err(|e: crate::techniques::UnknownTestKind| e.to_string())?;
+        let verdict = match json::get(obj, "verdict")? {
+            json::Value::Null => None,
+            v => Some(
+                IpidVerdict::from_label(v.as_str("verdict")?)
+                    .ok_or_else(|| "unknown verdict label".to_string())?,
+            ),
+        };
+        let baseline_rev = match json::get(obj, "baseline_rev")? {
+            json::Value::Null => None,
+            v => Some(estimate(v, "baseline_rev")?),
+        };
+        let mut gap_points = Vec::new();
+        for item in json::get(obj, "gaps")?.as_array("gaps")? {
+            let o = item.as_object("gap point")?;
+            gap_points.push((
+                json::get(o, "gap_us")?.as_usize("gap_us")? as u64,
+                estimate(json::get(o, "fwd")?, "gap fwd")?,
+            ));
+        }
+        Ok(Measurement {
+            kind,
+            verdict,
+            fwd: estimate(json::get(obj, "fwd")?, "fwd")?,
+            rev: estimate(json::get(obj, "rev")?, "rev")?,
+            samples: json::get(obj, "samples")?.as_usize("samples")?,
+            discarded: json::get(obj, "discarded")?.as_usize("discarded")?,
+            baseline_rev,
+            gap_points,
+        })
+    }
+}
+
+/// Builder over a measurement plan: which technique, with what knobs,
+/// and which extras (transfer baseline, gap sweep) to fold into the
+/// single [`Measurement`] it returns.
+///
+/// ```
+/// use reorder_core::measurer::{Measurer, Session};
+/// use reorder_core::scenario;
+/// use reorder_core::TestKind;
+///
+/// let mut sc = scenario::validation_rig(0.10, 0.05, 7);
+/// let mut session = Session::new(&mut sc.prober, sc.target, 80).with_reuse(true);
+/// let m = Measurer::new(TestKind::DualConnection)
+///     .with_samples(40)
+///     .with_baseline(true)
+///     .run(&mut session)
+///     .expect("measurement");
+/// assert_eq!(m.kind, TestKind::DualConnection);
+/// assert!(m.fwd.total > 0 && m.baseline_rev.is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Measurer {
+    kind: TestKind,
+    cfg: TestConfig,
+    baseline: bool,
+    gaps_us: Vec<u64>,
+}
+
+impl Measurer {
+    /// Plan a measurement with `kind` and default knobs.
+    pub fn new(kind: TestKind) -> Measurer {
+        Measurer {
+            kind,
+            cfg: TestConfig::default(),
+            baseline: false,
+            gaps_us: Vec::new(),
+        }
+    }
+
+    /// Replace the shared technique knobs.
+    pub fn with_config(mut self, cfg: TestConfig) -> Measurer {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Set the sample count, keeping the other knobs.
+    pub fn with_samples(mut self, samples: usize) -> Measurer {
+        self.cfg.samples = samples;
+        self
+    }
+
+    /// Also take the §III-E data-transfer baseline of the reverse path
+    /// (skipped when the primary technique *is* the transfer test; a
+    /// baseline the target cannot serve is reported as `None`, not an
+    /// error).
+    pub fn with_baseline(mut self, baseline: bool) -> Measurer {
+        self.baseline = baseline;
+        self
+    }
+
+    /// Also sweep the §IV-C inter-packet gap over `gaps_us`
+    /// (microseconds), recording a forward estimate per point.
+    pub fn with_gap_sweep(mut self, gaps_us: Vec<u64>) -> Measurer {
+        self.gaps_us = gaps_us;
+        self
+    }
+
+    /// The planned technique.
+    pub fn kind(&self) -> TestKind {
+        self.kind
+    }
+
+    /// The planned knobs.
+    pub fn config(&self) -> TestConfig {
+        self.cfg
+    }
+
+    /// Execute the plan on `session` and fold every phase into one
+    /// report. On a reusing session the phases share handshakes and
+    /// the amenability verdict.
+    pub fn run(&self, session: &mut Session<'_>) -> Result<Measurement, ProbeError> {
+        let primary = technique(self.kind, self.cfg);
+        let run = primary.execute(session)?;
+        let mut m = Measurement::from_run(self.kind, &run);
+        m.verdict = session.verdict();
+        for &gap in &self.gaps_us {
+            let mut cfg = self.cfg;
+            cfg.gap = std::time::Duration::from_micros(gap);
+            if let Ok(run) = technique(self.kind, cfg).execute(session) {
+                m.gap_points.push((gap, run.fwd_estimate()));
+            }
+        }
+        if self.baseline && self.kind != TestKind::DataTransfer {
+            m.baseline_rev = technique(TestKind::DataTransfer, TestConfig::default())
+                .execute(session)
+                .ok()
+                .map(|r| r.rev_estimate());
+        }
+        Ok(m)
+    }
+}
+
+/// A deliberately small JSON reader, sufficient for the fixed report
+/// shapes this crate writes (objects, arrays, strings without escapes
+/// beyond the writer's set, unsigned integers, null). Private: the
+/// public surface is `Measurement::{to,from}_json`.
+mod json {
+    pub enum Value {
+        Null,
+        Num(f64),
+        Str(String),
+        Arr(Vec<Value>),
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        pub fn as_object<'v>(&'v self, what: &str) -> Result<&'v [(String, Value)], String> {
+            match self {
+                Value::Obj(fields) => Ok(fields),
+                _ => Err(format!("{what}: expected object")),
+            }
+        }
+
+        pub fn as_array<'v>(&'v self, what: &str) -> Result<&'v [Value], String> {
+            match self {
+                Value::Arr(items) => Ok(items),
+                _ => Err(format!("{what}: expected array")),
+            }
+        }
+
+        pub fn as_str<'v>(&'v self, what: &str) -> Result<&'v str, String> {
+            match self {
+                Value::Str(s) => Ok(s),
+                _ => Err(format!("{what}: expected string")),
+            }
+        }
+
+        pub fn as_usize(&self, what: &str) -> Result<usize, String> {
+            match self {
+                Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Ok(*n as usize),
+                _ => Err(format!("{what}: expected unsigned integer")),
+            }
+        }
+    }
+
+    pub fn get<'v>(obj: &'v [(String, Value)], key: &str) -> Result<&'v Value, String> {
+        obj.iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("missing key `{key}`"))
+    }
+
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err("trailing characters".into());
+        }
+        Ok(v)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn skip_ws(&mut self) {
+            while self
+                .bytes
+                .get(self.pos)
+                .is_some_and(|b| b.is_ascii_whitespace())
+            {
+                self.pos += 1;
+            }
+        }
+
+        fn eat(&mut self, b: u8) -> Result<(), String> {
+            self.skip_ws();
+            if self.bytes.get(self.pos) == Some(&b) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(format!("expected `{}` at byte {}", b as char, self.pos))
+            }
+        }
+
+        fn peek(&mut self) -> Option<u8> {
+            self.skip_ws();
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn value(&mut self) -> Result<Value, String> {
+            match self.peek() {
+                Some(b'{') => self.object(),
+                Some(b'[') => self.array(),
+                Some(b'"') => Ok(Value::Str(self.string()?)),
+                Some(b'n') => self.keyword("null", Value::Null),
+                Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+                _ => Err(format!("unexpected input at byte {}", self.pos)),
+            }
+        }
+
+        fn keyword(&mut self, word: &str, value: Value) -> Result<Value, String> {
+            if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+                self.pos += word.len();
+                Ok(value)
+            } else {
+                Err(format!("expected `{word}` at byte {}", self.pos))
+            }
+        }
+
+        fn object(&mut self) -> Result<Value, String> {
+            self.eat(b'{')?;
+            let mut fields = Vec::new();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(Value::Obj(fields));
+            }
+            loop {
+                let key = self.string()?;
+                self.eat(b':')?;
+                fields.push((key, self.value()?));
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        return Ok(Value::Obj(fields));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+                }
+            }
+        }
+
+        fn array(&mut self) -> Result<Value, String> {
+            self.eat(b'[')?;
+            let mut items = Vec::new();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                items.push(self.value()?);
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b']') => {
+                        self.pos += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
+                }
+            }
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.eat(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self.bytes.get(self.pos) {
+                    Some(b'"') => {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        let esc = self.bytes.get(self.pos + 1).copied();
+                        self.pos += 2;
+                        match esc {
+                            Some(b'"') => out.push('"'),
+                            Some(b'\\') => out.push('\\'),
+                            Some(b'n') => out.push('\n'),
+                            Some(b't') => out.push('\t'),
+                            Some(b'r') => out.push('\r'),
+                            _ => return Err("unsupported escape".into()),
+                        }
+                    }
+                    Some(&b) => {
+                        // Multi-byte UTF-8 passes through unchanged.
+                        let start = self.pos;
+                        let len = match b {
+                            _ if b < 0x80 => 1,
+                            _ if b < 0xE0 => 2,
+                            _ if b < 0xF0 => 3,
+                            _ => 4,
+                        };
+                        self.pos += len;
+                        let chunk = self.bytes.get(start..self.pos).ok_or("truncated string")?;
+                        out.push_str(
+                            std::str::from_utf8(chunk).map_err(|_| "invalid UTF-8".to_string())?,
+                        );
+                    }
+                    None => return Err("unterminated string".into()),
+                }
+            }
+        }
+
+        fn number(&mut self) -> Result<Value, String> {
+            let start = self.pos;
+            if self.bytes.get(self.pos) == Some(&b'-') {
+                self.pos += 1;
+            }
+            while self.bytes.get(self.pos).is_some_and(|b| {
+                b.is_ascii_digit() || *b == b'.' || *b == b'e' || *b == b'E' || *b == b'+'
+            }) {
+                self.pos += 1;
+            }
+            std::str::from_utf8(&self.bytes[start..self.pos])
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .map(Value::Num)
+                .ok_or_else(|| format!("bad number at byte {start}"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario;
+
+    #[test]
+    fn registry_covers_every_kind_once() {
+        let reg = registry(TestConfig::samples(5));
+        let kinds: Vec<TestKind> = reg.iter().map(|t| t.kind()).collect();
+        assert_eq!(kinds, TestKind::all().to_vec());
+    }
+
+    #[test]
+    fn requirements_are_consistent() {
+        for t in registry(TestConfig::samples(5)) {
+            let r = t.requirements();
+            assert!(
+                r.measures_fwd || r.measures_rev,
+                "{}: measures nothing",
+                t.kind()
+            );
+            if r.needs_global_ipid {
+                assert_eq!(t.kind(), TestKind::DualConnection);
+            }
+            if r.needs_object {
+                assert_eq!(t.kind(), TestKind::DataTransfer);
+            }
+        }
+    }
+
+    #[test]
+    fn session_without_reuse_closes_on_checkin() {
+        let mut sc = scenario::validation_rig(0.0, 0.0, 301);
+        let mut s = Session::new(&mut sc.prober, sc.target, 80);
+        let t = std::time::Duration::from_secs(1);
+        let conn = s.checkout("t", 1460, 65535, t).expect("handshake");
+        s.checkin("t", 1460, 65535, conn, t);
+        let conn = s.checkout("t", 1460, 65535, t).expect("handshake");
+        s.checkin("t", 1460, 65535, conn, t);
+        assert_eq!(s.stats().handshakes, 2);
+        assert_eq!(s.stats().reused, 0);
+    }
+
+    #[test]
+    fn session_with_reuse_hands_back_the_same_connection() {
+        let mut sc = scenario::validation_rig(0.0, 0.0, 302);
+        let mut s = Session::new(&mut sc.prober, sc.target, 80).with_reuse(true);
+        let t = std::time::Duration::from_secs(1);
+        let conn = s.checkout("t", 1460, 65535, t).expect("handshake");
+        let flow = conn.flow;
+        s.checkin("t", 1460, 65535, conn, t);
+        let conn = s.checkout("t", 1460, 65535, t).expect("reuse");
+        assert_eq!(conn.flow, flow, "same connection handed back");
+        s.checkin("t", 1460, 65535, conn, t);
+        assert_eq!(s.stats().handshakes, 1);
+        assert_eq!(s.stats().reused, 1);
+        // Different parameters or tag miss the cache.
+        let other = s.checkout("t", 256, 512, t).expect("handshake");
+        s.checkin("t", 256, 512, other, t);
+        let other = s.checkout("u", 1460, 65535, t).expect("handshake");
+        s.checkin("u", 1460, 65535, other, t);
+        assert_eq!(s.stats().handshakes, 3);
+        s.finish(t);
+    }
+
+    #[test]
+    fn measurement_json_round_trip() {
+        let m = Measurement {
+            kind: TestKind::DualConnection,
+            verdict: Some(IpidVerdict::Amenable),
+            fwd: ReorderEstimate::new(3, 40),
+            rev: ReorderEstimate::new(1, 38),
+            samples: 40,
+            discarded: 2,
+            baseline_rev: Some(ReorderEstimate::new(0, 12)),
+            gap_points: vec![
+                (0, ReorderEstimate::new(3, 10)),
+                (100, ReorderEstimate::new(1, 10)),
+            ],
+        };
+        let line = m.to_json();
+        assert!(line.starts_with("{\"kind\":\"dual\",\"verdict\":\"amenable\""));
+        assert!(!line.contains('\n'));
+        assert_eq!(Measurement::from_json(&line).expect("parse"), m);
+
+        let empty = Measurement {
+            kind: TestKind::Syn,
+            verdict: None,
+            fwd: ReorderEstimate::default(),
+            rev: ReorderEstimate::default(),
+            samples: 0,
+            discarded: 0,
+            baseline_rev: None,
+            gap_points: Vec::new(),
+        };
+        assert_eq!(
+            Measurement::from_json(&empty.to_json()).expect("parse"),
+            empty
+        );
+    }
+
+    #[test]
+    fn measurement_json_rejects_garbage() {
+        assert!(Measurement::from_json("").is_err());
+        assert!(Measurement::from_json("{}").is_err());
+        assert!(Measurement::from_json("{\"kind\":\"warp\"}").is_err());
+        let m = Measurement::from_run(TestKind::Syn, &MeasurementRun::default());
+        let line = m.to_json();
+        assert!(Measurement::from_json(&line[..line.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn measurer_folds_baseline_and_gaps_into_one_report() {
+        let mut sc = scenario::validation_rig(0.1, 0.0, 303);
+        let mut s = Session::new(&mut sc.prober, sc.target, 80).with_reuse(true);
+        let m = Measurer::new(TestKind::DualConnection)
+            .with_samples(20)
+            .with_baseline(true)
+            .with_gap_sweep(vec![0, 50])
+            .run(&mut s)
+            .expect("measurement");
+        assert_eq!(m.kind, TestKind::DualConnection);
+        assert_eq!(m.verdict, Some(IpidVerdict::Amenable));
+        assert_eq!(m.samples, 20);
+        assert!(m.fwd.total > 0);
+        assert!(m.baseline_rev.is_some());
+        assert_eq!(m.gap_points.len(), 2);
+        // The amenability validation ran once; the gap sweep reused the
+        // two measurement connections instead of re-handshaking.
+        assert_eq!(s.stats().validations, 1);
+        assert!(s.stats().reused >= 2, "stats {:?}", s.stats());
+    }
+}

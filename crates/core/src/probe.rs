@@ -71,6 +71,7 @@ pub struct Prober {
     next_port: u16,
     next_ipid: u16,
     iss_counter: u32,
+    handshakes: usize,
 }
 
 impl Prober {
@@ -86,12 +87,21 @@ impl Prober {
             next_port: 33000,
             next_ipid: 1,
             iss_counter: 0x1000_0000,
+            handshakes: 0,
         }
     }
 
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.sim.now()
+    }
+
+    /// Successful three-way handshakes performed so far. The
+    /// conformance suite cross-checks this wire-level counter against
+    /// [`crate::measurer::SessionStats::handshakes`] to prove the
+    /// session's connection-reuse accounting is real.
+    pub fn handshakes_performed(&self) -> usize {
+        self.handshakes
     }
 
     /// Allocate an ephemeral source port.
@@ -277,6 +287,7 @@ impl Prober {
                         .build();
                     let _ = &mut conn;
                     self.send(ack);
+                    self.handshakes += 1;
                     return Ok(conn);
                 }
                 None => continue,

@@ -214,6 +214,15 @@ impl MeasurementRun {
             .count()
     }
 
+    /// Count of samples indeterminate in both directions — the §III-B
+    /// "discard" outcome. Reported by [`crate::measurer::Measurement`].
+    pub fn discarded(&self) -> usize {
+        self.samples
+            .iter()
+            .filter(|s| !s.outcome.fwd.is_determinate() && !s.outcome.rev.is_determinate())
+            .count()
+    }
+
     /// Forward reordering estimate.
     pub fn fwd_estimate(&self) -> crate::metrics::ReorderEstimate {
         crate::metrics::ReorderEstimate::new(self.fwd_reordered(), self.fwd_determinate())
@@ -340,6 +349,12 @@ mod tests {
         assert_eq!(run.rev_determinate(), 3);
         assert_eq!(run.rev_reordered(), 1);
         assert!((run.fwd_estimate().rate() - 2.0 / 3.0).abs() < 1e-12);
+        // No sample above is indeterminate in BOTH directions.
+        assert_eq!(run.discarded(), 0);
+        let discarded = MeasurementRun {
+            samples: vec![mk(Order::Indeterminate, Order::Indeterminate)],
+        };
+        assert_eq!(discarded.discarded(), 1);
     }
 
     #[test]

@@ -17,8 +17,11 @@ pub use single::SingleConnectionTest;
 pub use syn::SynTest;
 pub use transfer::DataTransferTest;
 
+use std::fmt;
+use std::str::FromStr;
+
 /// Identifies a technique in reports.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum TestKind {
     /// §III-B, samples sent in order.
     SingleConnection,
@@ -54,6 +57,49 @@ impl TestKind {
             TestKind::DataTransfer,
         ]
     }
+
+    /// Every accepted spelling, for error messages and usage text
+    /// (identical to the [`TestKind::label`] set).
+    pub const ACCEPTED: [&'static str; 5] = ["single", "single-rev", "dual", "syn", "transfer"];
+}
+
+impl fmt::Display for TestKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Error from [`TestKind::from_str`]: the rejected spelling. The
+/// [`fmt::Display`] rendering lists the accepted set so an unknown
+/// technique name is never silently ignored.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownTestKind(pub String);
+
+impl fmt::Display for UnknownTestKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown technique `{}` (accepted: {})",
+            self.0,
+            TestKind::ACCEPTED.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownTestKind {}
+
+impl FromStr for TestKind {
+    type Err = UnknownTestKind;
+
+    /// Exhaustive, case-sensitive parse of the [`TestKind::label`]
+    /// spellings — the one place technique names are matched as
+    /// strings.
+    fn from_str(s: &str) -> Result<TestKind, UnknownTestKind> {
+        TestKind::all()
+            .into_iter()
+            .find(|k| k.label() == s)
+            .ok_or_else(|| UnknownTestKind(s.to_string()))
+    }
 }
 
 #[cfg(test)]
@@ -66,5 +112,27 @@ mod tests {
         labels.sort_unstable();
         labels.dedup();
         assert_eq!(labels.len(), 5);
+    }
+
+    #[test]
+    fn from_str_round_trips_every_label() {
+        for kind in TestKind::all() {
+            assert_eq!(kind.label().parse::<TestKind>().unwrap(), kind);
+            assert_eq!(kind.to_string(), kind.label());
+        }
+        assert_eq!(
+            TestKind::ACCEPTED.to_vec(),
+            TestKind::all().map(|k| k.label()).to_vec()
+        );
+    }
+
+    #[test]
+    fn from_str_error_lists_accepted_set() {
+        let err = "warp".parse::<TestKind>().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("unknown technique `warp`"), "{msg}");
+        for name in TestKind::ACCEPTED {
+            assert!(msg.contains(name), "error must list `{name}`: {msg}");
+        }
     }
 }

@@ -19,10 +19,12 @@
 //! answer it with a pure ACK) we complete the handshake and close it
 //! properly, so trials are not mistaken for a SYN flood.
 
+use crate::measurer::{Requirements, Session, Technique};
 use crate::probe::{ClientConn, ProbeError, Prober};
 use crate::sample::{
     MeasurementRun, Order, PacketMatcher, SampleForensics, SampleOutcome, SampleRecord, TestConfig,
 };
+use crate::techniques::TestKind;
 use reorder_wire::{FlowKey, Ipv4Addr4, SeqNum, TcpFlags, TcpOption};
 
 /// The SYN Test.
@@ -39,7 +41,20 @@ impl SynTest {
     }
 
     /// Run `cfg.samples` SYN-pair trials against `target:port`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Technique::execute` on a `Session` (or the `Measurer` builder)"
+    )]
     pub fn run(
+        &self,
+        p: &mut Prober,
+        target: Ipv4Addr4,
+        port: u16,
+    ) -> Result<MeasurementRun, ProbeError> {
+        self.execute(&mut Session::new(p, target, port))
+    }
+
+    fn run_samples(
         &self,
         p: &mut Prober,
         target: Ipv4Addr4,
@@ -217,8 +232,34 @@ impl SynTest {
     }
 }
 
+impl Technique for SynTest {
+    fn kind(&self) -> TestKind {
+        TestKind::Syn
+    }
+
+    fn requirements(&self) -> Requirements {
+        Requirements {
+            measures_fwd: true,
+            measures_rev: true,
+            connections: 0, // raw per-sample flows, nothing held open
+            needs_global_ipid: false,
+            needs_object: false,
+        }
+    }
+
+    fn execute(&self, session: &mut Session<'_>) -> Result<MeasurementRun, ProbeError> {
+        let (target, port) = (session.target(), session.port());
+        self.run_samples(session.prober(), target, port)
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    // These unit tests deliberately drive the deprecated `run()` shim:
+    // it is the compatibility contract kept for one release (new-API
+    // coverage lives in `tests/conformance.rs`).
+    #![allow(deprecated)]
+
     use super::*;
     use crate::scenario;
     use reorder_tcpstack::HostPersonality;

@@ -13,10 +13,12 @@
 //! two segments ("this is a problem in practice for sites that use
 //! HTTP redirects, which fit in a single packet").
 
+use crate::measurer::{Requirements, Session, Technique};
 use crate::probe::{ProbeError, Prober};
 use crate::sample::{
     MeasurementRun, Order, PacketMatcher, SampleForensics, SampleOutcome, SampleRecord, TestConfig,
 };
+use crate::techniques::TestKind;
 use reorder_wire::{Ipv4Addr4, SeqNum, TcpFlags};
 use std::time::Duration;
 
@@ -45,19 +47,29 @@ impl DataTransferTest {
     }
 
     /// Fetch the object and classify every adjacent arrival pair.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Technique::execute` on a `Session` (or the `Measurer` builder)"
+    )]
     pub fn run(
         &self,
         p: &mut Prober,
         target: Ipv4Addr4,
         port: u16,
     ) -> Result<MeasurementRun, ProbeError> {
-        let mut conn = p.handshake(
-            target,
-            port,
+        self.execute(&mut Session::new(p, target, port))
+    }
+
+    fn fetch(&self, session: &mut Session<'_>) -> Result<MeasurementRun, ProbeError> {
+        // The clamped connection is consumed by the transfer (FIN or
+        // RST), so it is checked out but never checked back in.
+        let mut conn = session.checkout(
+            "transfer",
             self.clamp_mss,
             self.clamp_window,
             self.cfg.reply_timeout,
         )?;
+        let p = session.prober();
         let flow = conn.flow;
         let started = p.now();
         let req = b"GET / HTTP/1.0\r\n\r\n".to_vec();
@@ -187,8 +199,33 @@ impl DataTransferTest {
     }
 }
 
+impl Technique for DataTransferTest {
+    fn kind(&self) -> TestKind {
+        TestKind::DataTransfer
+    }
+
+    fn requirements(&self) -> Requirements {
+        Requirements {
+            measures_fwd: false, // "only the reverse path is measurable"
+            measures_rev: true,
+            connections: 1,
+            needs_global_ipid: false,
+            needs_object: true,
+        }
+    }
+
+    fn execute(&self, session: &mut Session<'_>) -> Result<MeasurementRun, ProbeError> {
+        self.fetch(session)
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    // These unit tests deliberately drive the deprecated `run()` shim:
+    // it is the compatibility contract kept for one release (new-API
+    // coverage lives in `tests/conformance.rs`).
+    #![allow(deprecated)]
+
     use super::*;
     use crate::scenario;
 

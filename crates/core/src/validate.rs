@@ -148,18 +148,27 @@ pub fn validate_run(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::measurer::{technique, Session};
     use crate::sample::TestConfig;
     use crate::scenario;
-    use crate::techniques::{DataTransferTest, DualConnectionTest, SingleConnectionTest, SynTest};
+    use crate::techniques::TestKind;
 
     fn full_validation(
         fwd_swap: f64,
         rev_swap: f64,
         seed: u64,
-        run_test: impl FnOnce(&mut scenario::Scenario) -> MeasurementRun,
+        kind: TestKind,
     ) -> ValidationReport {
+        let cfg = if kind == TestKind::DataTransfer {
+            TestConfig::default()
+        } else {
+            TestConfig::samples(60)
+        };
         let mut sc = scenario::validation_rig(fwd_swap, rev_swap, seed);
-        let run = run_test(&mut sc);
+        let run = {
+            let mut session = Session::new(&mut sc.prober, sc.target, 80);
+            technique(kind, cfg).execute(&mut session).expect("run")
+        };
         validate_run(
             &run,
             &sc.merged_server_rx(),
@@ -170,11 +179,7 @@ mod tests {
 
     #[test]
     fn single_connection_agrees_with_trace() {
-        let rep = full_validation(0.15, 0.1, 90, |sc| {
-            SingleConnectionTest::new(TestConfig::samples(60))
-                .run(&mut sc.prober, sc.target, 80)
-                .expect("run")
-        });
+        let rep = full_validation(0.15, 0.1, 90, TestKind::SingleConnection);
         assert!(rep.fwd.checked >= 40, "checked {}", rep.fwd.checked);
         assert_eq!(
             rep.fwd.agree, rep.fwd.checked,
@@ -190,11 +195,7 @@ mod tests {
 
     #[test]
     fn dual_connection_agrees_with_trace() {
-        let rep = full_validation(0.15, 0.1, 91, |sc| {
-            DualConnectionTest::new(TestConfig::samples(60))
-                .run(&mut sc.prober, sc.target, 80)
-                .expect("run")
-        });
+        let rep = full_validation(0.15, 0.1, 91, TestKind::DualConnection);
         assert!(rep.fwd.checked >= 50);
         assert_eq!(rep.fwd.agree, rep.fwd.checked);
         assert!(rep.rev.checked >= 50);
@@ -203,11 +204,7 @@ mod tests {
 
     #[test]
     fn syn_test_agrees_with_trace() {
-        let rep = full_validation(0.2, 0.15, 92, |sc| {
-            SynTest::new(TestConfig::samples(60))
-                .run(&mut sc.prober, sc.target, 80)
-                .expect("run")
-        });
+        let rep = full_validation(0.2, 0.15, 92, TestKind::Syn);
         assert!(rep.fwd.checked >= 50);
         assert_eq!(rep.fwd.agree, rep.fwd.checked);
         assert!(rep.rev.checked >= 50);
@@ -216,11 +213,7 @@ mod tests {
 
     #[test]
     fn transfer_test_agrees_with_trace() {
-        let rep = full_validation(0.0, 0.2, 93, |sc| {
-            DataTransferTest::new(TestConfig::default())
-                .run(&mut sc.prober, sc.target, 80)
-                .expect("run")
-        });
+        let rep = full_validation(0.0, 0.2, 93, TestKind::DataTransfer);
         assert_eq!(rep.fwd.checked, 0, "transfer test has no fwd verdicts");
         assert!(rep.rev.checked >= 50);
         assert_eq!(rep.rev.agree, rep.rev.checked);

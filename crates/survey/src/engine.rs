@@ -39,8 +39,37 @@ pub struct CampaignConfig {
     pub amenability_only: bool,
     /// Inter-packet gaps (µs) for a campaign-level gap profile.
     pub gaps_us: Vec<u64>,
+    /// Share one scenario + connection-caching session across each
+    /// host's phases (amenability, rounds, baseline, gap sweep) — see
+    /// [`crate::pipeline`]. On by default; off reproduces the PR 2
+    /// per-phase protocol.
+    pub reuse: bool,
+    /// Run only shard `k` of `n` (1-based `Some((k, n))`): the
+    /// contiguous host-id slice [`shard_bounds`] computes. `None` runs
+    /// everything. Concatenating the JSONL outputs of shards 1..=n (in
+    /// shard order) is byte-identical to the unsharded campaign, so N
+    /// processes or machines can split one master seed's id space.
+    pub shard: Option<(usize, usize)>,
     /// Population distributions.
     pub model: PopulationModel,
+}
+
+/// The contiguous id range `[lo, hi)` of shard `k` of `n` (1-based)
+/// over `hosts` ids. Slices concatenate exactly: shard boundaries are
+/// `floor(k * hosts / n)`, so every id lands in exactly one shard and
+/// shard order equals id order.
+///
+/// # Panics
+///
+/// When `n == 0`, `k == 0` or `k > n` — an invalid shard spec is a
+/// configuration bug worth failing loudly on (the CLI validates its
+/// `--shard K/N` input before building a config).
+pub fn shard_bounds(hosts: usize, k: usize, n: usize) -> (usize, usize) {
+    assert!(
+        n >= 1 && (1..=n).contains(&k),
+        "invalid shard {k}/{n}: want 1 <= K <= N"
+    );
+    (hosts * (k - 1) / n, hosts * k / n)
 }
 
 impl Default for CampaignConfig {
@@ -55,6 +84,8 @@ impl Default for CampaignConfig {
             baseline: true,
             amenability_only: false,
             gaps_us: Vec::new(),
+            reuse: true,
+            shard: None,
             model: PopulationModel::default(),
         }
     }
@@ -87,18 +118,26 @@ pub fn run_campaign<W: Write>(
         baseline: cfg.baseline,
         amenability_only: cfg.amenability_only,
         gaps_us: cfg.gaps_us.clone(),
+        reuse: cfg.reuse,
+    };
+    // Host ids this process measures. Specs and seeds key on the
+    // absolute id, so a shard's slice of the report is byte-identical
+    // to the same lines of the unsharded run.
+    let (lo, hi) = match cfg.shard {
+        Some((k, n)) => shard_bounds(cfg.hosts, k, n),
+        None => (0, cfg.hosts),
     };
 
-    let mut reports: Vec<HostReport> = Vec::with_capacity(cfg.hosts);
+    let mut reports: Vec<HostReport> = Vec::with_capacity(hi - lo);
     let mut summary = CampaignSummary::default();
     let mut sink = jsonl;
     let mut sink_err: Option<io::Error> = None;
 
     let stats = run_sharded(
-        cfg.hosts,
+        hi - lo,
         cfg.workers,
         |i| {
-            let id = i as u64;
+            let id = (lo + i) as u64;
             let spec = cfg.model.host(id, cfg.seed);
             let host_seed = simrng::derive_seed(cfg.seed, &format!("survey.run.{id}"));
             survey_host(id, &spec, host_seed, &job)
@@ -202,6 +241,60 @@ mod tests {
         let mut sink = FailAfter(5);
         let err = run_campaign(&cfg, Some(&mut sink)).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::WriteZero);
+    }
+
+    #[test]
+    fn shard_bounds_partition_exactly() {
+        for hosts in [0usize, 1, 7, 100, 101] {
+            for n in [1usize, 2, 3, 7] {
+                let mut covered = 0;
+                let mut prev_hi = 0;
+                for k in 1..=n {
+                    let (lo, hi) = shard_bounds(hosts, k, n);
+                    assert_eq!(lo, prev_hi, "shards must be contiguous");
+                    assert!(hi >= lo);
+                    covered += hi - lo;
+                    prev_hi = hi;
+                }
+                assert_eq!(prev_hi, hosts, "last shard must end at hosts");
+                assert_eq!(covered, hosts, "every id in exactly one shard");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid shard")]
+    fn shard_zero_of_n_rejected() {
+        shard_bounds(10, 0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid shard")]
+    fn shard_k_above_n_rejected() {
+        shard_bounds(10, 5, 4);
+    }
+
+    #[test]
+    fn sharded_campaign_reports_only_its_slice() {
+        let cfg = CampaignConfig {
+            hosts: 10,
+            workers: 2,
+            seed: 21,
+            samples: 3,
+            baseline: false,
+            amenability_only: true,
+            shard: Some((2, 3)),
+            ..CampaignConfig::default()
+        };
+        let out = run_campaign(&cfg, None::<&mut Vec<u8>>).expect("no sink");
+        let (lo, hi) = shard_bounds(10, 2, 3);
+        assert_eq!(out.reports.len(), hi - lo);
+        assert!(out
+            .reports
+            .iter()
+            .enumerate()
+            .all(|(k, r)| r.id == (lo + k) as u64));
+        assert_eq!(out.summary.hosts, (hi - lo) as u64);
     }
 
     #[test]

@@ -16,10 +16,15 @@
 //!    simulation stays single-threaded-deterministic; parallelism is
 //!    *across* hosts, and idle workers steal from busy shards so slow
 //!    scenarios (load-balanced paths, big transfers) don't straggle.
-//! 3. [`pipeline`] — the paper's live-host protocol per host: IPID
-//!    validation first, Dual Connection Test where amenable, SYN-test
-//!    fallback, data-transfer baseline; recorded as an amenability
-//!    verdict plus per-direction estimates.
+//! 3. [`pipeline`] — the paper's live-host protocol per host, driven
+//!    through `reorder_core`'s unified [`Technique`](reorder_core::Technique)
+//!    registry: IPID validation first, Dual Connection Test where
+//!    amenable, SYN-test fallback, data-transfer baseline; recorded as
+//!    an amenability verdict plus per-direction estimates. By default
+//!    each host's phases share one connection-caching
+//!    [`Session`](reorder_core::Session) (amenability probe,
+//!    measurement, baseline and gap sweep reuse handshakes and the
+//!    validation verdict — the per-host fast path).
 //! 4. [`aggregate`] + [`report`] — streaming aggregation (online
 //!    mean/CI via `reorder_core::stats::Streaming`, rate histograms,
 //!    per-personality / per-technique / per-mechanism breakdowns, an
@@ -58,6 +63,6 @@ pub mod report;
 pub mod scheduler;
 
 pub use aggregate::{CampaignSummary, RateHistogram};
-pub use engine::{run_campaign, CampaignConfig, CampaignOutcome};
-pub use pipeline::{HostReport, TechniqueChoice};
+pub use engine::{run_campaign, shard_bounds, CampaignConfig, CampaignOutcome};
+pub use pipeline::{HostJob, HostReport, TechniqueChoice};
 pub use population::PopulationModel;

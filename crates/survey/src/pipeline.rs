@@ -1,22 +1,36 @@
 //! Layer 3: the per-host measurement pipeline — the paper's live-host
-//! protocol (§IV-B), automated.
+//! protocol (§IV-B), automated over `reorder_core`'s unified
+//! measurement API.
 //!
 //! Per host: validate the IPID space first (the §III-C pre-check),
 //! run the Dual Connection Test where amenable, fall back to the SYN
 //! test otherwise (it is immune to per-flow load balancers and IPID
 //! schemes), and take a data-transfer baseline of the reverse path
-//! when the host serves an object spanning ≥ 2 segments. Every
-//! `MeasurementRun` is reduced to `(reordered, total)` counts on the
-//! worker before it leaves this module — the aggregation stays
-//! O(hosts), not O(samples).
+//! when the host serves an object spanning ≥ 2 segments. Every phase
+//! dispatches through the [`reorder_core::Technique`] registry and
+//! reduces to a [`reorder_core::Measurement`] on the worker — the
+//! aggregation stays O(hosts), not O(samples).
+//!
+//! ## Connection reuse
+//!
+//! With [`HostJob::reuse`] (the default) one simulated path and one
+//! [`Session`] serve the whole host: the amenability probe's two
+//! connections are kept open and handed to the dual-connection
+//! measurement, the IPID validation runs once instead of per phase,
+//! and the baseline and gap sweep ride the same scenario. That removes
+//! two scenario constructions, two handshakes and a full validation
+//! round per amenable host — the ROADMAP's ~30% per-host win,
+//! measured by `benches/campaign.rs`. Reuse trades per-phase path
+//! independence (every phase now sees one realization of the path's
+//! randomness) for speed; per-host estimates remain unbiased because
+//! the realization is still drawn independently per host. `reuse:
+//! false` reproduces the PR 2 per-phase-scenario protocol exactly.
 
 use reorder_core::metrics::ReorderEstimate;
 use reorder_core::sample::TestConfig;
 use reorder_core::scenario::{self, HostSpec};
-use reorder_core::techniques::{
-    DataTransferTest, DualConnectionTest, IpidVerdict, SingleConnectionTest, SynTest,
-};
-use reorder_core::{MeasurementRun, ProbeError};
+use reorder_core::techniques::{IpidVerdict, TestKind};
+use reorder_core::{technique, Measurement, Measurer, ProbeError, Session};
 use reorder_netsim::rng as simrng;
 use std::fmt;
 use std::time::Duration;
@@ -27,47 +41,42 @@ pub enum TechniqueChoice {
     /// The paper's protocol: IPID-validate, then dual where amenable,
     /// SYN test otherwise.
     Auto,
-    /// Force the Single Connection Test (reversed variant).
-    Single,
-    /// Force the Dual Connection Test.
-    Dual,
-    /// Force the SYN test.
-    Syn,
-    /// Force the data-transfer baseline (reverse path only).
-    Transfer,
+    /// Force one specific technique on every host. Both
+    /// single-connection variants are addressable (`single` is the
+    /// in-order variant, `single-rev` the delayed-ACK-proof reversed
+    /// one — historically `single` silently ran the reversed variant).
+    Fixed(TestKind),
 }
 
 impl TechniqueChoice {
-    /// Every accepted spelling, for error messages and usage text.
-    pub const ACCEPTED: [&'static str; 5] = ["auto", "single", "dual", "syn", "transfer"];
+    /// Every accepted spelling, for error messages and usage text:
+    /// `auto` plus the [`TestKind::ACCEPTED`] set.
+    pub const ACCEPTED: [&'static str; 6] =
+        ["auto", "single", "single-rev", "dual", "syn", "transfer"];
 
     /// Exhaustive, case-sensitive parse. The error lists the accepted
     /// set so an unknown value is never silently ignored.
     pub fn parse(name: &str) -> Result<TechniqueChoice, String> {
-        match name {
-            "auto" => Ok(TechniqueChoice::Auto),
-            "single" => Ok(TechniqueChoice::Single),
-            "dual" => Ok(TechniqueChoice::Dual),
-            "syn" => Ok(TechniqueChoice::Syn),
-            "transfer" => Ok(TechniqueChoice::Transfer),
-            other => Err(format!(
-                "unknown technique `{other}` (accepted: {})",
-                TechniqueChoice::ACCEPTED.join(", ")
-            )),
+        if name == "auto" {
+            return Ok(TechniqueChoice::Auto);
         }
+        name.parse::<TestKind>()
+            .map(TechniqueChoice::Fixed)
+            .map_err(|_| {
+                format!(
+                    "unknown technique `{name}` (accepted: {})",
+                    TechniqueChoice::ACCEPTED.join(", ")
+                )
+            })
     }
 }
 
 impl fmt::Display for TechniqueChoice {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
-            TechniqueChoice::Auto => "auto",
-            TechniqueChoice::Single => "single",
-            TechniqueChoice::Dual => "dual",
-            TechniqueChoice::Syn => "syn",
-            TechniqueChoice::Transfer => "transfer",
-        };
-        f.write_str(s)
+        match self {
+            TechniqueChoice::Auto => f.write_str("auto"),
+            TechniqueChoice::Fixed(kind) => write!(f, "{kind}"),
+        }
     }
 }
 
@@ -77,7 +86,9 @@ impl fmt::Display for TechniqueChoice {
 pub struct HostJob {
     /// Samples per technique run.
     pub samples: usize,
-    /// Measurement rounds (fresh path realization each round).
+    /// Measurement rounds. Without reuse every round is a fresh path
+    /// realization; with reuse the rounds extend the same session
+    /// (more samples, one realization).
     pub rounds: usize,
     /// Technique selection.
     pub technique: TechniqueChoice,
@@ -89,6 +100,9 @@ pub struct HostJob {
     /// Extra inter-packet gaps (µs) to measure at, for a campaign-level
     /// gap profile (§IV-C). Empty = skip.
     pub gaps_us: Vec<u64>,
+    /// Share one scenario and one connection-caching [`Session`] across
+    /// the host's phases (see the module docs).
+    pub reuse: bool,
 }
 
 impl Default for HostJob {
@@ -100,6 +114,7 @@ impl Default for HostJob {
             baseline: true,
             amenability_only: false,
             gaps_us: Vec::new(),
+            reuse: true,
         }
     }
 }
@@ -132,38 +147,8 @@ pub struct HostReport {
     pub reachable: bool,
 }
 
-fn run_one(
-    kind: &'static str,
-    spec: &HostSpec,
-    seed: u64,
-    cfg: TestConfig,
-) -> Result<MeasurementRun, ProbeError> {
-    let mut sc = scenario::internet_host(spec, seed);
-    match kind {
-        "single" => SingleConnectionTest::reversed(cfg).run(&mut sc.prober, sc.target, 80),
-        "dual" => DualConnectionTest::new(cfg).run(&mut sc.prober, sc.target, 80),
-        "syn" => SynTest::new(cfg).run(&mut sc.prober, sc.target, 80),
-        "transfer" => DataTransferTest::new(cfg).run(&mut sc.prober, sc.target, 80),
-        other => unreachable!("technique {other} validated upstream"),
-    }
-}
-
-/// Run the full pipeline against host `id`. `host_seed` must already be
-/// host-specific (the engine derives it from the master seed and id);
-/// every scenario in here derives a labeled child seed from it, so the
-/// pipeline is a pure function of `(spec, host_seed, job)`.
-pub fn survey_host(id: u64, spec: &HostSpec, host_seed: u64, job: &HostJob) -> HostReport {
-    let cfg = TestConfig::samples(job.samples);
-
-    // 1. IPID validation (§III-C pre-check) on its own connections.
-    let verdict = {
-        let mut sc = scenario::internet_host(spec, simrng::derive_seed(host_seed, "amenability"));
-        DualConnectionTest::new(TestConfig::samples(5))
-            .probe_amenability(&mut sc.prober, sc.target, 80)
-            .ok()
-    };
-
-    let mut report = HostReport {
+fn empty_report(id: u64, spec: &HostSpec, verdict: Option<IpidVerdict>) -> HostReport {
+    HostReport {
         id,
         spec: spec.clone(),
         verdict,
@@ -174,79 +159,170 @@ pub fn survey_host(id: u64, spec: &HostSpec, host_seed: u64, job: &HostJob) -> H
         gap_points: Vec::new(),
         failures: 0,
         reachable: verdict.is_some(),
-    };
+    }
+}
+
+/// The paper's auto-selection rule: dual where the IPID space
+/// validated, SYN fallback otherwise.
+fn primary_kind(choice: TechniqueChoice, verdict: Option<IpidVerdict>) -> TestKind {
+    match choice {
+        TechniqueChoice::Auto => {
+            if verdict == Some(IpidVerdict::Amenable) {
+                TestKind::DualConnection
+            } else {
+                TestKind::Syn
+            }
+        }
+        TechniqueChoice::Fixed(kind) => kind,
+    }
+}
+
+fn absorb_round(report: &mut HostReport, chosen: &mut Option<TestKind>, m: &Measurement) {
+    *chosen = Some(m.kind);
+    report.technique = m.kind.label();
+    report.fwd = report.fwd.merge(&m.fwd);
+    report.rev = report.rev.merge(&m.rev);
+}
+
+/// One measurement phase of the per-host protocol. The fresh mode
+/// derives a labeled child seed per phase (so each phase is its own
+/// path realization); the reusing mode ignores the label and runs the
+/// phase on the shared session.
+enum Phase {
+    /// Measurement round `n`.
+    Round(usize),
+    /// SYN fallback after round `n`'s dual attempt failed.
+    Fallback(usize),
+    /// The data-transfer baseline.
+    Baseline,
+    /// One gap-sweep point (µs).
+    Gap(u64),
+}
+
+impl Phase {
+    /// The seed-derivation label the PR 2 protocol used per phase.
+    fn seed_label(&self) -> String {
+        match self {
+            Phase::Round(r) => format!("round{r}"),
+            Phase::Fallback(r) => format!("round{r}.fallback"),
+            Phase::Baseline => "baseline".to_string(),
+            Phase::Gap(g) => format!("gap{g}"),
+        }
+    }
+}
+
+/// The per-host protocol, shared by both modes: technique selection,
+/// measurement rounds with technique pinning and SYN fallback, the
+/// baseline gate, and the gap sweep. `measure` runs one phase —
+/// session-backed (reusing) or fresh-scenario-per-phase — so the two
+/// modes cannot drift apart semantically.
+fn run_protocol(
+    id: u64,
+    spec: &HostSpec,
+    verdict: Option<IpidVerdict>,
+    job: &HostJob,
+    mut measure: impl FnMut(TestKind, &Phase, TestConfig) -> Result<Measurement, ProbeError>,
+) -> HostReport {
+    let cfg = TestConfig::samples(job.samples);
+    let mut report = empty_report(id, spec, verdict);
     if job.amenability_only {
         return report;
     }
 
-    // 2/3. Technique selection: dual where amenable, SYN fallback.
-    let primary: &'static str = match job.technique {
-        TechniqueChoice::Auto => {
-            if verdict == Some(IpidVerdict::Amenable) {
-                "dual"
-            } else {
-                "syn"
-            }
-        }
-        TechniqueChoice::Single => "single",
-        TechniqueChoice::Dual => "dual",
-        TechniqueChoice::Syn => "syn",
-        TechniqueChoice::Transfer => "transfer",
-    };
-
-    // Once a round succeeds, the technique is pinned for the host's
-    // remaining rounds (and fallback is disabled): the merged fwd/rev
-    // counts must all come from one technique, or the per-technique
-    // breakdowns would mislabel mixed samples.
-    let mut chosen: Option<&'static str> = None;
+    // Technique selection and measurement rounds. Once a round
+    // succeeds the technique is pinned (and fallback disabled): the
+    // merged fwd/rev counts must all come from one technique, or the
+    // per-technique breakdowns would mislabel mixed samples.
+    let primary = primary_kind(job.technique, verdict);
+    let mut chosen: Option<TestKind> = None;
     for round in 0..job.rounds {
         let kind = chosen.unwrap_or(primary);
-        let seed = simrng::derive_seed(host_seed, &format!("round{round}"));
-        let mut outcome = run_one(kind, spec, seed, cfg).map(|r| (kind, r));
+        let mut outcome = measure(kind, &Phase::Round(round), cfg);
         if outcome.is_err()
             && chosen.is_none()
             && job.technique == TechniqueChoice::Auto
-            && kind == "dual"
+            && kind == TestKind::DualConnection
         {
             // Mid-measurement dual failure (e.g. loss-induced timeout):
-            // fall back to the SYN test on a fresh path realization.
-            let seed = simrng::derive_seed(host_seed, &format!("round{round}.fallback"));
-            outcome = run_one("syn", spec, seed, cfg).map(|r| ("syn", r));
+            // fall back to the SYN test.
+            outcome = measure(TestKind::Syn, &Phase::Fallback(round), cfg);
         }
         match outcome {
-            Ok((kind, run)) => {
-                chosen = Some(kind);
-                report.technique = kind;
-                report.fwd = report.fwd.merge(&run.fwd_estimate());
-                report.rev = report.rev.merge(&run.rev_estimate());
-            }
+            Ok(m) => absorb_round(&mut report, &mut chosen, &m),
             Err(_) => report.failures += 1,
         }
     }
     report.reachable = chosen.is_some();
 
-    // 4. Data-transfer baseline of the reverse path (skipped when the
+    // Data-transfer baseline of the reverse path (skipped when the
     // primary *is* the transfer test).
-    if job.baseline && primary != "transfer" {
-        let seed = simrng::derive_seed(host_seed, "baseline");
-        report.baseline_rev = run_one("transfer", spec, seed, TestConfig::default())
-            .ok()
-            .map(|r| r.rev_estimate());
+    if job.baseline && primary != TestKind::DataTransfer {
+        report.baseline_rev = measure(
+            TestKind::DataTransfer,
+            &Phase::Baseline,
+            TestConfig::default(),
+        )
+        .ok()
+        .map(|m| m.rev);
     }
 
-    // Optional §IV-C gap sweep for the campaign-level profile. Skipped
-    // for unreachable hosts: every sweep point would burn a full
-    // doomed measurement attempt per gap.
-    if report.reachable {
+    // Optional §IV-C gap sweep. Skipped for unreachable hosts: every
+    // sweep point would burn a full doomed measurement attempt per gap.
+    if let Some(kind) = chosen {
         for &gap in &job.gaps_us {
-            let seed = simrng::derive_seed(host_seed, &format!("gap{gap}"));
-            let gcfg = TestConfig::samples(job.samples).with_gap(Duration::from_micros(gap));
-            if let Ok(run) = run_one(report.technique, spec, seed, gcfg) {
-                report.gap_points.push((gap, run.fwd_estimate()));
+            let gcfg = cfg.with_gap(Duration::from_micros(gap));
+            if let Ok(m) = measure(kind, &Phase::Gap(gap), gcfg) {
+                report.gap_points.push((gap, m.fwd));
             }
         }
     }
     report
+}
+
+/// Run the full pipeline against host `id`. `host_seed` must already be
+/// host-specific (the engine derives it from the master seed and id);
+/// every scenario in here derives a labeled child seed from it, so the
+/// pipeline is a pure function of `(spec, host_seed, job)`.
+pub fn survey_host(id: u64, spec: &HostSpec, host_seed: u64, job: &HostJob) -> HostReport {
+    if job.reuse {
+        survey_host_reusing(id, spec, host_seed, job)
+    } else {
+        survey_host_fresh(id, spec, host_seed, job)
+    }
+}
+
+/// One scenario, one connection-caching session, every phase on it:
+/// the amenability probe's two connections and the validation verdict
+/// stay on the session for the measurement rounds, baseline and gap
+/// sweep.
+fn survey_host_reusing(id: u64, spec: &HostSpec, host_seed: u64, job: &HostJob) -> HostReport {
+    let mut sc = scenario::internet_host(spec, simrng::derive_seed(host_seed, "session"));
+    let mut session = Session::new(&mut sc.prober, sc.target, 80).with_reuse(true);
+    let verdict = technique(TestKind::DualConnection, TestConfig::samples(5))
+        .probe_amenability(&mut session)
+        .ok();
+    run_protocol(id, spec, verdict, job, |kind, _phase, cfg| {
+        Measurer::new(kind).with_config(cfg).run(&mut session)
+    })
+}
+
+/// The PR 2 protocol: a fresh scenario (own labeled seed, own
+/// handshakes) per phase. Kept selectable for apples-to-apples
+/// comparisons — the campaign bench runs both modes.
+fn survey_host_fresh(id: u64, spec: &HostSpec, host_seed: u64, job: &HostJob) -> HostReport {
+    let verdict = {
+        let mut sc = scenario::internet_host(spec, simrng::derive_seed(host_seed, "amenability"));
+        let mut session = Session::new(&mut sc.prober, sc.target, 80);
+        technique(TestKind::DualConnection, TestConfig::samples(5))
+            .probe_amenability(&mut session)
+            .ok()
+    };
+    run_protocol(id, spec, verdict, job, |kind, phase, cfg| {
+        let seed = simrng::derive_seed(host_seed, &phase.seed_label());
+        let mut sc = scenario::internet_host(spec, seed);
+        let mut session = Session::new(&mut sc.prober, sc.target, 80);
+        Measurer::new(kind).with_config(cfg).run(&mut session)
+    })
 }
 
 #[cfg(test)]
@@ -257,13 +333,29 @@ mod tests {
     #[test]
     fn parse_is_exhaustive() {
         for name in TechniqueChoice::ACCEPTED {
-            assert!(TechniqueChoice::parse(name).is_ok(), "{name}");
+            let parsed = TechniqueChoice::parse(name).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(parsed.to_string(), name, "display round-trips");
         }
         let err = TechniqueChoice::parse("bogus").unwrap_err();
         for name in TechniqueChoice::ACCEPTED {
             assert!(err.contains(name), "error must list `{name}`: {err}");
         }
-        assert_eq!(TechniqueChoice::parse("auto").unwrap().to_string(), "auto");
+        // Both single-connection variants are explicitly addressable.
+        assert_eq!(
+            TechniqueChoice::parse("single").unwrap(),
+            TechniqueChoice::Fixed(TestKind::SingleConnection)
+        );
+        assert_eq!(
+            TechniqueChoice::parse("single-rev").unwrap(),
+            TechniqueChoice::Fixed(TestKind::SingleConnectionReversed)
+        );
+    }
+
+    #[test]
+    fn accepted_set_is_auto_plus_every_kind() {
+        let mut expected = vec!["auto"];
+        expected.extend(TestKind::ACCEPTED);
+        assert_eq!(TechniqueChoice::ACCEPTED.to_vec(), expected);
     }
 
     #[test]
@@ -347,14 +439,76 @@ mod tests {
 
     #[test]
     fn pipeline_is_deterministic() {
-        let m = crate::population::PopulationModel::default();
-        let spec = m.host(7, 42);
-        let a = survey_host(7, &spec, 606, &HostJob::default());
-        let b = survey_host(7, &spec, 606, &HostJob::default());
-        assert_eq!(a.verdict, b.verdict);
-        assert_eq!(a.technique, b.technique);
-        assert_eq!(a.fwd, b.fwd);
-        assert_eq!(a.rev, b.rev);
-        assert_eq!(a.baseline_rev, b.baseline_rev);
+        for reuse in [true, false] {
+            let m = crate::population::PopulationModel::default();
+            let spec = m.host(7, 42);
+            let job = HostJob {
+                reuse,
+                ..HostJob::default()
+            };
+            let a = survey_host(7, &spec, 606, &job);
+            let b = survey_host(7, &spec, 606, &job);
+            assert_eq!(a.verdict, b.verdict);
+            assert_eq!(a.technique, b.technique);
+            assert_eq!(a.fwd, b.fwd);
+            assert_eq!(a.rev, b.rev);
+            assert_eq!(a.baseline_rev, b.baseline_rev);
+        }
+    }
+
+    #[test]
+    fn reuse_and_fresh_modes_agree_on_protocol_outcomes() {
+        // Reuse changes how many handshakes happen, never which
+        // technique measures a host or how its verdict reads.
+        for (seed, p) in [
+            (11u64, HostPersonality::freebsd4()),
+            (12, HostPersonality::openbsd3()),
+            (13, HostPersonality::linux24()),
+        ] {
+            let spec = HostSpec {
+                fwd_reorder: 0.15,
+                ..HostSpec::clean("mode-cmp", p)
+            };
+            let reusing = survey_host(0, &spec, seed, &HostJob::default());
+            let fresh = survey_host(
+                0,
+                &spec,
+                seed,
+                &HostJob {
+                    reuse: false,
+                    ..HostJob::default()
+                },
+            );
+            assert_eq!(reusing.verdict, fresh.verdict, "{}", spec.personality.name);
+            assert_eq!(
+                reusing.technique, fresh.technique,
+                "{}",
+                spec.personality.name
+            );
+            assert_eq!(reusing.reachable, fresh.reachable);
+            // Same sample budget in both modes.
+            assert_eq!(reusing.fwd.total, fresh.fwd.total);
+        }
+    }
+
+    #[test]
+    fn forced_single_runs_the_in_order_variant() {
+        // The historical inconsistency: "single" used to silently run
+        // the reversed variant. Now each variant is explicit.
+        let spec = HostSpec::clean("single-explicit", HostPersonality::freebsd4());
+        let job = HostJob {
+            technique: TechniqueChoice::Fixed(TestKind::SingleConnection),
+            baseline: false,
+            ..HostJob::default()
+        };
+        let r = survey_host(5, &spec, 707, &job);
+        assert_eq!(r.technique, "single");
+        let job = HostJob {
+            technique: TechniqueChoice::Fixed(TestKind::SingleConnectionReversed),
+            baseline: false,
+            ..HostJob::default()
+        };
+        let r = survey_host(6, &spec, 708, &job);
+        assert_eq!(r.technique, "single-rev");
     }
 }

@@ -45,3 +45,58 @@ fn seed_controls_the_report() {
     assert_eq!(a, b);
     assert_ne!(a, c);
 }
+
+/// The `--shard K/N` contract: concatenating the JSONL outputs of
+/// shards 1..=N (in shard order) is byte-identical to the unsharded
+/// campaign — N processes can split one master seed's id space and
+/// `cat` their reports back together.
+#[test]
+fn concatenated_shards_equal_the_unsharded_report() {
+    let run = |shard: Option<(usize, usize)>| -> Vec<u8> {
+        let cfg = CampaignConfig {
+            hosts: 31, // deliberately not divisible by the shard count
+            workers: 2,
+            seed: 5,
+            samples: 3,
+            technique: TechniqueChoice::Auto,
+            baseline: false,
+            shard,
+            ..CampaignConfig::default()
+        };
+        let mut buf = Vec::new();
+        run_campaign(&cfg, Some(&mut buf)).expect("in-memory sink");
+        buf
+    };
+    let whole = run(None);
+    let mut stitched = Vec::new();
+    for k in 1..=4 {
+        stitched.extend(run(Some((k, 4))));
+    }
+    assert_eq!(
+        whole, stitched,
+        "shard concatenation must reproduce the unsharded JSONL byte-for-byte"
+    );
+    // A single shard covering everything is also the whole report.
+    assert_eq!(whole, run(Some((1, 1))));
+}
+
+/// Connection reuse is a per-host speed path: it must not break the
+/// worker-count determinism guarantee, and reuse-off output must also
+/// be deterministic.
+#[test]
+fn reuse_off_is_deterministic_across_workers_too() {
+    let run = |workers: usize| -> Vec<u8> {
+        let cfg = CampaignConfig {
+            hosts: 40,
+            workers,
+            seed: 3,
+            samples: 4,
+            reuse: false,
+            ..CampaignConfig::default()
+        };
+        let mut buf = Vec::new();
+        run_campaign(&cfg, Some(&mut buf)).expect("in-memory sink");
+        buf
+    };
+    assert_eq!(run(1), run(6));
+}

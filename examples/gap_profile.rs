@@ -6,10 +6,10 @@
 //! cargo run --release --example gap_profile -- [samples-per-point]
 //! ```
 
-use reorder_core::metrics::{GapProfile, ReorderEstimate};
+use reorder_core::metrics::GapProfile;
 use reorder_core::sample::TestConfig;
 use reorder_core::scenario;
-use reorder_core::techniques::DualConnectionTest;
+use reorder_core::{Measurer, Session, TestKind};
 use reorder_netsim::pipes::CrossTraffic;
 use std::time::Duration;
 
@@ -33,10 +33,12 @@ fn main() {
             pace: Duration::from_millis(2),
             reply_timeout: Duration::from_millis(900),
         };
-        let run = DualConnectionTest::new(cfg)
-            .run(&mut sc.prober, sc.target, 80)
-            .expect("amenable host");
-        let est = ReorderEstimate::new(run.fwd_reordered(), run.fwd_determinate());
+        let mut session = Session::new(&mut sc.prober, sc.target, 80);
+        let est = Measurer::new(TestKind::DualConnection)
+            .with_config(cfg)
+            .run(&mut session)
+            .expect("amenable host")
+            .fwd;
         profile.push(Duration::from_micros(gap), est);
         let bar = "#".repeat((est.rate() * 400.0).round() as usize);
         println!("{:>8}  {:>6.2}%  {}", gap, est.rate() * 100.0, bar);

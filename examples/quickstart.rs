@@ -6,33 +6,29 @@
 //!
 //! Builds the §IV-A rig (probe — modified dummynet — FreeBSD-style web
 //! server) with a 10% forward / 3% reverse adjacent-swap probability,
-//! runs all four techniques, and prints per-direction estimates with
-//! 95% Wilson intervals.
+//! iterates the technique registry — every test behind the one
+//! `Technique` trait — and prints per-direction estimates with 95%
+//! Wilson intervals from the unified `Measurement` report.
 
-use reorder_core::sample::TestConfig;
+use reorder::core::{Measurement, Measurer, Session, TestConfig, TestKind};
 use reorder_core::scenario;
-use reorder_core::techniques::{
-    DataTransferTest, DualConnectionTest, SingleConnectionTest, SynTest,
-};
-use reorder_core::MeasurementRun;
 
-fn report(name: &str, run: &MeasurementRun) {
-    let fwd = run.fwd_estimate();
-    let rev = run.rev_estimate();
-    let (flo, fhi) = fwd.wilson_ci(1.96);
-    let (rlo, rhi) = rev.wilson_ci(1.96);
+fn report(m: &Measurement) {
+    let (flo, fhi) = m.fwd.wilson_ci(1.96);
+    let (rlo, rhi) = m.rev.wilson_ci(1.96);
     println!(
-        "{name:<22} fwd {:>5.1}% [{:>4.1}%, {:>5.1}%] ({}/{})   rev {:>5.1}% [{:>4.1}%, {:>5.1}%] ({}/{})",
-        fwd.rate() * 100.0,
+        "{:<22} fwd {:>5.1}% [{:>4.1}%, {:>5.1}%] ({}/{})   rev {:>5.1}% [{:>4.1}%, {:>5.1}%] ({}/{})",
+        m.kind.to_string(),
+        m.fwd.rate() * 100.0,
         flo * 100.0,
         fhi * 100.0,
-        fwd.reordered,
-        fwd.total,
-        rev.rate() * 100.0,
+        m.fwd.reordered,
+        m.fwd.total,
+        m.rev.rate() * 100.0,
         rlo * 100.0,
         rhi * 100.0,
-        rev.reordered,
-        rev.total,
+        m.rev.reordered,
+        m.rev.total,
     );
 }
 
@@ -45,33 +41,24 @@ fn main() {
     );
     println!();
 
-    let cfg = TestConfig::samples(200);
-
-    let mut sc = scenario::validation_rig(fwd_swap, rev_swap, seed);
-    let run = SingleConnectionTest::reversed(cfg)
-        .run(&mut sc.prober, sc.target, 80)
-        .expect("single connection test");
-    report("single connection", &run);
-
-    let mut sc = scenario::validation_rig(fwd_swap, rev_swap, seed + 1);
-    let run = DualConnectionTest::new(cfg)
-        .run(&mut sc.prober, sc.target, 80)
-        .expect("dual connection test");
-    report("dual connection", &run);
-
-    let mut sc = scenario::validation_rig(fwd_swap, rev_swap, seed + 2);
-    let run = SynTest::new(cfg)
-        .run(&mut sc.prober, sc.target, 80)
-        .expect("syn test");
-    report("syn", &run);
-
-    let mut sc = scenario::validation_rig(fwd_swap, rev_swap, seed + 3);
-    let run = DataTransferTest::new(TestConfig::default())
-        .run(&mut sc.prober, sc.target, 80)
-        .expect("data transfer test");
-    report("data transfer", &run);
+    // Every registry entry, on its own realization of the same path.
+    for (i, kind) in TestKind::all().into_iter().enumerate() {
+        let cfg = if kind == TestKind::DataTransfer {
+            TestConfig::default() // object size sets the sample count
+        } else {
+            TestConfig::samples(200)
+        };
+        let mut sc = scenario::validation_rig(fwd_swap, rev_swap, seed + i as u64);
+        let mut session = Session::new(&mut sc.prober, sc.target, 80);
+        let m = Measurer::new(kind)
+            .with_config(cfg)
+            .run(&mut session)
+            .unwrap_or_else(|e| panic!("{kind}: {e}"));
+        report(&m);
+    }
 
     println!();
-    println!("note: the transfer test sees only the reverse path, and the single");
-    println!("connection test shown here is the reversed (delayed-ACK-proof) variant.");
+    println!("note: the transfer test sees only the reverse path; the in-order");
+    println!("`single` variant is delayed-ACK-blind in the reverse direction, which");
+    println!("is exactly why the registry also carries `single-rev`.");
 }

@@ -9,8 +9,8 @@
 
 use reorder_core::sample::TestConfig;
 use reorder_core::scenario;
-use reorder_core::techniques::{DualConnectionTest, SingleConnectionTest, SynTest};
 use reorder_core::validate::validate_run;
+use reorder_core::{technique, Session, TestKind};
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -31,13 +31,20 @@ fn main() {
     );
     println!("{}", "-".repeat(84));
 
-    for (name, which) in [("single (reversed)", 0), ("dual", 1), ("syn", 2)] {
-        let mut sc = scenario::validation_rig(fwd, rev, 0xCAFE + which);
+    for (which, kind) in [
+        TestKind::SingleConnectionReversed,
+        TestKind::DualConnection,
+        TestKind::Syn,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let name = kind.label();
+        let mut sc = scenario::validation_rig(fwd, rev, 0xCAFE + which as u64);
         let cfg = TestConfig::samples(samples);
-        let run = match which {
-            0 => SingleConnectionTest::reversed(cfg).run(&mut sc.prober, sc.target, 80),
-            1 => DualConnectionTest::new(cfg).run(&mut sc.prober, sc.target, 80),
-            _ => SynTest::new(cfg).run(&mut sc.prober, sc.target, 80),
+        let run = {
+            let mut session = Session::new(&mut sc.prober, sc.target, 80);
+            technique(kind, cfg).execute(&mut session)
         }
         .expect("measurement");
         let rep = validate_run(

@@ -11,7 +11,7 @@
 //! * [`tcpstack`] — TCP endpoints with OS personalities and IPID generators.
 //! * [`core`] — the four measurement techniques, metrics, scenarios.
 //! * [`survey`] — the sharded, streaming campaign engine (§IV-B at scale).
-//! * [`bench`] — experiment drivers reproducing the paper's figures.
+//! * [`mod@bench`] — experiment drivers reproducing the paper's figures.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -7,11 +7,10 @@
 //! swap probability 0 (in order) or 1 (always exchanged), per
 //! direction.
 
+use reorder_bench::run_technique as execute;
 use reorder_core::sample::{Order, TestConfig};
 use reorder_core::scenario;
-use reorder_core::techniques::{
-    DataTransferTest, DualConnectionTest, SingleConnectionTest, SynTest,
-};
+use reorder_core::techniques::TestKind;
 use reorder_tcpstack::HostPersonality;
 
 const N: usize = 12;
@@ -65,9 +64,7 @@ fn single_fig1_matrix() {
     ];
     for (i, (f, r, ef, er)) in cases.into_iter().enumerate() {
         let mut sc = scenario::validation_rig(f, r, 9100 + i as u64);
-        let run = SingleConnectionTest::reversed(cfg())
-            .run(&mut sc.prober, sc.target, 80)
-            .expect("run");
+        let run = execute(TestKind::SingleConnectionReversed, &mut sc, cfg()).expect("run");
         expect_all(&run, "fwd", ef, N / 2);
         expect_all(&run, "rev", er, N / 2);
     }
@@ -77,9 +74,7 @@ fn single_fig1_matrix() {
     // an adjacent-swap process cannot exchange it. Forward stays fully
     // classified; reverse legitimately reads Ordered.
     let mut sc = scenario::validation_rig(1.0, 1.0, 9104);
-    let run = SingleConnectionTest::reversed(cfg())
-        .run(&mut sc.prober, sc.target, 80)
-        .expect("run");
+    let run = execute(TestKind::SingleConnectionReversed, &mut sc, cfg()).expect("run");
     expect_all(&run, "fwd", Order::Reordered, N / 2);
     expect_all(&run, "rev", Order::Ordered, N / 2);
 }
@@ -92,9 +87,7 @@ fn single_in_order_variant_forward_matrix() {
         .enumerate()
     {
         let mut sc = scenario::validation_rig(f, 0.0, 9200 + i as u64);
-        let run = SingleConnectionTest::new(cfg())
-            .run(&mut sc.prober, sc.target, 80)
-            .expect("run");
+        let run = execute(TestKind::SingleConnection, &mut sc, cfg()).expect("run");
         expect_all(&run, "fwd", ef, N / 2);
     }
 }
@@ -111,9 +104,7 @@ fn dual_fig2_matrix() {
     ];
     for (i, (f, r, ef, er)) in cases.into_iter().enumerate() {
         let mut sc = scenario::validation_rig(f, r, 9300 + i as u64);
-        let run = DualConnectionTest::new(cfg())
-            .run(&mut sc.prober, sc.target, 80)
-            .expect("run");
+        let run = execute(TestKind::DualConnection, &mut sc, cfg()).expect("run");
         expect_all(&run, "fwd", ef, N / 2);
         expect_all(&run, "rev", er, N / 2);
     }
@@ -137,9 +128,7 @@ fn syn_fig4_matrix_across_personalities() {
         for (ci, (f, r, ef, er)) in cases.into_iter().enumerate() {
             let mut sc =
                 scenario::validation_rig_with(f, r, p.clone(), 9400 + (pi * 10 + ci) as u64);
-            let run = SynTest::new(cfg())
-                .run(&mut sc.prober, sc.target, 80)
-                .expect("run");
+            let run = execute(TestKind::Syn, &mut sc, cfg()).expect("run");
             expect_all(&run, "fwd", ef, N / 2);
             expect_all(&run, "rev", er, N / 2);
         }
@@ -156,9 +145,7 @@ fn syn_ignore_second_personality_forward_only() {
     {
         let mut sc =
             scenario::validation_rig_with(f, 0.0, HostPersonality::hardened(), 9500 + i as u64);
-        let run = SynTest::new(cfg())
-            .run(&mut sc.prober, sc.target, 80)
-            .expect("run");
+        let run = execute(TestKind::Syn, &mut sc, cfg()).expect("run");
         expect_all(&run, "fwd", ef, N / 2);
         assert_eq!(run.rev_determinate(), 0);
     }
@@ -169,16 +156,12 @@ fn syn_ignore_second_personality_forward_only() {
 #[test]
 fn transfer_reverse_only_matrix() {
     let mut sc = scenario::validation_rig(0.0, 0.0, 9600);
-    let run = DataTransferTest::new(TestConfig::default())
-        .run(&mut sc.prober, sc.target, 80)
-        .expect("run");
+    let run = execute(TestKind::DataTransfer, &mut sc, TestConfig::default()).expect("run");
     expect_all(&run, "rev", Order::Ordered, 40);
     assert_eq!(run.fwd_determinate(), 0, "no forward verdicts ever");
 
     let mut sc = scenario::validation_rig(0.0, 1.0, 9601);
-    let run = DataTransferTest::new(TestConfig::default())
-        .run(&mut sc.prober, sc.target, 80)
-        .expect("run");
+    let run = execute(TestKind::DataTransfer, &mut sc, TestConfig::default()).expect("run");
     // With p=1 every adjacent in-flight pair is exchanged; bursts of 2
     // segments per window mean intra-burst pairs all swap. At least
     // 40% of the adjacent-arrival pairs must show as reordered.
@@ -196,17 +179,13 @@ fn delayed_ack_blindness_and_antidote() {
     // A stack that delays even hole-filling ACKs blinds the in-order
     // variant completely…
     let mut sc = scenario::validation_rig_with(0.0, 0.0, HostPersonality::windows2000(), 9700);
-    let run = SingleConnectionTest::new(cfg())
-        .run(&mut sc.prober, sc.target, 80)
-        .expect("run");
+    let run = execute(TestKind::SingleConnection, &mut sc, cfg()).expect("run");
     assert_eq!(run.fwd_determinate(), 0);
     // …while the reversed variant restores visibility for pairs that
     // arrive in the sent order (out-of-order at the receiver ⇒
     // immediate dup ACK, always).
     let mut sc = scenario::validation_rig_with(0.0, 0.0, HostPersonality::windows2000(), 9701);
-    let run = SingleConnectionTest::reversed(cfg())
-        .run(&mut sc.prober, sc.target, 80)
-        .expect("run");
+    let run = execute(TestKind::SingleConnectionReversed, &mut sc, cfg()).expect("run");
     expect_all(&run, "fwd", Order::Ordered, N / 2);
     // But when the network exchanges the pair, the receiver sees
     // hole-filling order, the ACK-collapsing stack emits a single
@@ -214,9 +193,7 @@ fn delayed_ack_blindness_and_antidote() {
     // §III-B "lone ack 4 is ambiguous" rule (it cannot be told apart
     // from a reverse-path loss).
     let mut sc = scenario::validation_rig_with(1.0, 0.0, HostPersonality::windows2000(), 9702);
-    let run = SingleConnectionTest::reversed(cfg())
-        .run(&mut sc.prober, sc.target, 80)
-        .expect("run");
+    let run = execute(TestKind::SingleConnectionReversed, &mut sc, cfg()).expect("run");
     assert_eq!(
         run.fwd_determinate(),
         0,

@@ -3,13 +3,12 @@
 //! consistency — the §IV workflow in miniature, spanning all four
 //! crates.
 
+use reorder_bench::run_technique as execute;
 use reorder_core::metrics::{GapProfile, ReorderEstimate};
 use reorder_core::sample::TestConfig;
 use reorder_core::scenario;
 use reorder_core::stats::pair_difference;
-use reorder_core::techniques::{
-    DataTransferTest, DualConnectionTest, SingleConnectionTest, SynTest,
-};
+use reorder_core::techniques::TestKind;
 use reorder_core::validate::validate_run;
 use reorder_netsim::pipes::CrossTraffic;
 use std::time::Duration;
@@ -24,17 +23,11 @@ fn all_techniques_recover_configured_rate() {
     let cfg = TestConfig::samples(n);
 
     let mut sc = scenario::validation_rig(p, p, 1);
-    let single = SingleConnectionTest::reversed(cfg)
-        .run(&mut sc.prober, sc.target, 80)
-        .expect("single");
+    let single = execute(TestKind::SingleConnectionReversed, &mut sc, cfg).expect("single");
     let mut sc = scenario::validation_rig(p, p, 2);
-    let dual = DualConnectionTest::new(cfg)
-        .run(&mut sc.prober, sc.target, 80)
-        .expect("dual");
+    let dual = execute(TestKind::DualConnection, &mut sc, cfg).expect("dual");
     let mut sc = scenario::validation_rig(p, p, 3);
-    let syn = SynTest::new(cfg)
-        .run(&mut sc.prober, sc.target, 80)
-        .expect("syn");
+    let syn = execute(TestKind::Syn, &mut sc, cfg).expect("syn");
 
     for (name, run) in [("single", &single), ("dual", &dual), ("syn", &syn)] {
         let f = run.fwd_estimate().rate();
@@ -54,16 +47,23 @@ fn all_techniques_recover_configured_rate() {
 /// perfect on every technique in a deterministic simulator.
 #[test]
 fn trace_validation_is_exact_for_all_techniques() {
-    for (i, which) in ["single", "dual", "syn", "transfer"].iter().enumerate() {
+    for (i, kind) in [
+        TestKind::SingleConnectionReversed,
+        TestKind::DualConnection,
+        TestKind::Syn,
+        TestKind::DataTransfer,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let which = kind.label();
         let mut sc = scenario::validation_rig(0.2, 0.1, 20 + i as u64);
-        let cfg = TestConfig::samples(80);
-        let run = match *which {
-            "single" => SingleConnectionTest::reversed(cfg).run(&mut sc.prober, sc.target, 80),
-            "dual" => DualConnectionTest::new(cfg).run(&mut sc.prober, sc.target, 80),
-            "syn" => SynTest::new(cfg).run(&mut sc.prober, sc.target, 80),
-            _ => DataTransferTest::new(TestConfig::default()).run(&mut sc.prober, sc.target, 80),
-        }
-        .expect("run");
+        let cfg = if kind == TestKind::DataTransfer {
+            TestConfig::default()
+        } else {
+            TestConfig::samples(80)
+        };
+        let run = execute(kind, &mut sc, cfg).expect("run");
         let rep = validate_run(
             &run,
             &sc.merged_server_rx(),
@@ -96,9 +96,7 @@ fn gap_profile_decays() {
             pace: Duration::from_millis(2),
             reply_timeout: Duration::from_millis(900),
         };
-        let run = DualConnectionTest::new(cfg)
-            .run(&mut sc.prober, sc.target, 80)
-            .expect("run");
+        let run = execute(TestKind::DualConnection, &mut sc, cfg).expect("run");
         profile.push(
             Duration::from_micros(gap_us),
             ReorderEstimate::new(run.fwd_reordered(), run.fwd_determinate()),
@@ -126,16 +124,14 @@ fn independent_techniques_agree_statistically() {
         let cfg = TestConfig::samples(40);
         let mut sc = scenario::validation_rig(0.1, 0.05, 600 + round);
         singles.push(
-            SingleConnectionTest::reversed(cfg)
-                .run(&mut sc.prober, sc.target, 80)
+            execute(TestKind::SingleConnectionReversed, &mut sc, cfg)
                 .expect("single")
                 .fwd_estimate()
                 .rate(),
         );
         let mut sc = scenario::validation_rig(0.1, 0.05, 700 + round);
         syns.push(
-            SynTest::new(cfg)
-                .run(&mut sc.prober, sc.target, 80)
+            execute(TestKind::Syn, &mut sc, cfg)
                 .expect("syn")
                 .fwd_estimate()
                 .rate(),
@@ -154,9 +150,7 @@ fn independent_techniques_agree_statistically() {
 fn determinism_across_full_stack() {
     let run_once = |seed: u64| {
         let mut sc = scenario::validation_rig(0.25, 0.15, seed);
-        let run = DualConnectionTest::new(TestConfig::samples(40))
-            .run(&mut sc.prober, sc.target, 80)
-            .expect("run");
+        let run = execute(TestKind::DualConnection, &mut sc, TestConfig::samples(40)).expect("run");
         (
             run.fwd_reordered(),
             run.rev_reordered(),
@@ -185,14 +179,12 @@ fn clean_vs_dirty_host_separation() {
     let cfg = TestConfig::samples(60);
 
     let mut sc = scenario::internet_host(clean, 1000);
-    let clean_rate = SingleConnectionTest::reversed(cfg)
-        .run(&mut sc.prober, sc.target, 80)
+    let clean_rate = execute(TestKind::SingleConnectionReversed, &mut sc, cfg)
         .expect("clean run")
         .fwd_estimate()
         .rate();
     let mut sc = scenario::internet_host(dirty, 1001);
-    let dirty_rate = SingleConnectionTest::reversed(cfg)
-        .run(&mut sc.prober, sc.target, 80)
+    let dirty_rate = execute(TestKind::SingleConnectionReversed, &mut sc, cfg)
         .expect("dirty run")
         .fwd_estimate()
         .rate();

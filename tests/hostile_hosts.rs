@@ -3,12 +3,11 @@
 //! hazards §III catalogs. A measurement tool is defined as much by what
 //! it refuses to report as by what it reports.
 
+use reorder_bench::run_technique as execute;
 use reorder_core::sample::TestConfig;
 use reorder_core::scenario;
-use reorder_core::techniques::{
-    DataTransferTest, DualConnectionTest, IpidVerdict, SingleConnectionTest, SynTest,
-};
-use reorder_core::ProbeError;
+use reorder_core::techniques::{IpidVerdict, TestKind};
+use reorder_core::{technique, ProbeError, Session};
 use reorder_tcpstack::{HostPersonality, IpidScheme};
 
 /// Random-IPID and zero-IPID hosts must be refused by the dual test —
@@ -22,13 +21,16 @@ fn dual_test_refuses_every_bad_ipid_scheme() {
     ] {
         let name = p.name;
         let mut sc = scenario::validation_rig_with(0.0, 0.0, p, 11_000);
-        let verdict = DualConnectionTest::new(TestConfig::samples(5))
-            .probe_amenability(&mut sc.prober, sc.target, 80)
-            .expect("amenability probe");
+        let verdict = {
+            let mut session = Session::new(&mut sc.prober, sc.target, 80);
+            technique(TestKind::DualConnection, TestConfig::samples(5))
+                .probe_amenability(&mut session)
+                .expect("amenability probe")
+        };
         assert_eq!(verdict, expect, "{name}");
-        // And run() must hard-refuse.
+        // And execute() must hard-refuse.
         let mut sc = scenario::validation_rig_with(0.0, 0.0, HostPersonality::openbsd3(), 11_001);
-        match DualConnectionTest::new(TestConfig::samples(5)).run(&mut sc.prober, sc.target, 80) {
+        match execute(TestKind::DualConnection, &mut sc, TestConfig::samples(5)) {
             Err(ProbeError::HostUnsuitable(_)) => {}
             other => panic!("expected refusal, got {other:?}"),
         }
@@ -44,12 +46,10 @@ fn load_balancer_defeats_dual_but_not_syn() {
     for seed in 0..8u64 {
         let mut sc =
             scenario::load_balanced(0.3, 0.0, 4, HostPersonality::freebsd4(), 12_000 + seed);
+        let mut session = Session::new(&mut sc.prober, sc.target, 80);
         if matches!(
-            DualConnectionTest::new(TestConfig::samples(5)).probe_amenability(
-                &mut sc.prober,
-                sc.target,
-                80
-            ),
+            technique(TestKind::DualConnection, TestConfig::samples(5))
+                .probe_amenability(&mut session),
             Ok(IpidVerdict::NonMonotonic)
         ) {
             dual_rejections += 1;
@@ -61,9 +61,7 @@ fn load_balancer_defeats_dual_but_not_syn() {
     );
 
     let mut sc = scenario::load_balanced(0.3, 0.0, 4, HostPersonality::freebsd4(), 12_100);
-    let run = SynTest::new(TestConfig::samples(100))
-        .run(&mut sc.prober, sc.target, 80)
-        .expect("syn through LB");
+    let run = execute(TestKind::Syn, &mut sc, TestConfig::samples(100)).expect("syn through LB");
     let rate = run.fwd_estimate().rate();
     assert!(
         (0.15..=0.45).contains(&rate),
@@ -100,8 +98,9 @@ fn per_packet_balancer_survived() {
     let mut prober = reorder_core::Prober::new(sim, me, queue, scenario::PROBE_ADDR);
     // Must complete without panicking; classification quality is
     // undefined by design.
-    let run = SynTest::new(TestConfig::samples(20))
-        .run(&mut prober, scenario::TARGET_ADDR, 80)
+    let mut session = Session::new(&mut prober, scenario::TARGET_ADDR, 80);
+    let run = technique(TestKind::Syn, TestConfig::samples(20))
+        .execute(&mut session)
         .expect("syn over per-packet LB");
     assert_eq!(run.samples.len(), 20);
 }
@@ -112,7 +111,7 @@ fn per_packet_balancer_survived() {
 fn heavy_loss_terminates_all_techniques() {
     let cfg = TestConfig::samples(15);
     let mut sc = scenario::lossy_rig(0.3, 0.3, 14_000);
-    match SingleConnectionTest::reversed(cfg).run(&mut sc.prober, sc.target, 80) {
+    match execute(TestKind::SingleConnectionReversed, &mut sc, cfg) {
         Ok(run) => {
             assert!(run.fwd_determinate() <= run.samples.len());
         }
@@ -125,7 +124,7 @@ fn heavy_loss_terminates_all_techniques() {
         }
     }
     let mut sc = scenario::lossy_rig(0.3, 0.3, 14_001);
-    match DualConnectionTest::new(cfg).run(&mut sc.prober, sc.target, 80) {
+    match execute(TestKind::DualConnection, &mut sc, cfg) {
         Ok(run) => {
             // Discards happen; every determinate verdict is still sound.
             assert!(run.fwd_determinate() <= run.samples.len());
@@ -133,9 +132,7 @@ fn heavy_loss_terminates_all_techniques() {
         Err(e) => assert!(matches!(e, ProbeError::Timeout { .. })),
     }
     let mut sc = scenario::lossy_rig(0.3, 0.3, 14_002);
-    let run = SynTest::new(cfg)
-        .run(&mut sc.prober, sc.target, 80)
-        .expect("syn survives loss by discarding");
+    let run = execute(TestKind::Syn, &mut sc, cfg).expect("syn survives loss by discarding");
     assert_eq!(run.samples.len(), 15);
 }
 
@@ -145,9 +142,12 @@ fn heavy_loss_terminates_all_techniques() {
 #[test]
 fn hardened_and_tiny_object_hosts() {
     let mut sc = scenario::validation_rig_with(0.15, 0.0, HostPersonality::hardened(), 15_000);
-    let run = SingleConnectionTest::reversed(TestConfig::samples(60))
-        .run(&mut sc.prober, sc.target, 80)
-        .expect("single against hardened host");
+    let run = execute(
+        TestKind::SingleConnectionReversed,
+        &mut sc,
+        TestConfig::samples(60),
+    )
+    .expect("single against hardened host");
     let rate = run.fwd_estimate().rate();
     assert!((0.05..0.3).contains(&rate), "rate {rate}");
 
@@ -156,7 +156,7 @@ fn hardened_and_tiny_object_hosts() {
         ..scenario::HostSpec::clean("redirector", HostPersonality::freebsd4())
     };
     let mut sc = scenario::internet_host(&spec, 15_001);
-    match DataTransferTest::new(TestConfig::default()).run(&mut sc.prober, sc.target, 80) {
+    match execute(TestKind::DataTransfer, &mut sc, TestConfig::default()) {
         Err(ProbeError::HostUnsuitable(_)) => {}
         other => panic!("expected HostUnsuitable, got {other:?}"),
     }
@@ -168,9 +168,12 @@ fn hardened_and_tiny_object_hosts() {
 fn closed_port_fails_fast() {
     let mut sc = scenario::validation_rig(0.0, 0.0, 16_000);
     let before = sc.prober.now();
-    let err = SingleConnectionTest::new(TestConfig::samples(5))
-        .run(&mut sc.prober, sc.target, 7777)
-        .unwrap_err();
+    let err = {
+        let mut session = Session::new(&mut sc.prober, sc.target, 7777);
+        technique(TestKind::SingleConnection, TestConfig::samples(5))
+            .execute(&mut session)
+            .unwrap_err()
+    };
     assert_eq!(err, ProbeError::ConnectionReset);
     let elapsed = sc.prober.now() - before;
     assert!(

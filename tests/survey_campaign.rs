@@ -2,8 +2,8 @@
 //! and estimates must line up with the generated ground truth, across
 //! every layer (population → scheduler → pipeline → aggregation).
 
-use reorder::core::techniques::IpidVerdict;
-use reorder::survey::{run_campaign, CampaignConfig, TechniqueChoice};
+use reorder::core::techniques::{IpidVerdict, TestKind};
+use reorder::survey::{run_campaign, shard_bounds, CampaignConfig, TechniqueChoice};
 use reorder::tcpstack::IpidScheme;
 
 #[test]
@@ -68,7 +68,7 @@ fn forced_technique_applies_to_every_host() {
         workers: 2,
         seed: 3,
         samples: 5,
-        technique: TechniqueChoice::Syn,
+        technique: TechniqueChoice::Fixed(TestKind::Syn),
         baseline: false,
         ..CampaignConfig::default()
     };
@@ -77,4 +77,33 @@ fn forced_technique_applies_to_every_host() {
         .reports
         .iter()
         .all(|r| r.technique == "syn" || r.technique == "none"));
+}
+
+/// The façade-level `--shard` contract: per-host reports of a sharded
+/// campaign are exactly the same slice of the unsharded campaign's
+/// reports (ids, verdicts, estimates — not just line counts).
+#[test]
+fn sharded_reports_are_a_slice_of_the_whole() {
+    let cfg = |shard| CampaignConfig {
+        hosts: 24,
+        workers: 2,
+        seed: 0xD0,
+        samples: 4,
+        baseline: false,
+        shard,
+        ..CampaignConfig::default()
+    };
+    let whole = run_campaign(&cfg(None), None::<&mut Vec<u8>>).expect("no sink");
+    for k in 1..=3 {
+        let part = run_campaign(&cfg(Some((k, 3))), None::<&mut Vec<u8>>).expect("no sink");
+        let (lo, hi) = shard_bounds(24, k, 3);
+        assert_eq!(part.reports.len(), hi - lo);
+        for (r, w) in part.reports.iter().zip(&whole.reports[lo..hi]) {
+            assert_eq!(r.id, w.id);
+            assert_eq!(r.verdict, w.verdict);
+            assert_eq!(r.technique, w.technique);
+            assert_eq!(r.fwd, w.fwd);
+            assert_eq!(r.rev, w.rev);
+        }
+    }
 }

@@ -1,4 +1,4 @@
-//! Collection strategies: [`vec`] and the [`SizeRange`] bounds type.
+//! Collection strategies: [`vec()`] and the [`SizeRange`] bounds type.
 
 use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
@@ -48,7 +48,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     }
 }
 
-/// See [`vec`].
+/// See [`vec()`].
 pub struct VecStrategy<S> {
     element: S,
     size: SizeRange,
