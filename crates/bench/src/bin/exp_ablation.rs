@@ -76,6 +76,7 @@ fn measure(mech: Mechanism, gap_us: u64, samples: usize, seed: u64) -> f64 {
         gap: Duration::from_micros(gap_us),
         pace: Duration::from_millis(2),
         reply_timeout: Duration::from_millis(900),
+        ..TestConfig::default()
     };
     match run_technique(TestKind::DualConnection, &mut sc, cfg) {
         Ok(run) => ReorderEstimate::new(run.fwd_reordered(), run.fwd_determinate()).rate(),

@@ -26,6 +26,7 @@ fn measure_point(gap_us: u64, samples: usize, seed: u64) -> (u64, usize, usize) 
         gap: Duration::from_micros(gap_us),
         pace: Duration::from_millis(2),
         reply_timeout: Duration::from_millis(900),
+        ..TestConfig::default()
     };
     let run = run_technique(TestKind::DualConnection, &mut sc, cfg)
         .expect("striped path host is amenable");

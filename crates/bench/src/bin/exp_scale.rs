@@ -1,0 +1,174 @@
+//! `exp_scale` — the campaign perf harness: runs the survey pipeline at
+//! scale, measures hosts/sec and events/sec per configuration
+//! (including the pooling and connection-reuse ablations), and records
+//! the result as `BENCH_campaign.json` so this and future PRs leave a
+//! perf trajectory instead of anecdotes.
+//!
+//! * `REORDER_SCALE=quick|std|full` picks 120 / 1000 / 5000 hosts.
+//! * `REORDER_BENCH_OUT` overrides the output path.
+//! * `REORDER_BENCH_FLOOR=<path>` enables the regression gate: the
+//!   floor file holds the worst acceptable `full` hosts/sec for the
+//!   current scale; the run fails (exit 1) when throughput lands more
+//!   than 30% below it. CI runs the quick scale with the checked-in
+//!   `BENCH_floor.json`.
+
+use reorder_bench::{rule, Scale};
+use reorder_survey::{run_campaign, CampaignConfig, CampaignOutcome};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Row {
+    name: &'static str,
+    hosts: usize,
+    wall_s: f64,
+    hosts_per_sec: f64,
+    events: u64,
+    events_per_sec: f64,
+}
+
+fn measure(name: &'static str, cfg: &CampaignConfig) -> Row {
+    let started = Instant::now();
+    let out: CampaignOutcome = run_campaign(cfg, None::<&mut Vec<u8>>).expect("no sink, no error");
+    let wall = started.elapsed().as_secs_f64();
+    assert_eq!(out.reports.len(), cfg.hosts);
+    Row {
+        name,
+        hosts: cfg.hosts,
+        wall_s: wall,
+        hosts_per_sec: cfg.hosts as f64 / wall,
+        events: out.events,
+        events_per_sec: out.events as f64 / wall,
+    }
+}
+
+/// Peak resident set size in kB (Linux `VmHWM`) — a proxy, not a
+/// measurement of any single campaign, but enough to catch an
+/// allocation blow-up between PRs.
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// Extract `"key": <number>` from a JSON-ish text without a parser
+/// (the floor file is written by this binary, so the shape is fixed).
+fn json_number(text: &str, key: &str) -> Option<f64> {
+    let at = text.find(&format!("\"{key}\""))?;
+    let rest = &text[at..];
+    let colon = rest.find(':')?;
+    let tail = rest[colon + 1..].trim_start();
+    let end = tail
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(tail.len());
+    tail[..end].parse().ok()
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let hosts = scale.pick(5000, 1000, 120);
+    let seed = 1u64;
+    let workers = 1usize; // fixed for comparable trajectories
+    let base = CampaignConfig {
+        hosts,
+        workers,
+        seed,
+        ..CampaignConfig::default()
+    };
+
+    println!("exp_scale: campaign throughput at {hosts} hosts (seed {seed}, 1 worker)");
+    rule(84);
+
+    let rows = [
+        measure("full", &base.clone()),
+        measure(
+            "no_baseline",
+            &CampaignConfig {
+                baseline: false,
+                ..base.clone()
+            },
+        ),
+        measure(
+            "amenability_only",
+            &CampaignConfig {
+                amenability_only: true,
+                ..base.clone()
+            },
+        ),
+        // Ablations: each turns one hot-path contribution off.
+        measure(
+            "full_no_pool",
+            &CampaignConfig {
+                pool: false,
+                ..base.clone()
+            },
+        ),
+        measure(
+            "full_no_reuse",
+            &CampaignConfig {
+                reuse: false,
+                ..base
+            },
+        ),
+    ];
+
+    println!(
+        "{:<18} {:>7} {:>9} {:>11} {:>12} {:>13}",
+        "config", "hosts", "wall s", "hosts/sec", "events", "events/sec"
+    );
+    rule(84);
+    for r in &rows {
+        println!(
+            "{:<18} {:>7} {:>9.3} {:>11.0} {:>12} {:>13.0}",
+            r.name, r.hosts, r.wall_s, r.hosts_per_sec, r.events, r.events_per_sec
+        );
+    }
+    let rss = peak_rss_kb();
+    if let Some(kb) = rss {
+        println!("peak RSS (VmHWM proxy): {} kB", kb);
+    }
+
+    // Emit the JSON record.
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        "{{\n  \"scale\": \"{}\",\n  \"hosts\": {hosts},\n  \"seed\": {seed},\n  \"workers\": {workers},\n  \"peak_rss_kb\": {},\n  \"configs\": {{\n",
+        scale.pick("full", "std", "quick"),
+        rss.map_or("null".to_string(), |k| k.to_string()),
+    );
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    \"{}\": {{\"wall_s\": {:.4}, \"hosts_per_sec\": {:.1}, \"events\": {}, \"events_per_sec\": {:.0}}}{}",
+            r.name,
+            r.wall_s,
+            r.hosts_per_sec,
+            r.events,
+            r.events_per_sec,
+            if i + 1 < rows.len() { "," } else { "" },
+        );
+    }
+    json.push_str("  }\n}\n");
+    let out_path =
+        std::env::var("REORDER_BENCH_OUT").unwrap_or_else(|_| "BENCH_campaign.json".to_string());
+    std::fs::write(&out_path, &json).expect("writing BENCH_campaign.json");
+    println!("wrote {out_path}");
+
+    // Regression gate against the checked-in floor, when asked.
+    if let Ok(floor_path) = std::env::var("REORDER_BENCH_FLOOR") {
+        let floor_text = std::fs::read_to_string(&floor_path)
+            .unwrap_or_else(|e| panic!("reading floor {floor_path}: {e}"));
+        let key = format!("{}_full_hosts_per_sec", scale.pick("full", "std", "quick"));
+        let floor = json_number(&floor_text, &key)
+            .unwrap_or_else(|| panic!("floor {floor_path} missing `{key}`"));
+        let got = rows[0].hosts_per_sec;
+        let limit = floor * 0.7;
+        println!("floor gate: {got:.0} hosts/sec vs floor {floor:.0} (fail under {limit:.0})");
+        if got < limit {
+            eprintln!(
+                "FAIL: full-pipeline throughput regressed more than 30% below the floor \
+                 ({got:.0} < {limit:.0} hosts/sec; floor {floor:.0} from {floor_path})"
+            );
+            std::process::exit(1);
+        }
+    }
+}

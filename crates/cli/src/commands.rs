@@ -130,6 +130,7 @@ pub fn profile(args: &Args) -> Result<(), ArgError> {
             gap: Duration::from_micros(gap),
             pace: Duration::from_millis(2),
             reply_timeout: Duration::from_millis(900),
+            ..TestConfig::default()
         };
         let mut session = Session::new(&mut sc.prober, sc.target, 80);
         let est = Measurer::new(TestKind::DualConnection)
@@ -194,6 +195,7 @@ pub fn survey(args: &Args) -> Result<(), ArgError> {
         "gaps-us",
         "no-baseline",
         "no-reuse",
+        "no-pool",
         "amenability-only",
         "per-host",
         "shard",
@@ -208,6 +210,7 @@ pub fn survey(args: &Args) -> Result<(), ArgError> {
             .map_err(ArgError)?,
         baseline: !args.switch("no-baseline"),
         reuse: !args.switch("no-reuse"),
+        pool: !args.switch("no-pool"),
         amenability_only: args.switch("amenability-only"),
         gaps_us: parse_gaps(args.get("gaps-us").unwrap_or(""))?,
         shard: args.get("shard").map(parse_shard).transpose()?,

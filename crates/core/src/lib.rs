@@ -57,8 +57,10 @@
 //! assert!(report.baseline_rev.is_some());
 //! ```
 //!
-//! The pre-0.2 per-struct `run()` methods still exist as deprecated
-//! shims for one release; see the README's migration table.
+//! The pre-0.2 per-struct `run()`/`probe_amenability()` methods were
+//! deprecated in 0.2.0 and removed in 0.3.0; the [`Technique`] trait,
+//! [`technique`] factory and [`Measurer`] builder are the only
+//! dispatch points.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -64,26 +64,11 @@ impl ReorderEstimate {
 /// The paper's primitive metric applied to an arbitrary arrival
 /// sequence: the number of adjacent exchanges (bubble-sort swaps) needed
 /// to restore sent order. For a 2-packet sample this is 0 or 1.
+/// Computed as an O(n log n) merge count of inversions
+/// ([`reorder_netsim::capture::count_inversions`]), which equals the
+/// bubble-sort swap count exactly.
 pub fn exchanges(arrival_order: &[u64]) -> usize {
-    let mut v = arrival_order.to_vec();
-    let mut swaps = 0;
-    let n = v.len();
-    if n < 2 {
-        return 0;
-    }
-    loop {
-        let mut swapped = false;
-        for j in 0..n - 1 {
-            if v[j] > v[j + 1] {
-                v.swap(j, j + 1);
-                swaps += 1;
-                swapped = true;
-            }
-        }
-        if !swapped {
-            return swaps;
-        }
-    }
+    reorder_netsim::capture::count_inversions(arrival_order)
 }
 
 /// Non-reversing-order classification (IPPM draft \[8\] / RFC 4737

@@ -96,6 +96,13 @@ impl Prober {
         self.sim.now()
     }
 
+    /// Tear the prober down and hand the simulator back — the path a
+    /// [`crate::scenario::ScenarioPool`] uses to recycle a finished
+    /// scenario's allocations into the next host's build.
+    pub fn into_sim(self) -> Simulator {
+        self.sim
+    }
+
     /// Successful three-way handshakes performed so far. The
     /// conformance suite cross-checks this wire-level counter against
     /// [`crate::measurer::SessionStats::handshakes`] to prove the
@@ -157,21 +164,32 @@ impl Prober {
         F: FnMut(&Packet) -> bool,
     {
         let deadline = self.sim.now() + timeout;
+        self.drain_into_buffer();
+        if let Some(pos) = self.buffer.iter().position(|r| pred(&r.pkt)) {
+            return Some(self.buffer.remove(pos));
+        }
+        // Everything buffered so far failed `pred`; while stepping the
+        // simulation, only inspect *new* arrivals instead of rescanning
+        // the buffer every event.
+        let mut scanned = self.buffer.len();
         loop {
-            self.drain_into_buffer();
-            if let Some(pos) = self.buffer.iter().position(|r| pred(&r.pkt)) {
-                return Some(self.buffer.remove(pos));
-            }
             match self.sim.next_event_time() {
                 Some(t) if t <= deadline => self.sim.run_until(t),
                 _ => {
                     self.sim.run_until(deadline);
                     self.drain_into_buffer();
-                    if let Some(pos) = self.buffer.iter().position(|r| pred(&r.pkt)) {
-                        return Some(self.buffer.remove(pos));
+                    if let Some(pos) = self.buffer[scanned..].iter().position(|r| pred(&r.pkt)) {
+                        return Some(self.buffer.remove(scanned + pos));
                     }
                     return None;
                 }
+            }
+            if !self.queue.borrow().is_empty() {
+                self.drain_into_buffer();
+                if let Some(pos) = self.buffer[scanned..].iter().position(|r| pred(&r.pkt)) {
+                    return Some(self.buffer.remove(scanned + pos));
+                }
+                scanned = self.buffer.len();
             }
         }
     }

@@ -249,6 +249,13 @@ pub struct TestConfig {
     /// Per-reply wait deadline. Must exceed the remote's delayed-ACK
     /// timer (500 ms worst case) plus a round trip.
     pub reply_timeout: Duration,
+    /// Data-transfer keep-alive: request a persistent connection and
+    /// check the clamped-MSS connection back into the session after
+    /// the fetch, so repeated transfers (multi-round transfer
+    /// campaigns) skip the per-round handshake. Off by default — a
+    /// keep-alive request changes the bytes on the wire, and single
+    /// fetches must stay packet-identical to the historical protocol.
+    pub keep_alive: bool,
 }
 
 impl Default for TestConfig {
@@ -258,6 +265,7 @@ impl Default for TestConfig {
             gap: Duration::ZERO,
             pace: Duration::from_millis(20),
             reply_timeout: Duration::from_millis(900),
+            keep_alive: false,
         }
     }
 }
@@ -274,6 +282,12 @@ impl TestConfig {
     /// Set the inter-packet gap.
     pub fn with_gap(mut self, gap: Duration) -> Self {
         self.gap = gap;
+        self
+    }
+
+    /// Toggle transfer keep-alive (see the field docs).
+    pub fn with_keep_alive(mut self, keep_alive: bool) -> Self {
+        self.keep_alive = keep_alive;
         self
     }
 }

@@ -490,13 +490,116 @@ pub fn population(popular: usize, random: usize, seed: u64) -> Vec<HostSpec> {
     specs
 }
 
+/// A pool of recycled simulators for building successive scenarios
+/// without rebuilding the world's allocations from scratch.
+///
+/// One finished scenario's [`Simulator`] — its event-queue buckets,
+/// node/link/tap tables and scratch space — is handed back via
+/// [`ScenarioPool::recycle`] and reset for the next build. A pooled
+/// build is observationally identical to a fresh one
+/// ([`Simulator::reset`]'s contract; the survey's pooled-vs-fresh
+/// determinism tests assert byte-identical campaign output), it just
+/// skips the allocator. Campaign workers keep one pool each.
+///
+/// Pooled builds are *headless*: the ground-truth capture taps that
+/// [`internet_host`] installs for validation work are skipped, since
+/// the measurement pipeline never reads them — the taps' per-packet
+/// record clones are pure overhead at campaign scale. The returned
+/// [`Scenario`]'s trace handles are empty stand-ins.
+pub struct ScenarioPool {
+    sim: Option<Simulator>,
+    enabled: bool,
+    events: u64,
+    recycled: u64,
+}
+
+impl ScenarioPool {
+    /// A pool that recycles simulators (the fast path).
+    pub fn new() -> Self {
+        ScenarioPool {
+            sim: None,
+            enabled: true,
+            events: 0,
+            recycled: 0,
+        }
+    }
+
+    /// A pool that never recycles: every checkout constructs a fresh
+    /// [`Simulator`]. The ablation arm of the pooled-vs-fresh
+    /// determinism tests and the `--no-pool` campaign flag.
+    pub fn disabled() -> Self {
+        ScenarioPool {
+            enabled: false,
+            ..ScenarioPool::new()
+        }
+    }
+
+    /// Whether recycling is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Simulator events absorbed from recycled scenarios so far — the
+    /// numerator of the perf harness's events/sec.
+    pub fn events_absorbed(&self) -> u64 {
+        self.events
+    }
+
+    /// How many builds were served from a recycled simulator.
+    pub fn recycled(&self) -> u64 {
+        self.recycled
+    }
+
+    fn checkout(&mut self, seed: u64) -> Simulator {
+        match self.sim.take() {
+            Some(mut sim) if self.enabled => {
+                sim.reset(seed);
+                self.recycled += 1;
+                sim
+            }
+            _ => Simulator::new(seed),
+        }
+    }
+
+    /// Absorb a finished scenario: bank its event count and (when
+    /// enabled) keep its simulator for the next build. Call after the
+    /// scenario's last traffic (sessions closed) so teardown events are
+    /// counted.
+    pub fn recycle(&mut self, scenario: Scenario) {
+        let sim = scenario.prober.into_sim();
+        self.events += sim.events_processed();
+        if self.enabled {
+            self.sim = Some(sim);
+        }
+    }
+
+    /// Headless pooled build of [`internet_host`] (see the type docs).
+    pub fn internet_host(&mut self, spec: &HostSpec, seed: u64) -> Scenario {
+        let sim = self.checkout(seed);
+        build_internet_host(sim, spec, false)
+    }
+}
+
+impl Default for ScenarioPool {
+    fn default() -> Self {
+        ScenarioPool::new()
+    }
+}
+
 /// Build the path to one population host: probe — loss — jitter —
 /// reordering mechanism — (balancer) — host(s). The mechanism stage is
 /// chosen by [`HostSpec::mechanism`]; the §IV-B population uses
 /// dummynet swaps, the campaign engine also draws striping, multipath
 /// and wireless-ARQ paths.
 pub fn internet_host(spec: &HostSpec, seed: u64) -> Scenario {
-    let mut sim = Simulator::new(seed);
+    build_internet_host(Simulator::new(seed), spec, true)
+}
+
+/// Shared body of [`internet_host`]: wire the path onto `sim` (fresh or
+/// reset — indistinguishable by contract). `taps` installs the
+/// ground-truth capture taps; headless pooled builds skip them.
+fn build_internet_host(mut sim: Simulator, spec: &HostSpec, taps: bool) -> Scenario {
+    let seed = sim.master_seed();
     let (mb, queue) = Mailbox::new();
     let me = sim.add_node(Box::new(mb));
     let loss = sim.add_node(Box::new(RandomLoss::new(
@@ -556,6 +659,9 @@ pub fn internet_host(spec: &HostSpec, seed: u64) -> Scenario {
     sim.connect(loss, DOWN, jitter, UP, wan(spec.delay.as_millis() as u64));
     sim.connect(jitter, DOWN, dummy, UP, fast_lan());
 
+    // Headless builds skip the capture taps (nothing reads them on the
+    // campaign path); the handles stay valid, just unattached.
+    let unattached = || TraceHandle::new(std::cell::RefCell::new(Vec::new()));
     let mut server_rx = Vec::new();
     let mut server_tx = Vec::new();
     if spec.backends > 1 {
@@ -571,8 +677,13 @@ pub fn internet_host(spec: &HostSpec, seed: u64) -> Scenario {
             let host = TcpHost::new(cfg, simrng::derive_seed(seed, &format!("backend{b}")));
             let node = sim.add_node(Box::new(host));
             sim.connect(lb, Port(1 + b), node, Port(0), fast_lan());
-            server_rx.push(sim.tap_rx(node));
-            server_tx.push(sim.tap_tx(node));
+            if taps {
+                server_rx.push(sim.tap_rx(node));
+                server_tx.push(sim.tap_tx(node));
+            } else {
+                server_rx.push(unattached());
+                server_tx.push(unattached());
+            }
         }
     } else {
         let mut cfg = TcpHostConfig::web_server(TARGET_ADDR, spec.personality.clone());
@@ -581,10 +692,15 @@ pub fn internet_host(spec: &HostSpec, seed: u64) -> Scenario {
         let host = TcpHost::new(cfg, sim.master_seed());
         let node = sim.add_node(Box::new(host));
         sim.connect(dummy, DOWN, node, Port(0), fast_lan());
-        server_rx.push(sim.tap_rx(node));
-        server_tx.push(sim.tap_tx(node));
+        if taps {
+            server_rx.push(sim.tap_rx(node));
+            server_tx.push(sim.tap_tx(node));
+        } else {
+            server_rx.push(unattached());
+            server_tx.push(unattached());
+        }
     }
-    let prober_rx = sim.tap_rx(me);
+    let prober_rx = if taps { sim.tap_rx(me) } else { unattached() };
     Scenario {
         prober: Prober::new(sim, me, queue, PROBE_ADDR),
         target: TARGET_ADDR,
@@ -681,6 +797,64 @@ mod tests {
         assert!(merge_traces(&[]).is_empty());
         let empty: TraceHandle = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
         assert!(merge_traces(&[empty]).is_empty());
+    }
+
+    #[test]
+    fn pooled_build_equals_fresh_build() {
+        // The pooling contract at the scenario level: measuring through
+        // a recycled simulator produces the same wire conversation as a
+        // fresh one, for every mechanism the campaign draws.
+        fn handshake_fingerprint(sc: &mut Scenario) -> (u32, u32, u16) {
+            let conn = sc
+                .prober
+                .handshake(sc.target, 80, 1460, 65535, Duration::from_secs(1))
+                .expect("handshake");
+            (conn.irs.raw(), conn.rcv_nxt.raw(), conn.server_mss)
+        }
+        let mut pool = ScenarioPool::new();
+        for (i, mech) in [
+            PathMechanism::Dummynet,
+            PathMechanism::Striping {
+                links: 2,
+                bits_per_sec: 1_000_000_000,
+            },
+            PathMechanism::Multipath {
+                skew: Duration::from_micros(80),
+            },
+            PathMechanism::WirelessArq { frame_error: 0.1 },
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let spec = HostSpec {
+                fwd_reorder: 0.1,
+                backends: if i == 0 { 3 } else { 1 },
+                mechanism: mech,
+                ..HostSpec::clean("pool", HostPersonality::freebsd4())
+            };
+            let seed = 4000 + i as u64;
+            let mut fresh = internet_host(&spec, seed);
+            let want = handshake_fingerprint(&mut fresh);
+            let fresh_events = fresh.prober.sim.events_processed();
+
+            let mut pooled = pool.internet_host(&spec, seed);
+            assert_eq!(handshake_fingerprint(&mut pooled), want, "{}", mech.label());
+            assert_eq!(pooled.prober.sim.events_processed(), fresh_events);
+            pool.recycle(pooled);
+        }
+        assert_eq!(pool.recycled(), 3, "first build had nothing to recycle");
+        assert!(pool.events_absorbed() > 0);
+    }
+
+    #[test]
+    fn disabled_pool_never_recycles() {
+        let mut pool = ScenarioPool::disabled();
+        let spec = HostSpec::clean("fresh", HostPersonality::freebsd4());
+        let sc = pool.internet_host(&spec, 1);
+        pool.recycle(sc);
+        let _sc = pool.internet_host(&spec, 2);
+        assert_eq!(pool.recycled(), 0);
+        assert!(!pool.is_enabled());
     }
 
     #[test]

@@ -23,7 +23,7 @@ use crate::sample::{
     MeasurementRun, Order, PacketMatcher, SampleForensics, SampleOutcome, SampleRecord, TestConfig,
 };
 use crate::techniques::TestKind;
-use reorder_wire::{IpId, Ipv4Addr4, TcpFlags};
+use reorder_wire::{IpId, TcpFlags};
 use std::time::Duration;
 
 /// Verdict of the pre-measurement IPID validation.
@@ -199,39 +199,6 @@ impl DualConnectionTest {
                 ..IpidValidator::default()
             },
         }
-    }
-
-    /// Open both connections and validate the IPID space without
-    /// measuring (used by the host-amenability survey, §IV-B).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Technique::probe_amenability` on a `Session`"
-    )]
-    pub fn probe_amenability(
-        &self,
-        p: &mut Prober,
-        target: Ipv4Addr4,
-        port: u16,
-    ) -> Result<IpidVerdict, ProbeError> {
-        Technique::probe_amenability(self, &mut Session::new(p, target, port))
-    }
-
-    /// Run the full measurement. Fails with
-    /// [`ProbeError::HostUnsuitable`] when IPID validation rejects the
-    /// host — "this analysis allows us to validate whether a particular
-    /// host is amenable to the dual connection test before collecting
-    /// spurious measurements."
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Technique::execute` on a `Session` (or the `Measurer` builder)"
-    )]
-    pub fn run(
-        &self,
-        p: &mut Prober,
-        target: Ipv4Addr4,
-        port: u16,
-    ) -> Result<MeasurementRun, ProbeError> {
-        self.execute(&mut Session::new(p, target, port))
     }
 
     /// Validate the IPID space over `a`/`b` unless the session already
@@ -453,12 +420,6 @@ impl Technique for DualConnectionTest {
 
 #[cfg(test)]
 mod tests {
-    // These unit tests deliberately drive the deprecated `run()` /
-    // `probe_amenability()` shims: they are the compatibility contract
-    // the shims must keep for one release (new-API coverage lives in
-    // `tests/conformance.rs`).
-    #![allow(deprecated)]
-
     use super::*;
     use crate::scenario;
     use reorder_tcpstack::HostPersonality;
@@ -523,7 +484,9 @@ mod tests {
     fn amenable_host_measures_cleanly() {
         let mut sc = scenario::validation_rig(0.0, 0.0, 50);
         let test = DualConnectionTest::new(TestConfig::samples(25));
-        let run = test.run(&mut sc.prober, sc.target, 80).expect("run");
+        let run = test
+            .execute(&mut Session::new(&mut sc.prober, sc.target, 80))
+            .expect("run");
         assert_eq!(run.samples.len(), 25);
         assert_eq!(run.fwd_reordered(), 0);
         assert_eq!(run.rev_reordered(), 0);
@@ -535,7 +498,9 @@ mod tests {
     fn forward_swaps_detected() {
         let mut sc = scenario::validation_rig(1.0, 0.0, 51);
         let test = DualConnectionTest::new(TestConfig::samples(20));
-        let run = test.run(&mut sc.prober, sc.target, 80).expect("run");
+        let run = test
+            .execute(&mut Session::new(&mut sc.prober, sc.target, 80))
+            .expect("run");
         assert!(run.fwd_determinate() >= 15);
         assert_eq!(run.fwd_reordered(), run.fwd_determinate());
         assert_eq!(run.rev_reordered(), 0);
@@ -545,7 +510,9 @@ mod tests {
     fn reverse_swaps_detected() {
         let mut sc = scenario::validation_rig(0.0, 1.0, 52);
         let test = DualConnectionTest::new(TestConfig::samples(20));
-        let run = test.run(&mut sc.prober, sc.target, 80).expect("run");
+        let run = test
+            .execute(&mut Session::new(&mut sc.prober, sc.target, 80))
+            .expect("run");
         assert!(run.rev_determinate() >= 15);
         assert_eq!(run.rev_reordered(), run.rev_determinate());
         assert_eq!(run.fwd_reordered(), 0);
@@ -555,7 +522,8 @@ mod tests {
     fn random_ipid_host_rejected() {
         let mut sc = scenario::validation_rig_with(0.0, 0.0, HostPersonality::openbsd3(), 53);
         let test = DualConnectionTest::new(TestConfig::samples(5));
-        match test.run(&mut sc.prober, sc.target, 80) {
+        let mut session = Session::new(&mut sc.prober, sc.target, 80);
+        match test.execute(&mut session) {
             Err(ProbeError::HostUnsuitable(why)) => assert!(why.contains("non-monotonic")),
             other => panic!("expected HostUnsuitable, got {other:?}"),
         }
@@ -565,7 +533,8 @@ mod tests {
     fn linux24_zero_ipid_rejected() {
         let mut sc = scenario::validation_rig_with(0.0, 0.0, HostPersonality::linux24(), 54);
         let test = DualConnectionTest::new(TestConfig::samples(5));
-        match test.probe_amenability(&mut sc.prober, sc.target, 80) {
+        let mut session = Session::new(&mut sc.prober, sc.target, 80);
+        match test.probe_amenability(&mut session) {
             Ok(IpidVerdict::ConstantZero) => {}
             other => panic!("expected ConstantZero, got {other:?}"),
         }
@@ -583,7 +552,8 @@ mod tests {
             let mut sc =
                 scenario::load_balanced(0.0, 0.0, 4, HostPersonality::freebsd4(), 60 + seed);
             let test = DualConnectionTest::new(TestConfig::samples(5));
-            match test.probe_amenability(&mut sc.prober, sc.target, 80) {
+            let mut session = Session::new(&mut sc.prober, sc.target, 80);
+            match test.probe_amenability(&mut session) {
                 Ok(IpidVerdict::NonMonotonic) => {
                     rejected += 1;
                     tried += 1;
@@ -608,7 +578,9 @@ mod tests {
         // so does the validator.
         let mut sc = scenario::validation_rig_with(0.2, 0.1, HostPersonality::windows2000(), 56);
         let test = DualConnectionTest::new(TestConfig::samples(40));
-        let run = test.run(&mut sc.prober, sc.target, 80).expect("run");
+        let run = test
+            .execute(&mut Session::new(&mut sc.prober, sc.target, 80))
+            .expect("run");
         assert!(run.fwd_determinate() >= 35);
         let rate = run.fwd_estimate().rate();
         assert!((0.08..=0.35).contains(&rate), "rate {rate}");
@@ -622,7 +594,7 @@ mod tests {
         let mut sc = scenario::validation_rig_with(0.0, 0.0, HostPersonality::solaris8(), 55);
         let test = DualConnectionTest::new(TestConfig::samples(5));
         assert_eq!(
-            test.probe_amenability(&mut sc.prober, sc.target, 80)
+            test.probe_amenability(&mut Session::new(&mut sc.prober, sc.target, 80))
                 .unwrap(),
             IpidVerdict::Amenable
         );

@@ -22,7 +22,7 @@ use crate::sample::{
     MeasurementRun, Order, PacketMatcher, SampleForensics, SampleOutcome, SampleRecord, TestConfig,
 };
 use crate::techniques::TestKind;
-use reorder_wire::{Ipv4Addr4, SeqNum, TcpFlags};
+use reorder_wire::{SeqNum, TcpFlags};
 use std::time::Duration;
 
 /// The Single Connection Test.
@@ -50,20 +50,6 @@ impl SingleConnectionTest {
             cfg,
             reversed: true,
         }
-    }
-
-    /// Run the full measurement against `target:port`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Technique::execute` on a `Session` (or the `Measurer` builder)"
-    )]
-    pub fn run(
-        &self,
-        p: &mut Prober,
-        target: Ipv4Addr4,
-        port: u16,
-    ) -> Result<MeasurementRun, ProbeError> {
-        self.execute(&mut Session::new(p, target, port))
     }
 
     /// Await an ACK on `conn`'s reverse flow with the given ack value.
@@ -344,11 +330,6 @@ fn discard_record(p: &Prober, flow: reorder_wire::FlowKey) -> SampleRecord {
 
 #[cfg(test)]
 mod tests {
-    // These unit tests deliberately drive the deprecated `run()` shims:
-    // they are the compatibility contract the shims must keep for one
-    // release (the new-API coverage lives in `tests/conformance.rs`).
-    #![allow(deprecated)]
-
     use super::*;
     use crate::scenario;
 
@@ -356,7 +337,9 @@ mod tests {
     fn clean_path_reports_all_ordered() {
         let mut sc = scenario::validation_rig(0.0, 0.0, 42);
         let test = SingleConnectionTest::new(TestConfig::samples(30));
-        let run = test.run(&mut sc.prober, sc.target, 80).expect("run");
+        let run = test
+            .execute(&mut Session::new(&mut sc.prober, sc.target, 80))
+            .expect("run");
         assert_eq!(run.samples.len(), 30);
         assert_eq!(run.fwd_reordered(), 0);
         assert_eq!(run.rev_reordered(), 0);
@@ -367,7 +350,9 @@ mod tests {
     fn full_forward_swap_detected() {
         let mut sc = scenario::validation_rig(1.0, 0.0, 43);
         let test = SingleConnectionTest::new(TestConfig::samples(20));
-        let run = test.run(&mut sc.prober, sc.target, 80).expect("run");
+        let run = test
+            .execute(&mut Session::new(&mut sc.prober, sc.target, 80))
+            .expect("run");
         // Every adjacent pair swaps; samples are back-to-back pairs, so
         // every determinate sample must be Reordered.
         assert!(run.fwd_determinate() >= 10);
@@ -385,7 +370,9 @@ mod tests {
         // in time, which is the whole point of §IV-C.)
         let mut sc = scenario::validation_rig(0.0, 1.0, 44);
         let test = SingleConnectionTest::reversed(TestConfig::samples(20));
-        let run = test.run(&mut sc.prober, sc.target, 80).expect("run");
+        let run = test
+            .execute(&mut Session::new(&mut sc.prober, sc.target, 80))
+            .expect("run");
         assert!(run.rev_determinate() >= 10);
         assert_eq!(run.rev_reordered(), run.rev_determinate());
         // Forward path was clean.
@@ -402,7 +389,9 @@ mod tests {
         // of the in-order variant, not a bug.
         let mut sc = scenario::validation_rig(0.0, 1.0, 49);
         let test = SingleConnectionTest::new(TestConfig::samples(15));
-        let run = test.run(&mut sc.prober, sc.target, 80).expect("run");
+        let run = test
+            .execute(&mut Session::new(&mut sc.prober, sc.target, 80))
+            .expect("run");
         assert_eq!(run.rev_reordered(), 0);
     }
 
@@ -410,7 +399,9 @@ mod tests {
     fn reversed_variant_matches_forward_rate() {
         let mut sc = scenario::validation_rig(0.3, 0.0, 45);
         let test = SingleConnectionTest::reversed(TestConfig::samples(60));
-        let run = test.run(&mut sc.prober, sc.target, 80).expect("run");
+        let run = test
+            .execute(&mut Session::new(&mut sc.prober, sc.target, 80))
+            .expect("run");
         let rate = run.fwd_estimate().rate();
         assert!(
             (0.1..=0.5).contains(&rate),
@@ -429,7 +420,9 @@ mod tests {
             46,
         );
         let test = SingleConnectionTest::new(TestConfig::samples(10));
-        let run = test.run(&mut sc.prober, sc.target, 80).expect("run");
+        let run = test
+            .execute(&mut Session::new(&mut sc.prober, sc.target, 80))
+            .expect("run");
         assert_eq!(
             run.fwd_determinate(),
             0,
@@ -443,7 +436,9 @@ mod tests {
             47,
         );
         let test = SingleConnectionTest::reversed(TestConfig::samples(10));
-        let run = test.run(&mut sc.prober, sc.target, 80).expect("run");
+        let run = test
+            .execute(&mut Session::new(&mut sc.prober, sc.target, 80))
+            .expect("run");
         assert!(run.fwd_determinate() >= 8);
         assert_eq!(run.fwd_reordered(), 0);
     }
@@ -452,7 +447,9 @@ mod tests {
     fn lossy_path_discards_but_survives() {
         let mut sc = scenario::lossy_rig(0.2, 0.2, 48);
         let test = SingleConnectionTest::new(TestConfig::samples(25));
-        let run = test.run(&mut sc.prober, sc.target, 80).expect("run");
+        let run = test
+            .execute(&mut Session::new(&mut sc.prober, sc.target, 80))
+            .expect("run");
         assert_eq!(run.samples.len(), 25);
         // Some samples discarded, but the connection stays consistent.
         assert!(run.fwd_determinate() < 25);

@@ -40,20 +40,6 @@ impl SynTest {
         SynTest { cfg }
     }
 
-    /// Run `cfg.samples` SYN-pair trials against `target:port`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Technique::execute` on a `Session` (or the `Measurer` builder)"
-    )]
-    pub fn run(
-        &self,
-        p: &mut Prober,
-        target: Ipv4Addr4,
-        port: u16,
-    ) -> Result<MeasurementRun, ProbeError> {
-        self.execute(&mut Session::new(p, target, port))
-    }
-
     fn run_samples(
         &self,
         p: &mut Prober,
@@ -255,11 +241,6 @@ impl Technique for SynTest {
 
 #[cfg(test)]
 mod tests {
-    // These unit tests deliberately drive the deprecated `run()` shim:
-    // it is the compatibility contract kept for one release (new-API
-    // coverage lives in `tests/conformance.rs`).
-    #![allow(deprecated)]
-
     use super::*;
     use crate::scenario;
     use reorder_tcpstack::HostPersonality;
@@ -268,7 +249,7 @@ mod tests {
     fn clean_path_all_ordered() {
         let mut sc = scenario::validation_rig(0.0, 0.0, 70);
         let run = SynTest::new(TestConfig::samples(20))
-            .run(&mut sc.prober, sc.target, 80)
+            .execute(&mut Session::new(&mut sc.prober, sc.target, 80))
             .expect("run");
         assert_eq!(run.samples.len(), 20);
         assert_eq!(run.fwd_reordered(), 0);
@@ -281,7 +262,7 @@ mod tests {
     fn forward_swaps_detected() {
         let mut sc = scenario::validation_rig(1.0, 0.0, 71);
         let run = SynTest::new(TestConfig::samples(20))
-            .run(&mut sc.prober, sc.target, 80)
+            .execute(&mut Session::new(&mut sc.prober, sc.target, 80))
             .expect("run");
         assert!(run.fwd_determinate() >= 15);
         assert_eq!(run.fwd_reordered(), run.fwd_determinate());
@@ -291,7 +272,7 @@ mod tests {
     fn reverse_swaps_detected() {
         let mut sc = scenario::validation_rig(0.0, 1.0, 72);
         let run = SynTest::new(TestConfig::samples(20))
-            .run(&mut sc.prober, sc.target, 80)
+            .execute(&mut Session::new(&mut sc.prober, sc.target, 80))
             .expect("run");
         assert!(run.rev_determinate() >= 15);
         assert_eq!(run.rev_reordered(), run.rev_determinate());
@@ -304,7 +285,7 @@ mod tests {
         // SYNs to one backend, so measurements stay sound.
         let mut sc = scenario::load_balanced(0.5, 0.0, 4, HostPersonality::freebsd4(), 73);
         let run = SynTest::new(TestConfig::samples(40))
-            .run(&mut sc.prober, sc.target, 80)
+            .execute(&mut Session::new(&mut sc.prober, sc.target, 80))
             .expect("run");
         assert!(run.fwd_determinate() >= 30);
         let rate = run.fwd_estimate().rate();
@@ -323,7 +304,7 @@ mod tests {
             74,
         );
         let run = SynTest::new(TestConfig::samples(40))
-            .run(&mut sc.prober, sc.target, 80)
+            .execute(&mut Session::new(&mut sc.prober, sc.target, 80))
             .expect("run");
         assert!(run.fwd_determinate() >= 30);
         let rate = run.fwd_estimate().rate();
@@ -339,7 +320,7 @@ mod tests {
             75,
         );
         let run = SynTest::new(TestConfig::samples(40))
-            .run(&mut sc.prober, sc.target, 80)
+            .execute(&mut Session::new(&mut sc.prober, sc.target, 80))
             .expect("run");
         assert!(run.fwd_determinate() >= 30);
         let rate = run.fwd_estimate().rate();
@@ -355,7 +336,7 @@ mod tests {
             76,
         );
         let run = SynTest::new(TestConfig::samples(30))
-            .run(&mut sc.prober, sc.target, 80)
+            .execute(&mut Session::new(&mut sc.prober, sc.target, 80))
             .expect("run");
         // Forward inference works from the SYN/ACK ack number alone.
         assert!(run.fwd_determinate() >= 25);
@@ -372,7 +353,7 @@ mod tests {
         // connections, and our close path executed).
         let mut sc = scenario::validation_rig_with(0.0, 0.0, HostPersonality::hardened(), 77);
         let run = SynTest::new(TestConfig::samples(10))
-            .run(&mut sc.prober, sc.target, 80)
+            .execute(&mut Session::new(&mut sc.prober, sc.target, 80))
             .expect("run");
         assert_eq!(run.samples.len(), 10);
         let conn = sc.prober.handshake(

@@ -33,6 +33,30 @@ proptest! {
         prop_assert_eq!(exchanges(&shifted), e);
     }
 
+    /// The merge-count implementation agrees with the naive bubble-sort
+    /// swap count on random permutations (and on sequences with ties).
+    #[test]
+    fn exchange_merge_count_matches_naive(perm in arb_permutation(64)) {
+        fn naive(order: &[u64]) -> usize {
+            let mut v = order.to_vec();
+            let mut swaps = 0;
+            for i in 0..v.len() {
+                for j in 0..v.len().saturating_sub(1 + i) {
+                    if v[j] > v[j + 1] {
+                        v.swap(j, j + 1);
+                        swaps += 1;
+                    }
+                }
+            }
+            swaps
+        }
+        prop_assert_eq!(exchanges(&perm), naive(&perm));
+        // Halving values introduces ties; both forms treat ties as
+        // ordered.
+        let tied: Vec<u64> = perm.iter().map(|&x| x / 2).collect();
+        prop_assert_eq!(exchanges(&tied), naive(&tied));
+    }
+
     /// Reversing a sorted sequence gives the maximum exchange count.
     #[test]
     fn exchange_metric_maximum(n in 2usize..30) {

@@ -77,22 +77,11 @@ impl Trace {
 
     /// Count of adjacent exchanges needed to sort `order` — the paper's
     /// primitive metric ("the number of exchanges between pairs of test
-    /// packets") applied to a ground-truth arrival sequence.
+    /// packets") applied to a ground-truth arrival sequence. Equals the
+    /// inversion count, computed by [`count_inversions`] in
+    /// O(n log n) rather than the bubble-sort O(n²) form.
     pub fn exchanges(order: &[u32]) -> usize {
-        // Bubble-sort pass count = number of inversions between adjacent
-        // ranks; for the 2-packet samples used by the tests this is 0/1.
-        let mut v = order.to_vec();
-        let mut swaps = 0;
-        let n = v.len();
-        for i in 0..n {
-            for j in 0..n.saturating_sub(1 + i) {
-                if v[j] > v[j + 1] {
-                    v.swap(j, j + 1);
-                    swaps += 1;
-                }
-            }
-        }
-        swaps
+        count_inversions(order)
     }
 
     /// Number of records.
@@ -104,6 +93,53 @@ impl Trace {
     pub fn is_empty(&self) -> bool {
         self.0.is_empty()
     }
+}
+
+/// Number of inversions in `seq`: pairs `i < j` with `seq[i] > seq[j]`.
+///
+/// This equals the adjacent-exchange (bubble-sort swap) count the paper
+/// uses as its reordering primitive, but runs in O(n log n) via a
+/// bottom-up merge count — campaign-scale traces (a 64-segment transfer
+/// per host, ground-truth analyses over full captures) made the O(n²)
+/// form measurable. Equal elements count as ordered, matching the
+/// strict `>` the bubble-sort form swapped on. Property tests pin
+/// equality with the naive count on random permutations.
+pub fn count_inversions<T: Ord + Copy>(seq: &[T]) -> usize {
+    let n = seq.len();
+    if n < 2 {
+        return 0;
+    }
+    let mut v = seq.to_vec();
+    let mut scratch = v.clone();
+    let mut inversions = 0usize;
+    let mut width = 1;
+    while width < n {
+        let mut lo = 0;
+        while lo + width < n {
+            let mid = lo + width;
+            let hi = (lo + 2 * width).min(n);
+            let (mut i, mut j, mut k) = (lo, mid, lo);
+            while i < mid && j < hi {
+                if v[j] < v[i] {
+                    // v[j] precedes every remaining left element it is
+                    // smaller than: mid - i inversions at once.
+                    inversions += mid - i;
+                    scratch[k] = v[j];
+                    j += 1;
+                } else {
+                    scratch[k] = v[i];
+                    i += 1;
+                }
+                k += 1;
+            }
+            scratch[k..k + (mid - i)].copy_from_slice(&v[i..mid]);
+            scratch[k + (mid - i)..hi].copy_from_slice(&v[j..hi]);
+            v[lo..hi].copy_from_slice(&scratch[lo..hi]);
+            lo = hi;
+        }
+        width *= 2;
+    }
+    inversions
 }
 
 #[cfg(test)]
@@ -149,6 +185,56 @@ mod tests {
         assert_eq!(Trace::exchanges(&[3, 2, 1]), 3);
         assert_eq!(Trace::exchanges(&[]), 0);
         assert_eq!(Trace::exchanges(&[7]), 0);
+    }
+
+    /// The bubble-sort form the merge count replaced, kept as the
+    /// reference for the equivalence tests.
+    fn naive_exchanges<T: Ord + Copy>(order: &[T]) -> usize {
+        let mut v = order.to_vec();
+        let mut swaps = 0;
+        let n = v.len();
+        for i in 0..n {
+            for j in 0..n.saturating_sub(1 + i) {
+                if v[j] > v[j + 1] {
+                    v.swap(j, j + 1);
+                    swaps += 1;
+                }
+            }
+        }
+        swaps
+    }
+
+    #[test]
+    fn merge_count_equals_naive_on_random_permutations() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng: SmallRng = SeedableRng::seed_from_u64(0x17C0);
+        for case in 0..300 {
+            let n = rng.gen_range(0..80usize);
+            // Mix pure permutations with duplicate-heavy sequences —
+            // ties must count as ordered in both forms.
+            let v: Vec<u32> = if case % 3 == 0 {
+                (0..n).map(|_| rng.gen_range(0..8u32)).collect()
+            } else {
+                let mut p: Vec<u32> = (0..n as u32).collect();
+                for i in (1..p.len()).rev() {
+                    p.swap(i, rng.gen_range(0..=i));
+                }
+                p
+            };
+            assert_eq!(
+                count_inversions(&v),
+                naive_exchanges(&v),
+                "case {case}: {v:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_count_handles_duplicates_as_ordered() {
+        assert_eq!(count_inversions(&[5u32, 5, 5]), 0);
+        assert_eq!(count_inversions(&[2u32, 2, 1]), 2);
+        assert_eq!(count_inversions(&[1u32, 3, 2, 3, 1]), 4);
     }
 
     #[test]

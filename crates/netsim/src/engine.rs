@@ -5,13 +5,12 @@
 //! insertion order, devices draw randomness only from labeled streams
 //! (see [`crate::rng`]), and nothing reads the host clock.
 
+use crate::calendar::CalendarQueue;
 use crate::capture::{Dir, TraceHandle, TraceRecord};
 use crate::link::{LinkParams, LinkState, Offer};
 use crate::time::SimTime;
 use reorder_wire::Packet;
 use std::cell::RefCell;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
 use std::rc::Rc;
 use std::time::Duration;
 
@@ -93,41 +92,27 @@ enum EventKind {
     },
 }
 
-struct Event {
-    time: SimTime,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl Eq for Event {}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
-    }
-}
-
 /// The simulator: owns every device, link and pending event.
+///
+/// Hot-path layout: events live in a calendar queue (the private
+/// `calendar` module); links and taps are dense per-node tables
+/// indexed by `NodeId`/`Port`, so the per-event path does no hashing.
+/// [`Simulator::reset`] recycles every allocation for the next run —
+/// the pooling fast path campaign workers ride.
 pub struct Simulator {
     now: SimTime,
     seq: u64,
     master_seed: u64,
     nodes: Vec<Option<Box<dyn Device>>>,
     names: Vec<String>,
-    links: HashMap<(NodeId, Port), LinkEndpoint>,
-    heap: BinaryHeap<Reverse<Event>>,
-    rx_taps: HashMap<NodeId, Vec<TraceHandle>>,
-    tx_taps: HashMap<NodeId, Vec<TraceHandle>>,
+    /// `links[node][port]` — dense, grown by `connect_asym`.
+    links: Vec<Vec<Option<LinkEndpoint>>>,
+    queue: CalendarQueue<EventKind>,
+    /// `rx_taps[node]` / `tx_taps[node]` — dense, grown by `add_node`.
+    rx_taps: Vec<Vec<TraceHandle>>,
+    tx_taps: Vec<Vec<TraceHandle>>,
     scratch: Vec<Action>,
+    events: u64,
     /// Count of packets dropped by full link queues (all links).
     pub link_drops: u64,
 }
@@ -147,13 +132,46 @@ impl Simulator {
             master_seed,
             nodes: Vec::new(),
             names: Vec::new(),
-            links: HashMap::new(),
-            heap: BinaryHeap::new(),
-            rx_taps: HashMap::new(),
-            tx_taps: HashMap::new(),
+            links: Vec::new(),
+            queue: CalendarQueue::new(),
+            rx_taps: Vec::new(),
+            tx_taps: Vec::new(),
             scratch: Vec::new(),
+            events: 0,
             link_drops: 0,
         }
+    }
+
+    /// Return the simulator to the just-constructed state under a new
+    /// master seed, retaining every allocation (event-queue buckets,
+    /// node/link/tap tables, scratch). A reset simulator is
+    /// indistinguishable from `Simulator::new(seed)` to everything
+    /// built on it — the pooled-construction determinism tests assert
+    /// byte-identical campaign output — but skips the allocator.
+    pub fn reset(&mut self, master_seed: u64) {
+        self.now = SimTime::ZERO;
+        self.seq = 0;
+        self.master_seed = master_seed;
+        self.nodes.clear();
+        self.names.clear();
+        self.links.clear();
+        self.queue.clear();
+        self.rx_taps.clear();
+        self.tx_taps.clear();
+        self.events = 0;
+        self.link_drops = 0;
+    }
+
+    /// Events dispatched since construction (or the last
+    /// [`Simulator::reset`]) — the denominator of events/sec in the
+    /// perf harness.
+    pub fn events_processed(&self) -> u64 {
+        self.events
+    }
+
+    /// Events currently queued (diagnostics).
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
     }
 
     /// The master seed (devices use it with [`crate::rng::stream`]).
@@ -171,6 +189,9 @@ impl Simulator {
         let id = NodeId(self.nodes.len());
         self.names.push(device.name().to_string());
         self.nodes.push(Some(device));
+        self.links.push(Vec::new());
+        self.rx_taps.push(Vec::new());
+        self.tx_taps.push(Vec::new());
         id
     }
 
@@ -196,29 +217,30 @@ impl Simulator {
         ab: LinkParams,
         ba: LinkParams,
     ) {
-        let prev = self.links.insert(
-            (a, pa),
-            LinkEndpoint {
-                peer: (b, pb),
-                state: LinkState::new(ab),
-            },
+        self.wire(a, pa, b, pb, ab);
+        self.wire(b, pb, a, pa, ba);
+    }
+
+    fn wire(&mut self, from: NodeId, port: Port, to: NodeId, to_port: Port, params: LinkParams) {
+        let ports = &mut self.links[from.0];
+        if ports.len() <= port.0 {
+            ports.resize_with(port.0 + 1, || None);
+        }
+        assert!(
+            ports[port.0].is_none(),
+            "port {port:?} of node {from:?} already wired"
         );
-        assert!(prev.is_none(), "port {pa:?} of node {a:?} already wired");
-        let prev = self.links.insert(
-            (b, pb),
-            LinkEndpoint {
-                peer: (a, pa),
-                state: LinkState::new(ba),
-            },
-        );
-        assert!(prev.is_none(), "port {pb:?} of node {b:?} already wired");
+        ports[port.0] = Some(LinkEndpoint {
+            peer: (to, to_port),
+            state: LinkState::new(params),
+        });
     }
 
     /// Record every packet *delivered to* `node` (any port) into the
     /// returned trace. This is the receive-order ground truth of §IV-A.
     pub fn tap_rx(&mut self, node: NodeId) -> TraceHandle {
         let h: TraceHandle = Rc::new(RefCell::new(Vec::new()));
-        self.rx_taps.entry(node).or_default().push(h.clone());
+        self.rx_taps[node.0].push(h.clone());
         h
     }
 
@@ -227,7 +249,7 @@ impl Simulator {
     /// ground truth used to validate reverse-path inferences.
     pub fn tap_tx(&mut self, node: NodeId) -> TraceHandle {
         let h: TraceHandle = Rc::new(RefCell::new(Vec::new()));
-        self.tx_taps.entry(node).or_default().push(h.clone());
+        self.tx_taps[node.0].push(h.clone());
         h
     }
 
@@ -248,21 +270,21 @@ impl Simulator {
 
     /// Time of the next pending event, if any.
     pub fn next_event_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|Reverse(e)| e.time)
+        self.queue.peek_key().map(|(t, _)| t)
     }
 
     /// Run until the queue is empty or the next event lies beyond
     /// `horizon`; the clock then advances to `horizon` (so repeated calls
     /// make steady progress even with no traffic).
     pub fn run_until(&mut self, horizon: SimTime) {
-        while let Some(Reverse(ev)) = self.heap.peek() {
-            if ev.time > horizon {
+        while let Some((t, _)) = self.queue.peek_key() {
+            if t > horizon {
                 break;
             }
-            let Reverse(ev) = self.heap.pop().expect("peeked");
-            debug_assert!(ev.time >= self.now, "time went backwards");
-            self.now = ev.time;
-            self.dispatch(ev.kind);
+            let (time, _, kind) = self.queue.pop().expect("peeked");
+            debug_assert!(time >= self.now, "time went backwards");
+            self.now = time;
+            self.dispatch(kind);
         }
         if horizon > self.now && horizon != SimTime::MAX {
             self.now = horizon;
@@ -288,39 +310,35 @@ impl Simulator {
     fn push(&mut self, time: SimTime, kind: EventKind) {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Reverse(Event { time, seq, kind }));
+        self.queue.push(self.now, time, seq, kind);
     }
 
     fn record_rx(&self, node: NodeId, port: Port, pkt: &Packet) {
-        if let Some(taps) = self.rx_taps.get(&node) {
-            for t in taps {
-                t.borrow_mut().push(TraceRecord {
-                    time: self.now,
-                    node,
-                    port,
-                    dir: Dir::Rx,
-                    pkt: pkt.clone(),
-                });
-            }
+        for t in &self.rx_taps[node.0] {
+            t.borrow_mut().push(TraceRecord {
+                time: self.now,
+                node,
+                port,
+                dir: Dir::Rx,
+                pkt: pkt.clone(),
+            });
         }
     }
 
     fn record_tx(&self, node: NodeId, port: Port, pkt: &Packet) {
-        if let Some(taps) = self.tx_taps.get(&node) {
-            for t in taps {
-                t.borrow_mut().push(TraceRecord {
-                    time: self.now,
-                    node,
-                    port,
-                    dir: Dir::Tx,
-                    pkt: pkt.clone(),
-                });
-            }
+        for t in &self.tx_taps[node.0] {
+            t.borrow_mut().push(TraceRecord {
+                time: self.now,
+                node,
+                port,
+                dir: Dir::Tx,
+                pkt: pkt.clone(),
+            });
         }
     }
 
     fn do_transmit(&mut self, node: NodeId, port: Port, pkt: Packet) {
-        let Some(end) = self.links.get_mut(&(node, port)) else {
+        let Some(end) = self.links[node.0].get_mut(port.0).and_then(Option::as_mut) else {
             panic!(
                 "node {} ({node:?}) transmitted on unwired port {port:?}",
                 self.names[node.0]
@@ -345,6 +363,7 @@ impl Simulator {
     }
 
     fn dispatch(&mut self, kind: EventKind) {
+        self.events += 1;
         let node = match &kind {
             EventKind::Deliver { node, .. } | EventKind::Timer { node, .. } => *node,
         };
@@ -516,6 +535,64 @@ mod tests {
         let c = sim.add_node(Box::new(Echo));
         sim.connect(a, Port(0), b, Port(0), LinkParams::lan());
         sim.connect(a, Port(0), c, Port(0), LinkParams::lan());
+    }
+
+    #[test]
+    fn reset_sim_is_indistinguishable_from_fresh() {
+        // The pooling contract: building the same scenario on a reset
+        // simulator yields the exact event stream of a fresh one.
+        fn drive(sim: &mut Simulator) -> Vec<(SimTime, u16)> {
+            let rx = Rc::new(RefCell::new(Vec::new()));
+            let sink = sim.add_node(Box::new(Sink(rx.clone())));
+            let echo = sim.add_node(Box::new(Echo));
+            sim.connect(sink, Port(0), echo, Port(0), LinkParams::wan());
+            let h = sim.tap_rx(echo);
+            for i in 0..30 {
+                sim.transmit_from(sink, Port(0), probe(i));
+            }
+            sim.run_until_idle(SimTime::from_secs(5));
+            assert_eq!(h.borrow().len(), 30);
+            let trace = rx
+                .borrow()
+                .iter()
+                .map(|(t, p)| (*t, p.ip.ident.raw()))
+                .collect();
+            trace
+        }
+        let mut fresh = Simulator::new(123);
+        let fresh_trace = drive(&mut fresh);
+        let fresh_events = fresh.events_processed();
+
+        // Dirty a simulator with an unrelated run (leftover events
+        // still queued), then reset and rebuild.
+        let mut pooled = Simulator::new(7);
+        {
+            let rx = Rc::new(RefCell::new(Vec::new()));
+            let sink = pooled.add_node(Box::new(Sink(rx)));
+            let echo = pooled.add_node(Box::new(Echo));
+            pooled.connect(sink, Port(0), echo, Port(0), LinkParams::lan());
+            pooled.transmit_from(sink, Port(0), probe(9));
+            pooled.run_for(Duration::from_micros(10)); // leave events pending
+        }
+        pooled.reset(123);
+        assert_eq!(pooled.now(), SimTime::ZERO);
+        assert_eq!(pooled.events_processed(), 0);
+        assert_eq!(pooled.master_seed(), 123);
+        let pooled_trace = drive(&mut pooled);
+        assert_eq!(pooled_trace, fresh_trace);
+        assert_eq!(pooled.events_processed(), fresh_events);
+    }
+
+    #[test]
+    fn events_processed_counts_dispatches() {
+        let mut sim = Simulator::new(0);
+        let order = Rc::new(RefCell::new(Vec::new()));
+        let tb = sim.add_node(Box::new(TimerBox(order)));
+        for token in 0..7 {
+            sim.schedule_timer(tb, Duration::from_micros(token), token);
+        }
+        sim.run_until_idle(SimTime::from_secs(1));
+        assert_eq!(sim.events_processed(), 7);
     }
 
     #[test]

@@ -72,6 +72,10 @@ pub struct LinkState {
     pub queued: usize,
     /// Packets dropped by queue overflow (observability for tests).
     pub drops: u64,
+    /// Exact ns-per-byte multiplier when the rate divides 8×10⁹ (every
+    /// rate this workspace uses); turns the per-offer serialization
+    /// division into a multiply.
+    ns_per_byte: Option<u64>,
 }
 
 /// Outcome of offering a packet to a link.
@@ -87,6 +91,7 @@ impl LinkState {
     /// New idle link.
     pub fn new(params: LinkParams) -> Self {
         LinkState {
+            ns_per_byte: exact_ns_per_byte(params.bits_per_sec),
             params,
             busy_until: SimTime::ZERO,
             queued: 0,
@@ -110,9 +115,32 @@ impl LinkState {
             self.queued = 0;
         }
         let start = self.busy_until.max(now);
-        let done = start + serialization_delay(wire_len, self.params.bits_per_sec);
+        let done = start + ser_delay_cached(self.ns_per_byte, wire_len, self.params.bits_per_sec);
         self.busy_until = done;
         Offer::Arrives(done + self.params.propagation)
+    }
+}
+
+/// `Some(8e9 / rate)` when the division is exact — then
+/// `serialization_delay(bytes, rate)` equals `bytes * that` for every
+/// byte count (`⌊bytes·8e9/rate⌋ = bytes·(8e9/rate)` when `rate | 8e9`),
+/// so callers on per-packet paths can multiply instead of divide.
+pub(crate) fn exact_ns_per_byte(bits_per_sec: u64) -> Option<u64> {
+    assert!(bits_per_sec > 0, "link rate must be positive");
+    (8_000_000_000 % bits_per_sec == 0).then(|| 8_000_000_000 / bits_per_sec)
+}
+
+/// Serialization delay using a cached [`exact_ns_per_byte`] multiplier
+/// when one exists — the shared fast path of the link offer and the
+/// striping replay.
+pub(crate) fn ser_delay_cached(
+    ns_per_byte: Option<u64>,
+    bytes: usize,
+    bits_per_sec: u64,
+) -> Duration {
+    match ns_per_byte {
+        Some(m) => Duration::from_nanos(bytes as u64 * m),
+        None => serialization_delay(bytes, bits_per_sec),
     }
 }
 

@@ -4,12 +4,12 @@
 //! as a second reordering model for cross-validation.
 
 use super::other;
+use super::token::TokenStore;
 use crate::engine::{Ctx, Device, Port};
 use crate::rng;
 use rand::rngs::SmallRng;
 use rand::Rng;
 use reorder_wire::Packet;
-use std::collections::HashMap;
 use std::time::Duration;
 
 /// Adds a uniform random delay in `[min, max]` to each packet,
@@ -18,8 +18,7 @@ pub struct DelayJitter {
     min: Duration,
     max: Duration,
     rngs: [SmallRng; 2],
-    pending: HashMap<u64, (Port, Packet)>,
-    next_token: u64,
+    pending: TokenStore<(Port, Packet)>,
 }
 
 impl DelayJitter {
@@ -33,8 +32,7 @@ impl DelayJitter {
                 rng::stream(master_seed, &format!("{label}.fwd")),
                 rng::stream(master_seed, &format!("{label}.rev")),
             ],
-            pending: HashMap::new(),
-            next_token: 0,
+            pending: TokenStore::new(),
         }
     }
 }
@@ -49,14 +47,12 @@ impl Device for DelayJitter {
         } else {
             self.min
         };
-        let token = self.next_token;
-        self.next_token += 1;
-        self.pending.insert(token, (other(port), pkt));
+        let token = self.pending.insert((other(port), pkt));
         ctx.set_timer(extra, token);
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
-        if let Some((port, pkt)) = self.pending.remove(&token) {
+        if let Some((port, pkt)) = self.pending.remove(token) {
             ctx.transmit(port, pkt);
         }
     }

@@ -14,6 +14,7 @@ mod loss;
 mod multipath;
 mod ratelimit;
 mod striping;
+mod token;
 mod wireless;
 
 pub use balancer::{BalanceMode, LoadBalancer};

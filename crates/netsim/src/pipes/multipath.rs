@@ -11,12 +11,12 @@
 //! distinguishable by the paper's time-domain measurement.
 
 use super::other;
+use super::token::TokenStore;
 use crate::engine::{Ctx, Device, Port};
 use crate::rng;
 use rand::rngs::SmallRng;
 use rand::Rng;
 use reorder_wire::Packet;
-use std::collections::HashMap;
 use std::time::Duration;
 
 /// How packets are assigned to routes.
@@ -38,8 +38,7 @@ pub struct MultipathRoute {
     delays: Vec<Duration>,
     rr: [usize; 2],
     rngs: [SmallRng; 2],
-    pending: HashMap<u64, (Port, Packet)>,
-    next_token: u64,
+    pending: TokenStore<(Port, Packet)>,
     /// Observability: packets per route.
     pub per_route: Vec<u64>,
 }
@@ -68,8 +67,7 @@ impl MultipathRoute {
                 rng::stream(master_seed, &format!("{label}.fwd")),
                 rng::stream(master_seed, &format!("{label}.rev")),
             ],
-            pending: HashMap::new(),
-            next_token: 0,
+            pending: TokenStore::new(),
             per_route: vec![0; n],
         }
     }
@@ -111,14 +109,12 @@ impl Device for MultipathRoute {
         assert!(dir < 2, "multipath pipe has two external ports");
         let r = self.route_for(dir, &pkt);
         self.per_route[r] += 1;
-        let token = self.next_token;
-        self.next_token += 1;
-        self.pending.insert(token, (other(port), pkt));
+        let token = self.pending.insert((other(port), pkt));
         ctx.set_timer(self.delays[r], token);
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
-        if let Some((port, pkt)) = self.pending.remove(&token) {
+        if let Some((port, pkt)) = self.pending.remove(token) {
             ctx.transmit(port, pkt);
         }
     }

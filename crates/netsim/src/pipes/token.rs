@@ -1,0 +1,72 @@
+//! [`TokenStore`]: the in-flight parcel table shared by the delaying
+//! pipes (jitter, striping, multipath, wireless ARQ).
+//!
+//! Every such pipe hands a packet to the engine's timer machinery and
+//! needs it back when the timer fires, keyed by a monotonically
+//! allocated token. A `HashMap<u64, _>` hashes on both sides of every
+//! packet; this store exploits the monotone tokens instead — a ring of
+//! slots offset by the oldest live token — so insert and remove are
+//! plain index arithmetic. Removal order is arbitrary (jitter and ARQ
+//! retries complete out of order); drained front slots advance the
+//! base, keeping memory bounded by the in-flight window.
+
+use std::collections::VecDeque;
+
+/// O(1) token-indexed store for in-flight items.
+pub(crate) struct TokenStore<T> {
+    base: u64,
+    slots: VecDeque<Option<T>>,
+}
+
+impl<T> TokenStore<T> {
+    pub fn new() -> Self {
+        TokenStore {
+            base: 0,
+            slots: VecDeque::new(),
+        }
+    }
+
+    /// Store `item`, returning its token (monotonically increasing).
+    pub fn insert(&mut self, item: T) -> u64 {
+        let token = self.base + self.slots.len() as u64;
+        self.slots.push_back(Some(item));
+        token
+    }
+
+    /// Remove and return the item for `token`, if still present.
+    pub fn remove(&mut self, token: u64) -> Option<T> {
+        let idx = token.checked_sub(self.base)? as usize;
+        let item = self.slots.get_mut(idx)?.take();
+        // Advance the base over drained front slots so the ring stays
+        // as short as the in-flight window.
+        while matches!(self.slots.front(), Some(None)) {
+            self.slots.pop_front();
+            self.base += 1;
+        }
+        item
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_and_out_of_order_removal() {
+        let mut s = TokenStore::new();
+        let a = s.insert("a");
+        let b = s.insert("b");
+        let c = s.insert("c");
+        assert_eq!((a, b, c), (0, 1, 2));
+        assert_eq!(s.remove(b), Some("b"));
+        assert_eq!(s.remove(b), None, "double remove");
+        assert_eq!(s.remove(a), Some("a"));
+        assert_eq!(s.slots.len(), 1, "front drained after a+b removed");
+        assert_eq!(s.remove(c), Some("c"));
+        assert!(s.slots.is_empty());
+        let d = s.insert("d");
+        assert_eq!(d, 3, "tokens never repeat");
+        assert_eq!(s.remove(99), None);
+        assert_eq!(s.remove(0), None, "stale token below base");
+    }
+}

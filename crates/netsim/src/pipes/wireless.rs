@@ -13,12 +13,12 @@
 //! latency), which is the ablation partner.
 
 use super::other;
+use super::token::TokenStore;
 use crate::engine::{Ctx, Device, Port};
 use crate::rng;
 use rand::rngs::SmallRng;
 use rand::Rng;
 use reorder_wire::Packet;
-use std::collections::HashMap;
 use std::time::Duration;
 
 /// Wireless ARQ link configuration.
@@ -53,8 +53,7 @@ pub struct WirelessArq {
     rngs: [SmallRng; 2],
     /// In stalling mode: time each direction's transmitter frees up.
     release_floor: [crate::time::SimTime; 2],
-    pending: HashMap<u64, (Port, Packet)>,
-    next_token: u64,
+    pending: TokenStore<(Port, Packet)>,
     /// Observability: retransmitted frames per direction.
     pub retries: [u64; 2],
     /// Observability: frames dropped after max retries.
@@ -72,8 +71,7 @@ impl WirelessArq {
                 rng::stream(master_seed, &format!("{label}.rev")),
             ],
             release_floor: [crate::time::SimTime::ZERO; 2],
-            pending: HashMap::new(),
-            next_token: 0,
+            pending: TokenStore::new(),
             retries: [0; 2],
             drops: [0; 2],
         }
@@ -117,15 +115,13 @@ impl Device for WirelessArq {
         if deliver_at == now {
             ctx.transmit(other(port), pkt);
         } else {
-            let token = self.next_token;
-            self.next_token += 1;
-            self.pending.insert(token, (other(port), pkt));
+            let token = self.pending.insert((other(port), pkt));
             ctx.set_timer(deliver_at.since(now), token);
         }
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
-        if let Some((port, pkt)) = self.pending.remove(&token) {
+        if let Some((port, pkt)) = self.pending.remove(token) {
             ctx.transmit(port, pkt);
         }
     }

@@ -109,6 +109,14 @@ impl fmt::Display for SimTime {
 /// delay spreads the leading edges apart.
 pub fn serialization_delay(bytes: usize, bits_per_sec: u64) -> Duration {
     assert!(bits_per_sec > 0, "link rate must be positive");
+    // Fast path in u64 when `bits * 1e9` cannot overflow (packets up to
+    // ~2.3 GB — everything real). The quotient is identical to the u128
+    // form; the wide division is a libcall and this sits on the
+    // per-arrival hot path of the striping pipe's workload replay.
+    if bytes <= (u64::MAX / 8_000_000_000) as usize {
+        let ns = bytes as u64 * 8_000_000_000 / bits_per_sec;
+        return Duration::from_nanos(ns);
+    }
     let bits = bytes as u128 * 8;
     let ns = bits * 1_000_000_000 / bits_per_sec as u128;
     Duration::from_nanos(ns as u64)

@@ -62,6 +62,43 @@ fn bench_campaign(c: &mut Criterion) {
             black_box(run_campaign(&cfg, None::<&mut Vec<u8>>).unwrap())
         })
     });
+    // The simulator-pool ablation: identical output (asserted by the
+    // determinism suite), the pool only recycles allocations.
+    for (label, pool) in [("pool_on", true), ("pool_off", false)] {
+        g.bench_function(BenchmarkId::new("full_pipeline_32_hosts", label), |b| {
+            b.iter(|| {
+                let cfg = CampaignConfig {
+                    hosts,
+                    workers: 1,
+                    seed: 0xBE,
+                    samples: 8,
+                    technique: TechniqueChoice::Auto,
+                    pool,
+                    ..CampaignConfig::default()
+                };
+                black_box(run_campaign(&cfg, None::<&mut Vec<u8>>).unwrap())
+            })
+        });
+    }
+    g.finish();
+
+    // The headline scale point the perf trajectory tracks (see
+    // `exp_scale` / BENCH_campaign.json): the full default campaign —
+    // auto protocol, 15 samples, transfer baseline — at 1000 hosts.
+    let mut g = c.benchmark_group("scale");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(1000));
+    g.bench_function("auto_1000_hosts_full", |b| {
+        b.iter(|| {
+            let cfg = CampaignConfig {
+                hosts: 1000,
+                workers: 1,
+                seed: 1,
+                ..CampaignConfig::default()
+            };
+            black_box(run_campaign(&cfg, None::<&mut Vec<u8>>).unwrap())
+        })
+    });
     g.finish();
 
     let mut g = c.benchmark_group("population");

@@ -11,10 +11,11 @@
 //!   worker counts.
 
 use crate::aggregate::CampaignSummary;
-use crate::pipeline::{survey_host, HostJob, HostReport, TechniqueChoice};
+use crate::pipeline::{survey_host_pooled, HostJob, HostReport, TechniqueChoice};
 use crate::population::PopulationModel;
 use crate::report::jsonl_line;
 use crate::scheduler::{run_sharded, PoolStats};
+use reorder_core::scenario::ScenarioPool;
 use reorder_netsim::rng as simrng;
 use std::io::{self, Write};
 
@@ -44,6 +45,10 @@ pub struct CampaignConfig {
     /// [`crate::pipeline`]. On by default; off reproduces the PR 2
     /// per-phase protocol.
     pub reuse: bool,
+    /// Recycle each worker's simulator allocations across hosts via a
+    /// [`ScenarioPool`]. On by default; `--no-pool` is the ablation
+    /// arm (byte-identical output, fresh construction per host).
+    pub pool: bool,
     /// Run only shard `k` of `n` (1-based `Some((k, n))`): the
     /// contiguous host-id slice [`shard_bounds`] computes. `None` runs
     /// everything. Concatenating the JSONL outputs of shards 1..=n (in
@@ -85,6 +90,7 @@ impl Default for CampaignConfig {
             amenability_only: false,
             gaps_us: Vec::new(),
             reuse: true,
+            pool: true,
             shard: None,
             model: PopulationModel::default(),
         }
@@ -100,6 +106,10 @@ pub struct CampaignOutcome {
     pub summary: CampaignSummary,
     /// Scheduler counters (workers used, cross-shard steals).
     pub stats: PoolStats,
+    /// Total simulator events dispatched across every host — with wall
+    /// time this gives the events/sec figure `exp_scale` records in
+    /// `BENCH_campaign.json`.
+    pub events: u64,
 }
 
 /// Run a campaign. When `jsonl` is given, one JSON line per host is
@@ -130,19 +140,31 @@ pub fn run_campaign<W: Write>(
 
     let mut reports: Vec<HostReport> = Vec::with_capacity(hi - lo);
     let mut summary = CampaignSummary::default();
+    let mut events = 0u64;
     let mut sink = jsonl;
     let mut sink_err: Option<io::Error> = None;
 
+    let job = &job;
     let stats = run_sharded(
         hi - lo,
         cfg.workers,
-        |i| {
-            let id = (lo + i) as u64;
-            let spec = cfg.model.host(id, cfg.seed);
-            let host_seed = simrng::derive_seed(cfg.seed, &format!("survey.run.{id}"));
-            survey_host(id, &spec, host_seed, &job)
+        || {
+            // One simulator pool per worker: recycled allocations,
+            // never shared results (simulations are !Send anyway).
+            let mut pool = if cfg.pool {
+                ScenarioPool::new()
+            } else {
+                ScenarioPool::disabled()
+            };
+            move |i| {
+                let id = (lo + i) as u64;
+                let spec = cfg.model.host(id, cfg.seed);
+                let host_seed = simrng::derive_seed(cfg.seed, &format!("survey.run.{id}"));
+                survey_host_pooled(id, &spec, host_seed, job, &mut pool)
+            }
         },
         |_, report| {
+            events += report.events;
             if let Some(w) = sink.as_mut() {
                 let line = jsonl_line(&report);
                 if let Err(e) = w
@@ -168,6 +190,7 @@ pub fn run_campaign<W: Write>(
             reports,
             summary,
             stats,
+            events,
         }),
     }
 }

@@ -28,7 +28,7 @@
 
 use reorder_core::metrics::ReorderEstimate;
 use reorder_core::sample::TestConfig;
-use reorder_core::scenario::{self, HostSpec};
+use reorder_core::scenario::{HostSpec, ScenarioPool};
 use reorder_core::techniques::{IpidVerdict, TestKind};
 use reorder_core::{technique, Measurement, Measurer, ProbeError, Session};
 use reorder_netsim::rng as simrng;
@@ -145,6 +145,9 @@ pub struct HostReport {
     /// False when every round failed (the host is effectively
     /// unreachable to the chosen technique).
     pub reachable: bool,
+    /// Simulator events this host's pipeline dispatched (perf
+    /// observability; not part of the JSONL report).
+    pub events: u64,
 }
 
 fn empty_report(id: u64, spec: &HostSpec, verdict: Option<IpidVerdict>) -> HostReport {
@@ -159,6 +162,7 @@ fn empty_report(id: u64, spec: &HostSpec, verdict: Option<IpidVerdict>) -> HostR
         gap_points: Vec::new(),
         failures: 0,
         reachable: verdict.is_some(),
+        events: 0,
     }
 }
 
@@ -237,7 +241,18 @@ fn run_protocol(
     let mut chosen: Option<TestKind> = None;
     for round in 0..job.rounds {
         let kind = chosen.unwrap_or(primary);
-        let mut outcome = measure(kind, &Phase::Round(round), cfg);
+        // Transfer-primary rounds on a reusing session ask the server
+        // for a persistent connection, so rounds 2..n ride round 1's
+        // clamped-MSS handshake (`--no-reuse` restores per-round
+        // handshakes). Single transfers stay packet-identical — the
+        // keep-alive request itself changes the bytes on the wire, so
+        // it is only worth asking for when a reuse can follow.
+        let round_cfg = cfg.with_keep_alive(
+            job.reuse
+                && kind == TestKind::DataTransfer
+                && (job.rounds > 1 || !job.gaps_us.is_empty()),
+        );
+        let mut outcome = measure(kind, &Phase::Round(round), round_cfg);
         if outcome.is_err()
             && chosen.is_none()
             && job.technique == TechniqueChoice::Auto
@@ -270,7 +285,9 @@ fn run_protocol(
     // sweep point would burn a full doomed measurement attempt per gap.
     if let Some(kind) = chosen {
         for &gap in &job.gaps_us {
-            let gcfg = cfg.with_gap(Duration::from_micros(gap));
+            let gcfg = cfg
+                .with_gap(Duration::from_micros(gap))
+                .with_keep_alive(job.reuse && kind == TestKind::DataTransfer);
             if let Ok(m) = measure(kind, &Phase::Gap(gap), gcfg) {
                 report.gap_points.push((gap, m.fwd));
             }
@@ -279,49 +296,94 @@ fn run_protocol(
     report
 }
 
+/// Run the full pipeline against host `id` with a throwaway
+/// [`ScenarioPool`] — the convenience form of [`survey_host_pooled`]
+/// for tests and one-off callers.
+pub fn survey_host(id: u64, spec: &HostSpec, host_seed: u64, job: &HostJob) -> HostReport {
+    survey_host_pooled(id, spec, host_seed, job, &mut ScenarioPool::new())
+}
+
 /// Run the full pipeline against host `id`. `host_seed` must already be
 /// host-specific (the engine derives it from the master seed and id);
 /// every scenario in here derives a labeled child seed from it, so the
-/// pipeline is a pure function of `(spec, host_seed, job)`.
-pub fn survey_host(id: u64, spec: &HostSpec, host_seed: u64, job: &HostJob) -> HostReport {
-    if job.reuse {
-        survey_host_reusing(id, spec, host_seed, job)
+/// pipeline is a pure function of `(spec, host_seed, job)` — the pool
+/// only recycles allocations (campaign workers keep one each) and
+/// never changes a result, which the pooled-vs-fresh determinism
+/// tests assert byte for byte.
+pub fn survey_host_pooled(
+    id: u64,
+    spec: &HostSpec,
+    host_seed: u64,
+    job: &HostJob,
+    pool: &mut ScenarioPool,
+) -> HostReport {
+    let events_before = pool.events_absorbed();
+    let mut report = if job.reuse {
+        survey_host_reusing(id, spec, host_seed, job, pool)
     } else {
-        survey_host_fresh(id, spec, host_seed, job)
-    }
+        survey_host_fresh(id, spec, host_seed, job, pool)
+    };
+    report.events = pool.events_absorbed() - events_before;
+    report
 }
 
 /// One scenario, one connection-caching session, every phase on it:
 /// the amenability probe's two connections and the validation verdict
 /// stay on the session for the measurement rounds, baseline and gap
 /// sweep.
-fn survey_host_reusing(id: u64, spec: &HostSpec, host_seed: u64, job: &HostJob) -> HostReport {
-    let mut sc = scenario::internet_host(spec, simrng::derive_seed(host_seed, "session"));
-    let mut session = Session::new(&mut sc.prober, sc.target, 80).with_reuse(true);
-    let verdict = technique(TestKind::DualConnection, TestConfig::samples(5))
-        .probe_amenability(&mut session)
-        .ok();
-    run_protocol(id, spec, verdict, job, |kind, _phase, cfg| {
-        Measurer::new(kind).with_config(cfg).run(&mut session)
-    })
+fn survey_host_reusing(
+    id: u64,
+    spec: &HostSpec,
+    host_seed: u64,
+    job: &HostJob,
+    pool: &mut ScenarioPool,
+) -> HostReport {
+    let mut sc = pool.internet_host(spec, simrng::derive_seed(host_seed, "session"));
+    let report = {
+        let mut session = Session::new(&mut sc.prober, sc.target, 80).with_reuse(true);
+        let verdict = technique(TestKind::DualConnection, TestConfig::samples(5))
+            .probe_amenability(&mut session)
+            .ok();
+        run_protocol(id, spec, verdict, job, |kind, _phase, cfg| {
+            Measurer::new(kind).with_config(cfg).run(&mut session)
+        })
+        // Session drops here: cached connections close politely while
+        // the scenario is still alive, so teardown traffic is counted.
+    };
+    pool.recycle(sc);
+    report
 }
 
 /// The PR 2 protocol: a fresh scenario (own labeled seed, own
 /// handshakes) per phase. Kept selectable for apples-to-apples
 /// comparisons — the campaign bench runs both modes.
-fn survey_host_fresh(id: u64, spec: &HostSpec, host_seed: u64, job: &HostJob) -> HostReport {
+fn survey_host_fresh(
+    id: u64,
+    spec: &HostSpec,
+    host_seed: u64,
+    job: &HostJob,
+    pool: &mut ScenarioPool,
+) -> HostReport {
     let verdict = {
-        let mut sc = scenario::internet_host(spec, simrng::derive_seed(host_seed, "amenability"));
-        let mut session = Session::new(&mut sc.prober, sc.target, 80);
-        technique(TestKind::DualConnection, TestConfig::samples(5))
-            .probe_amenability(&mut session)
-            .ok()
+        let mut sc = pool.internet_host(spec, simrng::derive_seed(host_seed, "amenability"));
+        let verdict = {
+            let mut session = Session::new(&mut sc.prober, sc.target, 80);
+            technique(TestKind::DualConnection, TestConfig::samples(5))
+                .probe_amenability(&mut session)
+                .ok()
+        };
+        pool.recycle(sc);
+        verdict
     };
     run_protocol(id, spec, verdict, job, |kind, phase, cfg| {
         let seed = simrng::derive_seed(host_seed, &phase.seed_label());
-        let mut sc = scenario::internet_host(spec, seed);
-        let mut session = Session::new(&mut sc.prober, sc.target, 80);
-        Measurer::new(kind).with_config(cfg).run(&mut session)
+        let mut sc = pool.internet_host(spec, seed);
+        let outcome = {
+            let mut session = Session::new(&mut sc.prober, sc.target, 80);
+            Measurer::new(kind).with_config(cfg).run(&mut session)
+        };
+        pool.recycle(sc);
+        outcome
     })
 }
 
@@ -489,6 +551,36 @@ mod tests {
             // Same sample budget in both modes.
             assert_eq!(reusing.fwd.total, fresh.fwd.total);
         }
+    }
+
+    #[test]
+    fn transfer_rounds_keep_alive_under_reuse() {
+        // Transfer-primary, multi-round: with reuse the keep-alive
+        // connection spares rounds 2..n their handshakes (and the
+        // server its FIN/handshake churn), which shows up as strictly
+        // fewer simulator events for the same sample budget. With
+        // --no-reuse the per-round handshakes come back.
+        let spec = HostSpec::clean("ka", HostPersonality::freebsd4());
+        let job = |reuse| HostJob {
+            technique: TechniqueChoice::Fixed(TestKind::DataTransfer),
+            rounds: 3,
+            baseline: false,
+            reuse,
+            ..HostJob::default()
+        };
+        let reusing = survey_host(0, &spec, 4242, &job(true));
+        let fresh = survey_host(0, &spec, 4242, &job(false));
+        assert_eq!(reusing.technique, "transfer");
+        assert_eq!(fresh.technique, "transfer");
+        assert_eq!(reusing.failures, 0);
+        // Same protocol outcome, same per-round sample counts.
+        assert_eq!(reusing.rev.total, fresh.rev.total);
+        assert!(
+            reusing.events < fresh.events,
+            "keep-alive must remove wire traffic: {} vs {}",
+            reusing.events,
+            fresh.events
+        );
     }
 
     #[test]

@@ -110,6 +110,7 @@ mod tests {
             gap_points: vec![(0, ReorderEstimate::new(2, 10))],
             failures: 0,
             reachable: true,
+            events: 0,
         }
     }
 

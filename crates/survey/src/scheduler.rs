@@ -44,17 +44,32 @@ pub fn resolve_workers(requested: usize) -> usize {
     }
 }
 
-/// Run `jobs` indices through `job` on `workers` threads and feed every
-/// result to `consume` **in index order**. `job` must be a pure
-/// function of the index for the order-independence guarantee to mean
-/// anything. `consume` may return [`ControlFlow::Break`] to abort the
-/// campaign early (e.g. a failed sink): queued shards are drained, the
-/// workers stop, and remaining results are discarded. Returns pool
-/// counters.
-pub fn run_sharded<R, J, C>(jobs: usize, workers: usize, job: J, mut consume: C) -> PoolStats
+/// Run `jobs` indices through per-worker job closures on `workers`
+/// threads and feed every result to `consume` **in index order**.
+///
+/// `mk_worker` runs once on each worker thread and returns that
+/// worker's job closure — the hook for per-worker mutable state such
+/// as a recycled [`reorder_core::scenario::ScenarioPool`] (simulations
+/// are `!Send`, so worker-local state must be born on the worker).
+/// The closure must stay a pure function of the index — state may
+/// only affect *how fast* a result is produced, never *what* it is —
+/// or the order-independence guarantee means nothing; the campaign
+/// determinism suite asserts this by comparing pooled, fresh, sharded
+/// and differently-parallel runs byte for byte.
+///
+/// `consume` may return [`ControlFlow::Break`] to abort the campaign
+/// early (e.g. a failed sink): queued shards are drained, the workers
+/// stop, and remaining results are discarded. Returns pool counters.
+pub fn run_sharded<R, F, J, C>(
+    jobs: usize,
+    workers: usize,
+    mk_worker: F,
+    mut consume: C,
+) -> PoolStats
 where
     R: Send,
-    J: Fn(usize) -> R + Sync,
+    F: Fn() -> J + Sync,
+    J: FnMut(usize) -> R,
     C: FnMut(usize, R) -> ControlFlow<()>,
 {
     let workers = resolve_workers(workers).min(jobs.max(1));
@@ -72,8 +87,9 @@ where
             let tx = tx.clone();
             let shards = &shards;
             let steals = &steals;
-            let job = &job;
+            let mk_worker = &mk_worker;
             s.spawn(move || {
+                let mut job = mk_worker();
                 loop {
                     // Own shard first (front), then steal (back).
                     let mut next = shards[w].lock().expect("shard poisoned").pop_front();
@@ -149,7 +165,7 @@ mod tests {
             let stats = run_sharded(
                 100,
                 workers,
-                |i| i * 3,
+                || |i| i * 3,
                 |i, r| {
                     seen.push((i, r));
                     ControlFlow::Continue(())
@@ -167,13 +183,13 @@ mod tests {
 
     #[test]
     fn zero_jobs_is_fine() {
-        let stats = run_sharded(0, 4, |i| i, |_, _: usize| panic!("no jobs to consume"));
+        let stats = run_sharded(0, 4, || |i| i, |_, _: usize| panic!("no jobs to consume"));
         assert_eq!(stats.steals, 0);
     }
 
     #[test]
     fn workers_cap_at_job_count() {
-        let stats = run_sharded(2, 16, |i| i, |_, _| ControlFlow::Continue(()));
+        let stats = run_sharded(2, 16, || |i| i, |_, _| ControlFlow::Continue(()));
         assert_eq!(stats.workers, 2);
     }
 
@@ -184,11 +200,13 @@ mod tests {
         let stats = run_sharded(
             40,
             2,
-            |i| {
-                if i % 2 == 0 {
-                    std::thread::sleep(Duration::from_millis(2));
+            || {
+                |i| {
+                    if i % 2 == 0 {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    i
                 }
-                i
             },
             |_, _| ControlFlow::Continue(()),
         );
@@ -205,9 +223,11 @@ mod tests {
         let stats = run_sharded(
             500,
             4,
-            |i| {
-                std::thread::sleep(Duration::from_micros(200));
-                i
+            || {
+                |i| {
+                    std::thread::sleep(Duration::from_micros(200));
+                    i
+                }
             },
             |_, _| {
                 consumed += 1;

@@ -100,3 +100,58 @@ fn reuse_off_is_deterministic_across_workers_too() {
     };
     assert_eq!(run(1), run(6));
 }
+
+/// The simulator pool only recycles allocations: a campaign on pooled
+/// (reset) simulators is byte-identical to fresh construction, across
+/// worker counts and shard splits — `Simulator::reset`'s contract,
+/// asserted end to end.
+#[test]
+fn pooled_and_fresh_construction_are_byte_identical() {
+    let run = |pool: bool, workers: usize, shard: Option<(usize, usize)>| -> Vec<u8> {
+        let cfg = CampaignConfig {
+            hosts: 60,
+            workers,
+            seed: 12,
+            samples: 4,
+            pool,
+            shard,
+            ..CampaignConfig::default()
+        };
+        let mut buf = Vec::new();
+        run_campaign(&cfg, Some(&mut buf)).expect("in-memory sink");
+        buf
+    };
+    let fresh = run(false, 1, None);
+    // Pooled, serial: every host after a worker's first rides a reset
+    // simulator.
+    assert_eq!(run(true, 1, None), fresh, "pooled vs fresh (1 worker)");
+    // Pooled, parallel: each worker recycles its own pool.
+    assert_eq!(run(true, 4, None), fresh, "pooled vs fresh (4 workers)");
+    // Pooled, sharded: concatenated pooled shards equal the fresh whole.
+    let mut stitched = Vec::new();
+    for k in 1..=3 {
+        stitched.extend(run(true, 2, Some((k, 3))));
+    }
+    assert_eq!(stitched, fresh, "pooled shards vs fresh whole");
+}
+
+/// The reuse-off (per-phase scenario) protocol builds many scenarios
+/// per host — the pool's busiest recycling pattern must be inert too.
+#[test]
+fn pooled_matches_fresh_under_reuse_off() {
+    let run = |pool: bool| -> Vec<u8> {
+        let cfg = CampaignConfig {
+            hosts: 24,
+            workers: 2,
+            seed: 8,
+            samples: 3,
+            reuse: false,
+            pool,
+            ..CampaignConfig::default()
+        };
+        let mut buf = Vec::new();
+        run_campaign(&cfg, Some(&mut buf)).expect("in-memory sink");
+        buf
+    };
+    assert_eq!(run(true), run(false));
+}

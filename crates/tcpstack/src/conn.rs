@@ -21,7 +21,7 @@
 
 use crate::personality::{DelayedAck, SecondSynBehavior};
 use crate::reasm::ReasmQueue;
-use reorder_wire::{SeqNum, TcpFlags, TcpHeader, TcpOption};
+use reorder_wire::{Bytes, SeqNum, TcpFlags, TcpHeader, TcpOption};
 
 /// A segment the connection wants transmitted (addresses/IPID are the
 /// host's job).
@@ -35,8 +35,9 @@ pub struct SegmentOut {
     pub flags: TcpFlags,
     /// Advertised window.
     pub window: u16,
-    /// Payload.
-    pub data: Vec<u8>,
+    /// Payload — a zero-copy slice of the connection's object buffer
+    /// for data segments, empty otherwise.
+    pub data: Bytes,
     /// Options.
     pub options: Vec<TcpOption>,
 }
@@ -86,12 +87,22 @@ pub struct ConnCfg {
 /// Object transmission progress.
 #[derive(Debug, Clone)]
 struct TxObject {
-    /// Total bytes.
-    total: usize,
+    /// The whole object, built once; segments are zero-copy slices.
+    body: Bytes,
     /// Bytes handed to the network so far.
     sent: usize,
     /// FIN transmitted after the body.
     fin_sent: bool,
+    /// The request asked for a persistent connection: once the object
+    /// is fully acknowledged, stay `Established` and await the next
+    /// `GET` instead of closing.
+    keep_alive: bool,
+}
+
+/// The deterministic, self-describing object body: byte `k` is
+/// `k % 251`, so traces can verify content.
+fn object_body(total: usize) -> Bytes {
+    Bytes::from((0..total).map(|k| (k % 251) as u8).collect::<Vec<u8>>())
 }
 
 /// A server-side TCP connection.
@@ -160,7 +171,7 @@ impl Conn {
             ack: conn.rcv_nxt,
             flags: TcpFlags::SYN | TcpFlags::ACK,
             window: conn.cfg.window,
-            data: Vec::new(),
+            data: Bytes::new(),
             options: vec![TcpOption::Mss(conn.cfg.mss)],
         };
         conn.snd_una = conn.iss;
@@ -184,7 +195,7 @@ impl Conn {
             ack: self.rcv_nxt,
             flags: TcpFlags::ACK,
             window: self.cfg.window,
-            data: Vec::new(),
+            data: Bytes::new(),
             options,
         });
         self.pending_ack_segs = 0;
@@ -199,7 +210,7 @@ impl Conn {
             ack: to_seq + 1,
             flags: TcpFlags::RST | TcpFlags::ACK,
             window: 0,
-            data: Vec::new(),
+            data: Bytes::new(),
             options: Vec::new(),
         });
     }
@@ -213,7 +224,7 @@ impl Conn {
                 ack: self.rcv_nxt,
                 flags: TcpFlags::SYN | TcpFlags::ACK,
                 window: self.cfg.window,
-                data: Vec::new(),
+                data: Bytes::new(),
                 options: vec![TcpOption::Mss(self.cfg.mss)],
             });
             return;
@@ -238,7 +249,7 @@ impl Conn {
                         ack: self.rcv_nxt,
                         flags: TcpFlags::ACK,
                         window: self.cfg.window,
-                        data: Vec::new(),
+                        data: Bytes::new(),
                         options: Vec::new(),
                     });
                 }
@@ -309,7 +320,7 @@ impl Conn {
                     ack: self.rcv_nxt,
                     flags: TcpFlags::FIN | TcpFlags::ACK,
                     window: self.cfg.window,
-                    data: Vec::new(),
+                    data: Bytes::new(),
                     options: Vec::new(),
                 };
                 self.snd_nxt = self.snd_nxt + 1;
@@ -394,10 +405,18 @@ impl Conn {
         self.req_buf.extend_from_slice(bytes);
         let complete = self.req_buf.windows(4).any(|w| w == b"\r\n\r\n");
         if complete && self.req_buf.starts_with(b"GET ") {
+            // HTTP/1.0-style opt-in persistence: only a request that
+            // carries the keep-alive token changes the close behavior,
+            // so plain fetches stay packet-identical.
+            let keep_alive = self
+                .req_buf
+                .windows(10)
+                .any(|w| w.eq_ignore_ascii_case(b"keep-alive"));
             self.tx = Some(TxObject {
-                total: self.cfg.object_size,
+                body: object_body(self.cfg.object_size),
                 sent: 0,
                 fin_sent: false,
+                keep_alive,
             });
             self.req_buf.clear();
             self.pump_tx(out);
@@ -422,9 +441,28 @@ impl Conn {
                 return;
             }
             let room = wnd - in_flight;
-            let remaining = tx.total - tx.sent;
+            let remaining = tx.body.len() - tx.sent;
             if remaining == 0 {
                 if !tx.fin_sent && in_flight == 0 {
+                    if tx.keep_alive {
+                        // Object fully acked on a persistent
+                        // connection: become idle and await the next
+                        // GET. An empty PSH|ACK tells the client the
+                        // object is complete — its positive signal to
+                        // reuse the connection (a stalled transfer
+                        // never produces one, so the client can tell
+                        // "done" from "tail loss").
+                        self.tx = None;
+                        out.push(SegmentOut {
+                            seq: self.snd_nxt,
+                            ack: self.rcv_nxt,
+                            flags: TcpFlags::ACK | TcpFlags::PSH,
+                            window: self.cfg.window,
+                            data: Bytes::new(),
+                            options: Vec::new(),
+                        });
+                        return;
+                    }
                     // Object fully acked: close gracefully.
                     tx.fin_sent = true;
                     out.push(SegmentOut {
@@ -432,7 +470,7 @@ impl Conn {
                         ack: self.rcv_nxt,
                         flags: TcpFlags::FIN | TcpFlags::ACK,
                         window: self.cfg.window,
-                        data: Vec::new(),
+                        data: Bytes::new(),
                         options: Vec::new(),
                     });
                     self.snd_nxt = self.snd_nxt + 1;
@@ -444,10 +482,7 @@ impl Conn {
             if n == 0 {
                 return;
             }
-            // Deterministic, self-describing payload: byte k of the
-            // object is (k % 251), so traces can verify content.
-            let base = tx.sent;
-            let data: Vec<u8> = (0..n).map(|k| ((base + k) % 251) as u8).collect();
+            let data = tx.body.slice(tx.sent..tx.sent + n);
             out.push(SegmentOut {
                 seq: self.snd_nxt,
                 ack: self.rcv_nxt,
@@ -800,6 +835,75 @@ mod tests {
     }
 
     #[test]
+    fn keep_alive_request_leaves_connection_open_for_next_get() {
+        let mut c = established(ConnCfg {
+            object_size: 100,
+            ..cfg()
+        });
+        let mut out = Vec::new();
+        let req = b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n";
+        c.on_segment(
+            &seg(1, 7001, TcpFlags::ACK | TcpFlags::PSH, 65535),
+            req,
+            &mut out,
+        );
+        let served: usize = out.iter().map(|s| s.data.len()).sum();
+        assert_eq!(served, 100);
+        let last = c.snd_nxt;
+        out.clear();
+        // ACK the whole object: no FIN, the connection idles.
+        let next_seq = 1 + req.len() as u32;
+        c.on_segment(
+            &seg(next_seq, last.raw(), TcpFlags::ACK, 65535),
+            &[],
+            &mut out,
+        );
+        assert!(
+            out.iter().all(|s| !s.flags.contains(TcpFlags::FIN)),
+            "keep-alive must suppress the FIN"
+        );
+        // The completion marker: exactly one empty PSH|ACK, the
+        // client's positive signal that the object was fully served.
+        let markers = out
+            .iter()
+            .filter(|s| s.flags.contains(TcpFlags::PSH | TcpFlags::ACK) && s.data.is_empty())
+            .count();
+        assert_eq!(markers, 1, "completion marker after full ACK");
+        assert_eq!(c.state, ConnState::Established);
+        out.clear();
+        // A second GET on the same connection serves again.
+        c.on_segment(
+            &seg(next_seq, last.raw(), TcpFlags::ACK | TcpFlags::PSH, 65535),
+            req,
+            &mut out,
+        );
+        let served2: usize = out.iter().map(|s| s.data.len()).sum();
+        assert_eq!(served2, 100, "second object on the same connection");
+    }
+
+    #[test]
+    fn plain_request_still_closes_after_object() {
+        // The keep-alive token is opt-in: a 1.0 GET without it keeps
+        // the historical FIN-after-object behavior packet for packet.
+        let mut c = established(ConnCfg {
+            object_size: 100,
+            ..cfg()
+        });
+        let mut out = Vec::new();
+        let req = b"GET / HTTP/1.0\r\n\r\n";
+        c.on_segment(
+            &seg(1, 7001, TcpFlags::ACK | TcpFlags::PSH, 65535),
+            req,
+            &mut out,
+        );
+        let last = c.snd_nxt;
+        out.clear();
+        c.on_segment(&seg(19, last.raw(), TcpFlags::ACK, 65535), &[], &mut out);
+        assert!(out.iter().any(|s| s.flags.contains(TcpFlags::FIN)));
+        assert_eq!(c.state, ConnState::LastAck);
+    }
+
+    #[test]
     fn non_http_bytes_do_not_trigger_object() {
         let mut c = established(ConnCfg {
             object_size: 100,
@@ -826,7 +930,7 @@ mod tests {
             req,
             &mut out,
         );
-        let body: Vec<u8> = out.iter().flat_map(|s| s.data.clone()).collect();
+        let body: Vec<u8> = out.iter().flat_map(|s| s.data.to_vec()).collect();
         assert_eq!(body.len(), 300);
         for (k, b) in body.iter().enumerate() {
             assert_eq!(*b, (k % 251) as u8);

@@ -13,8 +13,9 @@ use crate::personality::HostPersonality;
 use rand::rngs::SmallRng;
 use rand::Rng;
 use reorder_netsim::{rng, Ctx, Device, Port};
-use reorder_wire::{Ipv4Addr4, Ipv4Header, Packet, Payload, Protocol, SeqNum, TcpFlags, TcpHeader};
-use std::collections::HashMap;
+use reorder_wire::{
+    Bytes, Ipv4Addr4, Ipv4Header, Packet, Payload, Protocol, SeqNum, TcpFlags, TcpHeader,
+};
 
 /// Configuration of a simulated host.
 #[derive(Debug, Clone)]
@@ -60,7 +61,9 @@ struct LocalFlow {
 pub struct TcpHost {
     cfg: TcpHostConfig,
     conns: Vec<Option<Conn>>,
-    by_flow: HashMap<LocalFlow, usize>,
+    // Linear flow demux: a host holds a handful of live connections,
+    // and this lookup runs per received segment.
+    by_flow: Vec<(LocalFlow, usize)>,
     ipid: IpidGenerator,
     rng: SmallRng,
     iss_counter: u32,
@@ -82,7 +85,7 @@ impl TcpHost {
             ipid: IpidGenerator::new(cfg.personality.ipid, ipid_rng),
             cfg,
             conns: Vec::new(),
-            by_flow: HashMap::new(),
+            by_flow: Vec::new(),
             rng,
             iss_counter,
             rx_segments: 0,
@@ -176,7 +179,7 @@ impl TcpHost {
             ack: tcp.seq + data_len + u32::from(tcp.flags.contains(TcpFlags::SYN)),
             flags: TcpFlags::RST | TcpFlags::ACK,
             window: 0,
-            data: Vec::new(),
+            data: Bytes::new(),
             options: Vec::new(),
         };
         self.send_segment(ctx, pkt.ip.src, (tcp.dst_port, tcp.src_port), seg);
@@ -193,14 +196,18 @@ impl TcpHost {
         let mut out: Vec<SegmentOut> = Vec::new();
         let mut timer = TimerReq::None;
         let mut timer_token = 0u64;
-        if let Some(&idx) = self.by_flow.get(&flow) {
+        if let Some(idx) = self
+            .by_flow
+            .iter()
+            .find_map(|&(f, i)| (f == flow).then_some(i))
+        {
             let mut conn = self.conns[idx].take().expect("indexed conn");
             timer = conn.on_segment(tcp, pkt.tcp_data().unwrap_or(&[]), &mut out);
             timer_token = (idx as u64) << 32 | (conn.ack_timer_gen & 0xffff_ffff);
             let closed = conn.state == ConnState::Closed;
             self.conns[idx] = Some(conn);
             if closed {
-                self.by_flow.remove(&flow);
+                self.by_flow.retain(|&(f, _)| f != flow);
                 self.conns[idx] = None;
             }
         } else if tcp.flags.contains(TcpFlags::SYN)
@@ -214,7 +221,7 @@ impl TcpHost {
                 self.conns.len() - 1
             });
             self.conns[idx] = Some(conn);
-            self.by_flow.insert(flow, idx);
+            self.by_flow.push((flow, idx));
         } else if self.cfg.personality.rst_closed_ports {
             self.send_rst_for(ctx, pkt);
             return;
@@ -278,8 +285,8 @@ impl Device for TcpHost {
         let flow = self
             .by_flow
             .iter()
-            .find(|&(_, &i)| i == idx)
-            .map(|(f, _)| *f);
+            .find(|&&(_, i)| i == idx)
+            .map(|&(f, _)| f);
         if let Some(flow) = flow {
             for seg in out {
                 self.send_segment(ctx, flow.remote, (flow.local_port, flow.remote_port), seg);

@@ -4,13 +4,14 @@ use crate::personality::IpidScheme;
 use rand::rngs::SmallRng;
 use rand::Rng;
 use reorder_wire::{IpId, Ipv4Addr4};
-use std::collections::HashMap;
 
 /// Produces the IPID for each packet a host transmits.
 pub struct IpidGenerator {
     scheme: IpidScheme,
     global: u16,
-    per_dest: HashMap<Ipv4Addr4, u16>,
+    // Linear: a simulated host talks to a handful of destinations,
+    // and this sits on the per-packet send path.
+    per_dest: Vec<(Ipv4Addr4, u16)>,
     rng: SmallRng,
 }
 
@@ -22,7 +23,7 @@ impl IpidGenerator {
         IpidGenerator {
             scheme,
             global: initial,
-            per_dest: HashMap::new(),
+            per_dest: Vec::new(),
             rng,
         }
     }
@@ -39,7 +40,15 @@ impl IpidGenerator {
                 IpId(self.global.swap_bytes())
             }
             IpidScheme::PerDestination { step } => {
-                let ctr = self.per_dest.entry(dst).or_insert_with(|| self.rng.gen());
+                let idx = match self.per_dest.iter().position(|(d, _)| *d == dst) {
+                    Some(i) => i,
+                    None => {
+                        let init = self.rng.gen();
+                        self.per_dest.push((dst, init));
+                        self.per_dest.len() - 1
+                    }
+                };
+                let ctr = &mut self.per_dest[idx].1;
                 *ctr = ctr.wrapping_add(step);
                 IpId(*ctr)
             }

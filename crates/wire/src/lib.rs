@@ -48,6 +48,7 @@ pub mod packet;
 pub mod seq;
 pub mod tcp;
 
+pub use bytes::Bytes;
 pub use error::WireError;
 pub use icmp::{IcmpHeader, IcmpType};
 pub use ipid::IpId;

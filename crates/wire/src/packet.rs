@@ -7,27 +7,32 @@ use crate::ipid::IpId;
 use crate::ipv4::{Ipv4Addr4, Ipv4Header, Protocol};
 use crate::seq::SeqNum;
 use crate::tcp::{TcpFlags, TcpHeader, TcpOption};
-use bytes::BytesMut;
+use bytes::{Bytes, BytesMut};
 
 /// Typed payload of an IPv4 datagram.
+///
+/// Payload bytes are [`Bytes`]: cloning a packet (per-hop forwarding,
+/// trace taps, capture snapshots) bumps a refcount instead of copying
+/// the application data, so the simulation hot path stays
+/// allocation-free per hop.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Payload {
     /// A TCP segment: header plus application data.
     Tcp {
         /// TCP header (checksummed against the enclosing IP addresses).
         header: TcpHeader,
-        /// Application payload bytes.
-        data: Vec<u8>,
+        /// Application payload bytes (shared, copy-on-construct).
+        data: Bytes,
     },
     /// An ICMP message: header plus echo payload.
     Icmp {
         /// ICMP header.
         header: IcmpHeader,
-        /// Payload bytes.
-        data: Vec<u8>,
+        /// Payload bytes (shared, copy-on-construct).
+        data: Bytes,
     },
     /// An uninterpreted payload (unsupported protocol).
-    Raw(Vec<u8>),
+    Raw(Bytes),
 }
 
 /// A complete IPv4 datagram.
@@ -142,18 +147,24 @@ impl Packet {
 
     /// Encode to wire bytes with all checksums valid.
     pub fn encode(&self) -> Vec<u8> {
-        let mut body = BytesMut::new();
-        match &self.payload {
-            Payload::Tcp { header, data } => {
-                header.encode(self.ip.src, self.ip.dst, data, &mut body)
-            }
-            Payload::Icmp { header, data } => header.encode(data, &mut body),
-            Payload::Raw(data) => body.extend_from_slice(data),
-        }
-        let mut out = BytesMut::with_capacity(self.ip.header_len() + body.len());
-        self.ip.encode(body.len(), &mut out);
-        out.extend_from_slice(&body);
+        let mut out = BytesMut::with_capacity(self.wire_len());
+        self.encode_into(&mut out);
         out.to_vec()
+    }
+
+    /// Encode into (the end of) `out`, reserving exactly the wire
+    /// length up front. Callers on a hot path reuse one cleared buffer
+    /// across packets instead of allocating per encode.
+    pub fn encode_into(&self, out: &mut BytesMut) {
+        out.reserve(self.wire_len());
+        // Every sub-encoder appends relative to the buffer's current
+        // end, so header and payload share the single reservation.
+        self.ip.encode(self.wire_len() - self.ip.header_len(), out);
+        match &self.payload {
+            Payload::Tcp { header, data } => header.encode(self.ip.src, self.ip.dst, data, out),
+            Payload::Icmp { header, data } => header.encode(data, out),
+            Payload::Raw(data) => out.extend_from_slice(data),
+        }
     }
 
     /// Decode from wire bytes, verifying every checksum.
@@ -165,17 +176,17 @@ impl Packet {
                 let (header, off) = TcpHeader::decode(body, ip.src, ip.dst)?;
                 Payload::Tcp {
                     header,
-                    data: body[off..].to_vec(),
+                    data: Bytes::copy_from_slice(&body[off..]),
                 }
             }
             Protocol::Icmp => {
                 let (header, off) = IcmpHeader::decode(body)?;
                 Payload::Icmp {
                     header,
-                    data: body[off..].to_vec(),
+                    data: Bytes::copy_from_slice(&body[off..]),
                 }
             }
-            Protocol::Other(_) => Payload::Raw(body.to_vec()),
+            Protocol::Other(_) => Payload::Raw(Bytes::copy_from_slice(body)),
         };
         Ok(Packet { ip, payload })
     }
@@ -199,7 +210,7 @@ pub struct PacketBuilder {
     ip: Ipv4Header,
     tcp: Option<TcpHeader>,
     icmp: Option<IcmpHeader>,
-    data: Vec<u8>,
+    data: Bytes,
 }
 
 impl PacketBuilder {
@@ -212,7 +223,7 @@ impl PacketBuilder {
             },
             tcp: Some(TcpHeader::default()),
             icmp: None,
-            data: Vec::new(),
+            data: Bytes::new(),
         }
     }
 
@@ -225,7 +236,7 @@ impl PacketBuilder {
             },
             tcp: None,
             icmp: Some(IcmpHeader::echo_request(ident, seq)),
-            data: Vec::new(),
+            data: Bytes::new(),
         }
     }
 
@@ -300,9 +311,11 @@ impl PacketBuilder {
         self
     }
 
-    /// Set the payload bytes.
-    pub fn data(mut self, data: Vec<u8>) -> Self {
-        self.data = data;
+    /// Set the payload bytes. Accepts owned bytes or an existing
+    /// [`Bytes`] view (the latter is zero-copy, so a sender can slice
+    /// one shared object buffer into many packets).
+    pub fn data(mut self, data: impl Into<Bytes>) -> Self {
+        self.data = data.into();
         self
     }
 
@@ -317,7 +330,10 @@ impl PacketBuilder {
         };
         let base = self.ip.header_len() + tcp_hlen + icmp_hlen + self.data.len();
         if target > base {
-            self.data.extend(std::iter::repeat_n(0, target - base));
+            let mut grown = Vec::with_capacity(self.data.len() + target - base);
+            grown.extend_from_slice(&self.data);
+            grown.extend(std::iter::repeat_n(0, target - base));
+            self.data = Bytes::from(grown);
         }
         self
     }

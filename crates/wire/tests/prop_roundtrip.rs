@@ -86,7 +86,7 @@ proptest! {
     ) {
         let pkt = Packet {
             ip,
-            payload: reorder_wire::Payload::Tcp { header: tcp, data },
+            payload: reorder_wire::Payload::Tcp { header: tcp, data: data.into() },
         };
         let bytes = pkt.encode();
         prop_assert_eq!(bytes.len(), pkt.wire_len());
@@ -135,7 +135,7 @@ proptest! {
     ) {
         let pkt = Packet {
             ip,
-            payload: reorder_wire::Payload::Tcp { header: tcp, data },
+            payload: reorder_wire::Payload::Tcp { header: tcp, data: data.into() },
         };
         let mut bytes = pkt.encode();
         let nbits = bytes.len() * 8;

@@ -32,6 +32,7 @@ fn main() {
             gap: Duration::from_micros(gap),
             pace: Duration::from_millis(2),
             reply_timeout: Duration::from_millis(900),
+            ..TestConfig::default()
         };
         let mut session = Session::new(&mut sc.prober, sc.target, 80);
         let est = Measurer::new(TestKind::DualConnection)

@@ -95,6 +95,7 @@ fn gap_profile_decays() {
             gap: Duration::from_micros(gap_us),
             pace: Duration::from_millis(2),
             reply_timeout: Duration::from_millis(900),
+            ..TestConfig::default()
         };
         let run = execute(TestKind::DualConnection, &mut sc, cfg).expect("run");
         profile.push(

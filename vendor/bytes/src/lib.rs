@@ -1,11 +1,187 @@
 //! Offline stand-in for the subset of the `bytes` 1.x API this
-//! workspace uses: [`BytesMut`] as a growable byte buffer plus the
-//! [`BufMut`] write helpers. Backed by a plain `Vec<u8>`; the
-//! zero-copy machinery of the real crate is out of scope here.
+//! workspace uses: [`Bytes`] as a cheaply-clonable shared byte buffer,
+//! [`BytesMut`] as a growable byte buffer, plus the [`BufMut`] write
+//! helpers. [`Bytes`] is `Arc`-backed (clone and `slice` are refcount
+//! bumps, never copies); [`BytesMut`] is a plain `Vec<u8>`.
 
 #![forbid(unsafe_code)]
 
-use core::ops::{Deref, DerefMut};
+use core::ops::{Deref, DerefMut, RangeBounds};
+use std::sync::{Arc, OnceLock};
+
+/// A cheaply clonable, immutable slice of shared bytes.
+///
+/// Cloning (and [`Bytes::slice`]) bumps a refcount instead of copying
+/// the payload — the property the packet simulator relies on to make
+/// per-hop forwarding and trace taps allocation-free. Constructing a
+/// `Bytes` from owned or borrowed bytes copies once; every view after
+/// that is zero-copy.
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+fn empty_arc() -> Arc<[u8]> {
+    static EMPTY: OnceLock<Arc<[u8]>> = OnceLock::new();
+    EMPTY.get_or_init(|| Arc::from(&[][..])).clone()
+}
+
+impl Bytes {
+    /// New empty buffer. Does not allocate (a process-wide empty
+    /// allocation is shared), so empty payloads stay free to build.
+    pub fn new() -> Self {
+        Bytes {
+            data: empty_arc(),
+            start: 0,
+            end: 0,
+        }
+    }
+
+    /// Copy `src` into a fresh shared buffer.
+    pub fn copy_from_slice(src: &[u8]) -> Self {
+        if src.is_empty() {
+            return Bytes::new();
+        }
+        Bytes {
+            end: src.len(),
+            data: Arc::from(src),
+            start: 0,
+        }
+    }
+
+    /// Number of bytes in this view.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when this view holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// A zero-copy sub-view of this buffer. Panics when `range` is out
+    /// of bounds, matching slice indexing.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        use core::ops::Bound;
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(
+            lo <= hi && hi <= self.len(),
+            "slice {lo}..{hi} out of bounds of {}",
+            self.len()
+        );
+        Bytes {
+            data: self.data.clone(),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl core::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        core::fmt::Debug::fmt(&**self, f)
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        **self == **other
+    }
+}
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        **self == *other
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for Bytes {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        **self == other[..]
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        **self == other[..]
+    }
+}
+
+impl core::hash::Hash for Bytes {
+    fn hash<H: core::hash::Hasher>(&self, state: &mut H) {
+        (**self).hash(state);
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        if v.is_empty() {
+            return Bytes::new();
+        }
+        Bytes {
+            end: v.len(),
+            data: Arc::from(v),
+            start: 0,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(src: &[u8]) -> Bytes {
+        Bytes::copy_from_slice(src)
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for Bytes {
+    fn from(src: &[u8; N]) -> Bytes {
+        Bytes::copy_from_slice(src)
+    }
+}
+
+impl From<BytesMut> for Bytes {
+    fn from(b: BytesMut) -> Bytes {
+        Bytes::from(b.inner)
+    }
+}
+
+impl<'a> IntoIterator for &'a Bytes {
+    type Item = &'a u8;
+    type IntoIter = core::slice::Iter<'a, u8>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
 
 /// Growable byte buffer, API-compatible with `bytes::BytesMut` for the
 /// operations this workspace performs.
@@ -159,7 +335,44 @@ impl BufMut for Vec<u8> {
 
 #[cfg(test)]
 mod tests {
-    use super::{BufMut, BytesMut};
+    use super::{BufMut, Bytes, BytesMut};
+
+    #[test]
+    fn bytes_clone_shares_storage() {
+        let b = Bytes::from(vec![1u8, 2, 3, 4, 5]);
+        let c = b.clone();
+        assert_eq!(b, c);
+        assert_eq!(std::sync::Arc::strong_count(&b.data), 2);
+        let s = b.slice(1..4);
+        assert_eq!(&s[..], &[2, 3, 4]);
+        assert_eq!(std::sync::Arc::strong_count(&b.data), 3, "slice is a view");
+        assert_eq!(s.slice(..2), Bytes::from(&[2u8, 3]));
+    }
+
+    #[test]
+    fn bytes_empty_never_allocates_fresh() {
+        let a = Bytes::new();
+        let b = Bytes::from(Vec::new());
+        assert!(a.is_empty() && b.is_empty());
+        assert_eq!(a, b);
+        assert!(std::sync::Arc::ptr_eq(&a.data, &b.data));
+    }
+
+    #[test]
+    fn bytes_compares_with_raw_forms() {
+        let b = Bytes::copy_from_slice(b"abc");
+        assert_eq!(b, *b"abc");
+        assert_eq!(b, b"abc".to_vec());
+        assert_eq!(b[..], b"abc"[..]);
+        assert_eq!(b.len(), 3);
+        assert_eq!(format!("{b:?}"), "[97, 98, 99]");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn bytes_slice_out_of_bounds_panics() {
+        Bytes::from(vec![1u8, 2]).slice(0..3);
+    }
 
     #[test]
     fn writes_match_endianness() {
