@@ -2,7 +2,9 @@
 //! encode/decode, checksums, the event engine, and the pipes.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use reorder_netsim::pipes::{CrossTraffic, DummynetConfig, DummynetReorder, StripingLink};
+use reorder_netsim::pipes::{
+    CrossTraffic, CrossTrafficModel, DummynetConfig, DummynetReorder, StripingLink,
+};
 use reorder_netsim::{Ctx, Device, LinkParams, Port, SimTime, Simulator};
 use reorder_wire::{checksum, Ipv4Addr4, Packet, PacketBuilder, TcpFlags, TcpOption};
 use std::cell::RefCell;
@@ -107,28 +109,33 @@ fn bench_engine(c: &mut Criterion) {
             assert_eq!(*count.borrow(), 500);
         })
     });
-    g.bench_function("striping_500_packets", |b| {
-        b.iter(|| {
-            let mut sim = Simulator::new(1);
-            let count = Rc::new(RefCell::new(0usize));
-            let src = sim.add_node(Box::new(Sink(Rc::new(RefCell::new(0)))));
-            let pipe = sim.add_node(Box::new(StripingLink::new(
-                2,
-                1_000_000_000,
-                Some(CrossTraffic::backbone()),
-                1,
-                "b",
-            )));
-            let dst = sim.add_node(Box::new(Sink(count.clone())));
-            sim.connect(src, Port(0), pipe, Port(0), LinkParams::lan());
-            sim.connect(pipe, Port(1), dst, Port(0), LinkParams::lan());
-            for i in 0..500u16 {
-                sim.transmit_from(src, Port(0), probe_packet(i, 0));
-            }
-            sim.run_until_idle(SimTime::from_secs(10));
-            assert_eq!(*count.borrow(), 500);
-        })
-    });
+    // The v1/v2 cross-traffic pair: replay is the per-arrival Poisson
+    // reconstruction, stationary the O(1) workload draw.
+    for model in [CrossTrafficModel::Replay, CrossTrafficModel::Stationary] {
+        g.bench_function(format!("striping_{}_500_packets", model.label()), |b| {
+            b.iter(|| {
+                let mut sim = Simulator::new(1);
+                let count = Rc::new(RefCell::new(0usize));
+                let src = sim.add_node(Box::new(Sink(Rc::new(RefCell::new(0)))));
+                let pipe = sim.add_node(Box::new(StripingLink::new(
+                    2,
+                    1_000_000_000,
+                    Some(CrossTraffic::backbone()),
+                    model,
+                    1,
+                    "b",
+                )));
+                let dst = sim.add_node(Box::new(Sink(count.clone())));
+                sim.connect(src, Port(0), pipe, Port(0), LinkParams::lan());
+                sim.connect(pipe, Port(1), dst, Port(0), LinkParams::lan());
+                for i in 0..500u16 {
+                    sim.transmit_from(src, Port(0), probe_packet(i, 0));
+                }
+                sim.run_until_idle(SimTime::from_secs(10));
+                assert_eq!(*count.borrow(), 500);
+            })
+        });
+    }
     g.finish();
 }
 

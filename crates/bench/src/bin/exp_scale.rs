@@ -4,15 +4,25 @@
 //! the result as `BENCH_campaign.json` so this and future PRs leave a
 //! perf trajectory instead of anecdotes.
 //!
+//! Since campaign format v2 every scale runs *per simulation version*:
+//! the full pipeline under `--sim-version` 1 (replayed cross traffic)
+//! and 2 (stationary O(1) draws), so the sampler redesign's win is a
+//! recorded ratio, not a claim. The ablation arms run under v2 (the
+//! default format).
+//!
 //! * `REORDER_SCALE=quick|std|full` picks 120 / 1000 / 5000 hosts.
+//! * `REORDER_BENCH_RUNS=<n>` takes the min-of-n wall time per config
+//!   (default 1; the checked-in `BENCH_campaign.json` is blessed with
+//!   10 so the recorded trajectory is noise-floored).
 //! * `REORDER_BENCH_OUT` overrides the output path.
 //! * `REORDER_BENCH_FLOOR=<path>` enables the regression gate: the
-//!   floor file holds the worst acceptable `full` hosts/sec for the
-//!   current scale; the run fails (exit 1) when throughput lands more
-//!   than 30% below it. CI runs the quick scale with the checked-in
-//!   `BENCH_floor.json`.
+//!   floor file holds the worst acceptable full-pipeline hosts/sec per
+//!   version for the current scale; the run fails (exit 1) when either
+//!   version's throughput lands more than 30% below its floor. CI runs
+//!   the quick scale with the checked-in `BENCH_floor.json`.
 
 use reorder_bench::{rule, Scale};
+use reorder_core::scenario::SimVersion;
 use reorder_survey::{run_campaign, CampaignConfig, CampaignOutcome};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -26,18 +36,24 @@ struct Row {
     events_per_sec: f64,
 }
 
-fn measure(name: &'static str, cfg: &CampaignConfig) -> Row {
-    let started = Instant::now();
-    let out: CampaignOutcome = run_campaign(cfg, None::<&mut Vec<u8>>).expect("no sink, no error");
-    let wall = started.elapsed().as_secs_f64();
-    assert_eq!(out.reports.len(), cfg.hosts);
+fn measure(name: &'static str, cfg: &CampaignConfig, runs: usize) -> Row {
+    let mut wall = f64::INFINITY;
+    let mut events = 0;
+    for _ in 0..runs.max(1) {
+        let started = Instant::now();
+        let out: CampaignOutcome =
+            run_campaign(cfg, None::<&mut Vec<u8>>).expect("no sink, no error");
+        wall = wall.min(started.elapsed().as_secs_f64());
+        assert_eq!(out.reports.len(), cfg.hosts);
+        events = out.events;
+    }
     Row {
         name,
         hosts: cfg.hosts,
         wall_s: wall,
         hosts_per_sec: cfg.hosts as f64 / wall,
-        events: out.events,
-        events_per_sec: out.events as f64 / wall,
+        events,
+        events_per_sec: events as f64 / wall,
     }
 }
 
@@ -68,60 +84,106 @@ fn main() {
     let hosts = scale.pick(5000, 1000, 120);
     let seed = 1u64;
     let workers = 1usize; // fixed for comparable trajectories
+    let runs: usize = std::env::var("REORDER_BENCH_RUNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
     let base = CampaignConfig {
         hosts,
         workers,
         seed,
         ..CampaignConfig::default()
     };
+    let v1 = CampaignConfig {
+        sim_version: SimVersion::V1,
+        ..base.clone()
+    };
 
-    println!("exp_scale: campaign throughput at {hosts} hosts (seed {seed}, 1 worker)");
+    println!(
+        "exp_scale: campaign throughput at {hosts} hosts (seed {seed}, 1 worker, \
+         min-of-{runs}, v1 = replay, v2 = stationary)"
+    );
     rule(84);
 
     let rows = [
-        measure("full", &base.clone()),
+        measure("v1_full", &v1.clone(), runs),
         measure(
-            "no_baseline",
+            "v1_no_baseline",
+            &CampaignConfig {
+                baseline: false,
+                ..v1.clone()
+            },
+            runs,
+        ),
+        measure(
+            "v1_amenability_only",
+            &CampaignConfig {
+                amenability_only: true,
+                ..v1
+            },
+            runs,
+        ),
+        measure("v2_full", &base.clone(), runs),
+        measure(
+            "v2_no_baseline",
             &CampaignConfig {
                 baseline: false,
                 ..base.clone()
             },
+            runs,
         ),
         measure(
-            "amenability_only",
+            "v2_amenability_only",
             &CampaignConfig {
                 amenability_only: true,
                 ..base.clone()
             },
+            runs,
         ),
-        // Ablations: each turns one hot-path contribution off.
+        // Ablations (v2): each turns one hot-path contribution off.
         measure(
-            "full_no_pool",
+            "v2_full_no_pool",
             &CampaignConfig {
                 pool: false,
                 ..base.clone()
             },
+            runs,
         ),
         measure(
-            "full_no_reuse",
+            "v2_full_no_reuse",
             &CampaignConfig {
                 reuse: false,
                 ..base
             },
+            runs,
         ),
     ];
 
     println!(
-        "{:<18} {:>7} {:>9} {:>11} {:>12} {:>13}",
+        "{:<20} {:>7} {:>9} {:>11} {:>12} {:>13}",
         "config", "hosts", "wall s", "hosts/sec", "events", "events/sec"
     );
     rule(84);
     for r in &rows {
         println!(
-            "{:<18} {:>7} {:>9.3} {:>11.0} {:>12} {:>13.0}",
+            "{:<20} {:>7} {:>9.3} {:>11.0} {:>12} {:>13.0}",
             r.name, r.hosts, r.wall_s, r.hosts_per_sec, r.events, r.events_per_sec
         );
     }
+    // Looked up by name: the speedup ratio and the floor gate must not
+    // silently follow a reordering of the rows array.
+    let row = |name: &str| {
+        rows.iter()
+            .find(|r| r.name == name)
+            .unwrap_or_else(|| panic!("missing bench row `{name}`"))
+    };
+    let v1_full = row("v1_full");
+    let v2_full = row("v2_full");
+    let speedup = v1_full.wall_s / v2_full.wall_s;
+    println!(
+        "v2/v1 full-pipeline wall ratio: {:.2}x faster (v1 {:.3}s -> v2 {:.3}s)",
+        speedup, v1_full.wall_s, v2_full.wall_s
+    );
     let rss = peak_rss_kb();
     if let Some(kb) = rss {
         println!("peak RSS (VmHWM proxy): {} kB", kb);
@@ -131,7 +193,7 @@ fn main() {
     let mut json = String::new();
     let _ = write!(
         json,
-        "{{\n  \"scale\": \"{}\",\n  \"hosts\": {hosts},\n  \"seed\": {seed},\n  \"workers\": {workers},\n  \"peak_rss_kb\": {},\n  \"configs\": {{\n",
+        "{{\n  \"scale\": \"{}\",\n  \"hosts\": {hosts},\n  \"seed\": {seed},\n  \"workers\": {workers},\n  \"peak_rss_kb\": {},\n  \"v2_speedup_over_v1\": {speedup:.2},\n  \"configs\": {{\n",
         scale.pick("full", "std", "quick"),
         rss.map_or("null".to_string(), |k| k.to_string()),
     );
@@ -153,21 +215,34 @@ fn main() {
     std::fs::write(&out_path, &json).expect("writing BENCH_campaign.json");
     println!("wrote {out_path}");
 
-    // Regression gate against the checked-in floor, when asked.
+    // Regression gate against the checked-in floor, when asked. Both
+    // versions are gated: v2 so the stationary sampler's win cannot
+    // silently erode, v1 so the frozen replay path stays usable.
     if let Ok(floor_path) = std::env::var("REORDER_BENCH_FLOOR") {
         let floor_text = std::fs::read_to_string(&floor_path)
             .unwrap_or_else(|e| panic!("reading floor {floor_path}: {e}"));
-        let key = format!("{}_full_hosts_per_sec", scale.pick("full", "std", "quick"));
-        let floor = json_number(&floor_text, &key)
-            .unwrap_or_else(|| panic!("floor {floor_path} missing `{key}`"));
-        let got = rows[0].hosts_per_sec;
-        let limit = floor * 0.7;
-        println!("floor gate: {got:.0} hosts/sec vs floor {floor:.0} (fail under {limit:.0})");
-        if got < limit {
-            eprintln!(
-                "FAIL: full-pipeline throughput regressed more than 30% below the floor \
-                 ({got:.0} < {limit:.0} hosts/sec; floor {floor:.0} from {floor_path})"
+        let mut failed = false;
+        for (version, row) in [("v1", v1_full), ("v2", v2_full)] {
+            let key = format!(
+                "{}_{version}_full_hosts_per_sec",
+                scale.pick("full", "std", "quick")
             );
+            let floor = json_number(&floor_text, &key)
+                .unwrap_or_else(|| panic!("floor {floor_path} missing `{key}`"));
+            let got = row.hosts_per_sec;
+            let limit = floor * 0.7;
+            println!(
+                "floor gate [{version}]: {got:.0} hosts/sec vs floor {floor:.0} (fail under {limit:.0})"
+            );
+            if got < limit {
+                eprintln!(
+                    "FAIL: {version} full-pipeline throughput regressed more than 30% below \
+                     the floor ({got:.0} < {limit:.0} hosts/sec; floor {floor:.0} from {floor_path})"
+                );
+                failed = true;
+            }
+        }
+        if failed {
             std::process::exit(1);
         }
     }

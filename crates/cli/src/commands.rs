@@ -3,7 +3,7 @@
 use crate::args::{ArgError, Args};
 use reorder_core::metrics::ReorderEstimate;
 use reorder_core::sample::TestConfig;
-use reorder_core::scenario;
+use reorder_core::scenario::{self, SimVersion};
 use reorder_core::validate::validate_run;
 use reorder_core::{technique, Measurer, Session, TestKind};
 use reorder_netsim::pipes::{ArqConfig, CrossTraffic};
@@ -101,14 +101,30 @@ pub fn measure(args: &Args) -> Result<(), ArgError> {
     }
 }
 
+/// Parse `--sim-version` (campaign format v1 = replayed cross
+/// traffic, v2 = stationary O(1) draws; default 2).
+fn parse_sim_version(args: &Args) -> Result<SimVersion, ArgError> {
+    args.get("sim-version")
+        .map_or(Ok(SimVersion::default()), |v| v.parse().map_err(ArgError))
+}
+
 /// `reorder profile`.
 pub fn profile(args: &Args) -> Result<(), ArgError> {
-    args.expect_only(&["mechanism", "samples", "max-us", "step-us", "seed", "csv"])?;
+    args.expect_only(&[
+        "mechanism",
+        "samples",
+        "max-us",
+        "step-us",
+        "seed",
+        "sim-version",
+        "csv",
+    ])?;
     let mechanism = args.get("mechanism").unwrap_or("striping").to_string();
     let samples: usize = args.get_or("samples", 300)?;
     let max_us: u64 = args.get_or("max-us", 300)?;
     let step_us: u64 = args.get_or("step-us", 25)?.max(1);
     let seed: u64 = args.get_or("seed", 1)?;
+    let sim_version = parse_sim_version(args)?;
     let csv = args.switch("csv");
 
     if csv {
@@ -120,7 +136,14 @@ pub fn profile(args: &Args) -> Result<(), ArgError> {
     let mut gap = 0;
     while gap <= max_us {
         let mut sc = match mechanism.as_str() {
-            "striping" => scenario::striped_path(CrossTraffic::backbone(), seed + gap),
+            "striping" => scenario::striped_path_with(
+                2,
+                1_000_000_000,
+                CrossTraffic::backbone(),
+                HostPersonality::freebsd4(),
+                sim_version,
+                seed + gap,
+            ),
             "multipath" => scenario::multipath_path(Duration::from_micros(80), seed + gap),
             "arq" => scenario::wireless_path(ArqConfig::default(), seed + gap),
             other => return Err(ArgError(format!("unknown mechanism `{other}`"))),
@@ -199,6 +222,7 @@ pub fn survey(args: &Args) -> Result<(), ArgError> {
         "amenability-only",
         "per-host",
         "shard",
+        "sim-version",
     ])?;
     let cfg = CampaignConfig {
         hosts: args.get_or("hosts", 50)?,
@@ -213,6 +237,7 @@ pub fn survey(args: &Args) -> Result<(), ArgError> {
         pool: !args.switch("no-pool"),
         amenability_only: args.switch("amenability-only"),
         gaps_us: parse_gaps(args.get("gaps-us").unwrap_or(""))?,
+        sim_version: parse_sim_version(args)?,
         shard: args.get("shard").map(parse_shard).transpose()?,
         model: Default::default(),
     };
@@ -431,6 +456,26 @@ mod tests {
             "measure --technique single-rev --samples 10 --seed 3",
         ))
         .expect("single-rev");
+    }
+
+    #[test]
+    fn survey_accepts_both_sim_versions_and_rejects_others() {
+        survey(&parse("survey --hosts 3 --samples 3 --sim-version 1")).expect("v1");
+        survey(&parse("survey --hosts 3 --samples 3 --sim-version 2")).expect("v2");
+        let e = survey(&parse("survey --hosts 3 --sim-version 7")).unwrap_err();
+        assert!(e.0.contains("unknown sim version `7`"), "{e}");
+        assert!(e.0.contains("1, 2"), "error must list accepted set: {e}");
+    }
+
+    #[test]
+    fn profile_accepts_sim_version() {
+        for v in ["1", "2"] {
+            profile(&parse(&format!(
+                "profile --mechanism striping --samples 20 --max-us 25 --step-us 25 \
+                 --sim-version {v}"
+            )))
+            .expect("profile with sim version");
+        }
     }
 
     #[test]

@@ -35,6 +35,8 @@ COMMANDS:
                --samples N          per point (default 300)
                --max-us N           sweep upper bound (default 300)
                --step-us N          sweep step (default 25)
+               --sim-version 1|2    cross-traffic model for striping paths
+                                    (1 = replayed, 2 = stationary; default 2)
                --seed S
   survey     sharded measurement campaign over a generated host
              population (§IV-B scaled up; deterministic in --seed,
@@ -56,6 +58,10 @@ COMMANDS:
                --no-reuse           fresh scenario + handshakes per phase
                                     (per-host connection reuse is the default)
                --amenability-only   verdicts only, no measurement
+               --sim-version 1|2    campaign format: 1 = replayed cross
+                                    traffic (historical bytes), 2 = O(1)
+                                    stationary draws (default; ~2x faster);
+                                    output is byte-deterministic per version
                --seed S
   validate   measure and cross-check against the capture trace (§IV-A)
                --fwd P --rev P --samples N --seed S

@@ -7,8 +7,8 @@ use rand::rngs::SmallRng;
 use rand::Rng;
 use reorder_netsim::pipes::DummynetConfig;
 use reorder_netsim::pipes::{
-    ArqConfig, BalanceMode, CrossTraffic, DelayJitter, DummynetReorder, LoadBalancer,
-    MultipathRoute, RandomLoss, SplitMode, StripingLink, WirelessArq, DOWN, UP,
+    ArqConfig, BalanceMode, CrossTraffic, CrossTrafficModel, DelayJitter, DummynetReorder,
+    LoadBalancer, MultipathRoute, RandomLoss, SplitMode, StripingLink, WirelessArq, DOWN, UP,
 };
 use reorder_netsim::{
     rng as simrng, LinkParams, Mailbox, NodeId, Port, Simulator, Trace, TraceHandle,
@@ -16,6 +16,66 @@ use reorder_netsim::{
 use reorder_tcpstack::{HostPersonality, TcpHost, TcpHostConfig};
 use reorder_wire::Ipv4Addr4;
 use std::time::Duration;
+
+/// Simulation format version: which model generation a scenario's
+/// stochastic path elements run.
+///
+/// Campaign output is a deterministic function of the configuration,
+/// so swapping a model's RNG-draw pattern is an output break even when
+/// the statistics are preserved. Breaks therefore land as a new
+/// version behind this switch (the survey's `--sim-version` flag), and
+/// the previous version stays constructible so historical reports
+/// remain reproducible byte for byte.
+///
+/// * [`V1`](SimVersion::V1) — the striping pipe replays its Poisson
+///   cross-traffic history per arrival
+///   ([`CrossTrafficModel::Replay`]).
+/// * [`V2`](SimVersion::V2) — the striping pipe draws the backlog from
+///   the stationary M/G/1 workload distribution in O(1)
+///   ([`CrossTrafficModel::Stationary`]); statistically equivalent
+///   (same stationary law, same §IV-C decay within test tolerance) and
+///   ~2x faster on full campaigns. The default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimVersion {
+    /// Campaign format v1: exact per-arrival cross-traffic replay.
+    V1,
+    /// Campaign format v2: O(1) stationary workload draws (default).
+    #[default]
+    V2,
+}
+
+impl SimVersion {
+    /// The cross-traffic backlog model this version runs in
+    /// [`StripingLink`]s.
+    pub fn cross_traffic_model(self) -> CrossTrafficModel {
+        match self {
+            SimVersion::V1 => CrossTrafficModel::Replay,
+            SimVersion::V2 => CrossTrafficModel::Stationary,
+        }
+    }
+}
+
+impl std::fmt::Display for SimVersion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SimVersion::V1 => "1",
+            SimVersion::V2 => "2",
+        })
+    }
+}
+
+impl std::str::FromStr for SimVersion {
+    type Err = String;
+
+    /// Accepts the numerals the CLI exposes (`1`/`2`, also `v1`/`v2`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "1" | "v1" => Ok(SimVersion::V1),
+            "2" | "v2" => Ok(SimVersion::V2),
+            other => Err(format!("unknown sim version `{other}` (accepted: 1, 2)")),
+        }
+    }
+}
 
 /// Probe host address used by every scenario.
 pub const PROBE_ADDR: Ipv4Addr4 = Ipv4Addr4::new(10, 0, 0, 1);
@@ -223,17 +283,27 @@ pub fn load_balanced(
 /// The §IV-C physical-reordering path: probe — N-way striped link with
 /// Poisson cross-traffic — server. Reordering probability decays with
 /// the inter-packet gap; use with [`crate::metrics::GapProfile`].
+/// Runs the default [`SimVersion`] (v2, stationary backlog draws); use
+/// [`striped_path_with`] for v1's replay model.
 pub fn striped_path(cross: CrossTraffic, seed: u64) -> Scenario {
-    striped_path_with(2, 1_000_000_000, cross, HostPersonality::freebsd4(), seed)
+    striped_path_with(
+        2,
+        1_000_000_000,
+        cross,
+        HostPersonality::freebsd4(),
+        SimVersion::default(),
+        seed,
+    )
 }
 
-/// [`striped_path`] with explicit stripe width, per-link rate and
-/// personality.
+/// [`striped_path`] with explicit stripe width, per-link rate,
+/// personality and simulation version.
 pub fn striped_path_with(
     links: usize,
     bits_per_sec: u64,
     cross: CrossTraffic,
     personality: HostPersonality,
+    version: SimVersion,
     seed: u64,
 ) -> Scenario {
     let mut sim = Simulator::new(seed);
@@ -243,6 +313,7 @@ pub fn striped_path_with(
         links,
         bits_per_sec,
         Some(cross),
+        version.cross_traffic_model(),
         seed,
         "stripe",
     )));
@@ -382,6 +453,9 @@ pub struct HostSpec {
     pub object_size: usize,
     /// The reordering mechanism in the path.
     pub mechanism: PathMechanism,
+    /// Simulation format version: selects the cross-traffic backlog
+    /// model of striping paths (inert for the other mechanisms).
+    pub sim_version: SimVersion,
 }
 
 impl HostSpec {
@@ -399,6 +473,7 @@ impl HostSpec {
             backends: 1,
             object_size: 12 * 1024,
             mechanism: PathMechanism::Dummynet,
+            sim_version: SimVersion::default(),
         }
     }
 }
@@ -457,6 +532,7 @@ pub fn population(popular: usize, random: usize, seed: u64) -> Vec<HostSpec> {
             backends: if rng.gen_bool(0.4) { 4 } else { 1 },
             object_size: 16 * 1024,
             mechanism: PathMechanism::Dummynet,
+            sim_version: SimVersion::default(),
         });
     }
     for i in 0..random {
@@ -485,6 +561,7 @@ pub fn population(popular: usize, random: usize, seed: u64) -> Vec<HostSpec> {
                 12 * 1024
             },
             mechanism: PathMechanism::Dummynet,
+            sim_version: SimVersion::default(),
         });
     }
     specs
@@ -633,6 +710,7 @@ fn build_internet_host(mut sim: Simulator, spec: &HostSpec, taps: bool) -> Scena
             links,
             bits_per_sec,
             Some(CrossTraffic::backbone()),
+            spec.sim_version.cross_traffic_model(),
             seed,
             "stripe",
         )),

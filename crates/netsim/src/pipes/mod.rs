@@ -13,6 +13,7 @@ mod jitter;
 mod loss;
 mod multipath;
 mod ratelimit;
+mod stationary;
 mod striping;
 mod token;
 mod wireless;
@@ -24,6 +25,7 @@ pub use jitter::DelayJitter;
 pub use loss::RandomLoss;
 pub use multipath::{MultipathRoute, SplitMode};
 pub use ratelimit::{PoliceClass, RateLimiter};
+pub use stationary::{CrossTrafficModel, StationarySampler};
 pub use striping::{CrossTraffic, StripingLink};
 pub use wireless::{ArqConfig, WirelessArq};
 

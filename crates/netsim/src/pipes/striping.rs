@@ -8,15 +8,40 @@
 //! related to the inter-arrival time between the two packets."
 //!
 //! The pipe models N parallel links, each a FIFO queue draining at a
-//! fixed rate, with background cross-traffic bursts arriving as a Poisson
-//! process (an M/G/1 workload per queue, simulated exactly via lazy
-//! updates). Probe packets are assigned round-robin (worst-case
-//! per-packet striping), so two back-to-back probes land on different
-//! queues and are exchanged whenever the queue-depth imbalance exceeds
-//! their inter-arrival gap — reproducing the Fig. 7 decay from first
+//! fixed rate, with background cross-traffic arriving as a Poisson
+//! process of exponentially sized bursts (an M/G/1 workload per queue).
+//! Probe packets are assigned round-robin (worst-case per-packet
+//! striping), so two back-to-back probes land on different queues and
+//! are exchanged whenever the queue-depth imbalance exceeds their
+//! inter-arrival gap — reproducing the Fig. 7 decay from first
 //! principles.
+//!
+//! ## Two backlog models
+//!
+//! How a probe's queue backlog is produced is selected by
+//! [`CrossTrafficModel`] (see [`super::stationary`] for the theory):
+//!
+//! * **`Replay` (campaign v1)** — [`Self::lazy_update`] replays every
+//!   Poisson burst since the queue's last update, an exact workload
+//!   recursion `V(t) = max(V(s) − (t−s), 0) + arrivals`. Burst
+//!   correlation across arrivals is preserved exactly, at ~2λ·window
+//!   RNG draws per update (~2,700 per capped 100 ms window at backbone
+//!   rates — the v1 campaign hot-path wall).
+//! * **`Stationary` (campaign v2, default)** — one inverse-transform
+//!   draw from the stationary Pollaczek–Khinchine workload per
+//!   arrival: an atom `P(V=0) = 1−ρ` plus an exponential tail. O(1)
+//!   per arrival, independent across arrivals.
+//!
+//! The models share the stability contract ([`CrossTraffic`]
+//! utilization < 0.95, asserted in [`StripingLink::new`]) and the same
+//! stationary backlog law — the tests below bound the KS distance
+//! between the replay's empirical backlog distribution and the
+//! stationary sampler's, and between the two models' pair-reorder
+//! decay curves. Their RNG streams differ, so swapping models is a
+//! declared output break (the survey's `--sim-version` switch).
 
 use super::other;
+use super::stationary::{CrossTrafficModel, StationarySampler};
 use super::token::TokenStore;
 use crate::engine::{Ctx, Device, Port};
 use crate::rng;
@@ -109,6 +134,9 @@ pub struct StripingLink {
     /// used on the per-arrival replay path.
     ns_per_byte: Option<u64>,
     cross: Option<CrossTraffic>,
+    /// The O(1) stationary sampler; `Some` iff cross traffic is on and
+    /// the model is [`CrossTrafficModel::Stationary`].
+    sampler: Option<StationarySampler>,
     /// Cross-traffic arrivals older than this are ignored during lazy
     /// updates (the stationary backlog is orders of magnitude shorter).
     max_window: Duration,
@@ -119,23 +147,34 @@ pub struct StripingLink {
 }
 
 impl StripingLink {
-    /// Build an `n`-way stripe of `bits_per_sec` links.
+    /// Build an `n`-way stripe of `bits_per_sec` links whose
+    /// cross-traffic backlog is produced by `model`.
     pub fn new(
         n: usize,
         bits_per_sec: u64,
         cross: Option<CrossTraffic>,
+        model: CrossTrafficModel,
         master_seed: u64,
         label: &str,
     ) -> Self {
         assert!(n >= 1, "need at least one striped link");
         assert!(bits_per_sec > 0);
         if let Some(c) = cross {
+            // The stability contract is model-independent: both the
+            // replay recursion and the stationary draw describe the
+            // same offered load, and neither admits ρ → 1.
             let util = c.utilization(bits_per_sec);
             assert!(
                 util < 0.95,
                 "cross traffic utilization {util:.2} would make queues unstable"
             );
         }
+        let sampler = match (cross, model) {
+            (Some(c), CrossTrafficModel::Stationary) => {
+                Some(StationarySampler::new(c, bits_per_sec))
+            }
+            _ => None,
+        };
         let mk = |tag: &str| DirState {
             busy_until: vec![SimTime::ZERO; n],
             updated_at: vec![SimTime::ZERO; n],
@@ -149,6 +188,7 @@ impl StripingLink {
             ns_per_byte: crate::link::exact_ns_per_byte(bits_per_sec),
             bits_per_sec,
             cross,
+            sampler,
             max_window: Duration::from_millis(100),
             dirs: [mk("fwd"), mk("rev")],
             pending: TokenStore::new(),
@@ -156,11 +196,32 @@ impl StripingLink {
         }
     }
 
-    /// Sample a Poisson count (Knuth's method; rates here are small per
-    /// window because the window is capped).
+    /// Largest rate Knuth's method samples exactly: `exp(-lambda)`
+    /// must stay a *normal* `f64` (underflow begins at λ ≈ 708.4;
+    /// by λ ≈ 744.4 it is exactly 0.0 and the historical loop
+    /// terminated when its running product underflowed instead — a
+    /// silent bias toward k ≈ 744 whatever the true rate). Backbone
+    /// cross traffic reaches λ = 900 on a capped 100 ms window, so the
+    /// overload branch below is live, not theoretical.
+    const KNUTH_MAX_LAMBDA: f64 = 708.0;
+
+    /// Sample a Poisson count. Knuth's method (exact) for rates up to
+    /// [`Self::KNUTH_MAX_LAMBDA`]; beyond that a normal approximation
+    /// `k = max(0, round(λ + √λ·z))` — at λ > 708 the relative error
+    /// of the Gaussian limit is far below the equivalence tolerances
+    /// this module tests, while the historical underflow path was
+    /// biased low by ~17% at λ = 900.
     fn poisson(rng: &mut SmallRng, lambda: f64) -> u32 {
         if lambda <= 0.0 {
             return 0;
+        }
+        if lambda > Self::KNUTH_MAX_LAMBDA {
+            // Box–Muller from two uniforms; u1 strictly positive so
+            // ln(u1) is finite.
+            let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            let u2: f64 = rng.gen::<f64>();
+            let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            return (lambda + lambda.sqrt() * z).round().max(0.0) as u32;
         }
         let l = (-lambda).exp();
         let mut k = 0u32;
@@ -172,7 +233,15 @@ impl StripingLink {
             }
             k += 1;
             if k > 10_000 {
-                return k; // absurd-load guard; unreachable with capped windows
+                // With λ ≤ KNUTH_MAX_LAMBDA the probability of reaching
+                // here is below 2^-1000: loud in debug, and the release
+                // fallback can no longer be silently hit by overload.
+                debug_assert!(
+                    false,
+                    "Knuth poisson ran away at lambda {lambda} (bound {})",
+                    Self::KNUTH_MAX_LAMBDA
+                );
+                return k;
             }
         }
     }
@@ -235,6 +304,30 @@ impl StripingLink {
         }
         st.updated_at[q] = now;
     }
+
+    /// Bring queue `q`'s backlog up to the probe's arrival instant
+    /// under the configured [`CrossTrafficModel`].
+    ///
+    /// The stationary path draws the cross-traffic workload `V` seen
+    /// by this arrival and *lifts* the queue's busy horizon to
+    /// `now + V` when the horizon isn't already later. Probe
+    /// serialization left over from earlier arrivals (40-byte probes:
+    /// ~0.3 µs against a ~19 µs backlog tail) and not-yet-drained
+    /// previous draws keep their effect through the max, so same-queue
+    /// FIFO ordering is preserved without double-counting backlog that
+    /// the new draw already represents.
+    fn advance(&mut self, dir: usize, q: usize, now: SimTime) {
+        match self.sampler {
+            Some(sampler) => {
+                let st = &mut self.dirs[dir];
+                let busy = now + Duration::from_nanos(sampler.sample_ns(&mut st.rng));
+                if busy > st.busy_until[q] {
+                    st.busy_until[q] = busy;
+                }
+            }
+            None => self.lazy_update(dir, q, now),
+        }
+    }
 }
 
 impl Device for StripingLink {
@@ -250,7 +343,7 @@ impl Device for StripingLink {
             st.rr += 1;
             q
         };
-        self.lazy_update(dir, q, now);
+        self.advance(dir, q, now);
         let st = &mut self.dirs[dir];
         let start = st.busy_until[q].max(now);
         if start > now {
@@ -277,29 +370,44 @@ impl Device for StripingLink {
 mod tests {
     use super::super::testutil::{probe, rig, send_and_collect};
     use super::*;
+    use proptest::prelude::*;
+
+    const MODELS: [CrossTrafficModel; 2] =
+        [CrossTrafficModel::Replay, CrossTrafficModel::Stationary];
 
     #[test]
     fn single_link_no_cross_traffic_is_fifo() {
-        let pipe = StripingLink::new(1, 1_000_000_000, None, 1, "s");
-        let (mut sim, src, _, _, tap) = rig(Box::new(pipe), 1);
-        let order = send_and_collect(&mut sim, src, &tap, 100, Duration::ZERO);
-        assert_eq!(order, (0..100).collect::<Vec<u32>>());
+        for model in MODELS {
+            let pipe = StripingLink::new(1, 1_000_000_000, None, model, 1, "s");
+            let (mut sim, src, _, _, tap) = rig(Box::new(pipe), 1);
+            let order = send_and_collect(&mut sim, src, &tap, 100, Duration::ZERO);
+            assert_eq!(order, (0..100).collect::<Vec<u32>>(), "{}", model.label());
+        }
     }
 
     #[test]
     fn idle_multilink_preserves_order() {
         // With no cross traffic all queues are empty, so round-robin
         // assignment cannot reorder equal-size packets.
-        let pipe = StripingLink::new(4, 1_000_000_000, None, 1, "s");
-        let (mut sim, src, _, _, tap) = rig(Box::new(pipe), 1);
-        let order = send_and_collect(&mut sim, src, &tap, 50, Duration::ZERO);
-        assert_eq!(order, (0..50).collect::<Vec<u32>>());
+        for model in MODELS {
+            let pipe = StripingLink::new(4, 1_000_000_000, None, model, 1, "s");
+            let (mut sim, src, _, _, tap) = rig(Box::new(pipe), 1);
+            let order = send_and_collect(&mut sim, src, &tap, 50, Duration::ZERO);
+            assert_eq!(order, (0..50).collect::<Vec<u32>>(), "{}", model.label());
+        }
     }
 
     /// Measures reordering probability of a back-to-back pair at a given
     /// gap by running many independent pair trials through one pipe.
-    fn pair_reorder_rate(gap: Duration, trials: usize, seed: u64) -> f64 {
-        let pipe = StripingLink::new(2, 1_000_000_000, Some(CrossTraffic::backbone()), seed, "s");
+    fn pair_reorder_rate(model: CrossTrafficModel, gap: Duration, trials: usize, seed: u64) -> f64 {
+        let pipe = StripingLink::new(
+            2,
+            1_000_000_000,
+            Some(CrossTraffic::backbone()),
+            model,
+            seed,
+            "s",
+        );
         let (mut sim, src, _, _, tap) = rig(Box::new(pipe), seed);
         let mut reordered = 0;
         for t in 0..trials {
@@ -323,13 +431,129 @@ mod tests {
 
     #[test]
     fn reordering_decays_with_gap() {
-        let p0 = pair_reorder_rate(Duration::ZERO, 400, 11);
-        let p50 = pair_reorder_rate(Duration::from_micros(50), 400, 12);
-        let p250 = pair_reorder_rate(Duration::from_micros(250), 400, 13);
-        assert!(p0 > 0.02, "back-to-back pairs should reorder (got {p0})");
-        assert!(p0 > p50, "rate must decay with gap ({p0} vs {p50})");
-        assert!(p50 >= p250, "rate must keep decaying ({p50} vs {p250})");
-        assert!(p250 < 0.03, "large gaps should rarely reorder (got {p250})");
+        for model in MODELS {
+            let p0 = pair_reorder_rate(model, Duration::ZERO, 400, 11);
+            let p50 = pair_reorder_rate(model, Duration::from_micros(50), 400, 12);
+            let p250 = pair_reorder_rate(model, Duration::from_micros(250), 400, 13);
+            let m = model.label();
+            assert!(p0 > 0.02, "{m}: back-to-back pairs should reorder ({p0})");
+            assert!(p0 > p50, "{m}: rate must decay with gap ({p0} vs {p50})");
+            assert!(
+                p50 >= p250,
+                "{m}: rate must keep decaying ({p50} vs {p250})"
+            );
+            assert!(
+                p250 < 0.03,
+                "{m}: large gaps should rarely reorder ({p250})"
+            );
+        }
+    }
+
+    /// The tentpole's statistical-equivalence contract: swapping the
+    /// replay for the stationary draw preserves the §IV-C decay curve.
+    /// KS-style distance (the max absolute rate difference over the gap
+    /// sweep, matched seeds per gap) stays within the two-sample noise
+    /// band at 500 trials/point.
+    #[test]
+    fn decay_curves_agree_between_models() {
+        let trials = 500;
+        let mut max_diff = 0.0f64;
+        for (i, gap_us) in [0u64, 25, 50, 100, 150, 250].into_iter().enumerate() {
+            let gap = Duration::from_micros(gap_us);
+            let seed = 900 + i as u64;
+            let v1 = pair_reorder_rate(CrossTrafficModel::Replay, gap, trials, seed);
+            let v2 = pair_reorder_rate(CrossTrafficModel::Stationary, gap, trials, seed);
+            max_diff = max_diff.max((v1 - v2).abs());
+        }
+        // Two-sample binomial noise at n=500 and p~0.1 is ~2.6% at
+        // 95%; 0.05 leaves headroom without letting the curves drift.
+        assert!(
+            max_diff < 0.05,
+            "decay curves disagree: max |v1 - v2| = {max_diff}"
+        );
+    }
+
+    /// Empirical two-sample KS statistic over `u64` samples.
+    fn ks_distance(mut a: Vec<u64>, mut b: Vec<u64>) -> f64 {
+        assert!(!a.is_empty() && !b.is_empty());
+        a.sort_unstable();
+        b.sort_unstable();
+        let (mut i, mut j, mut d) = (0usize, 0usize, 0.0f64);
+        while i < a.len() && j < b.len() {
+            let x = a[i].min(b[j]);
+            while i < a.len() && a[i] <= x {
+                i += 1;
+            }
+            while j < b.len() && b[j] <= x {
+                j += 1;
+            }
+            let diff = (i as f64 / a.len() as f64 - j as f64 / b.len() as f64).abs();
+            d = d.max(diff);
+        }
+        d
+    }
+
+    /// Replay a queue's workload recursion at fixed sampling instants
+    /// and record the backlog each instant sees (no probe work is
+    /// enqueued, so this is the pure cross-traffic workload process).
+    fn replay_backlogs(
+        cross: CrossTraffic,
+        samples: usize,
+        spacing: Duration,
+        seed: u64,
+    ) -> Vec<u64> {
+        let mut pipe = StripingLink::new(
+            1,
+            1_000_000_000,
+            Some(cross),
+            CrossTrafficModel::Replay,
+            seed,
+            "ks",
+        );
+        let burn_in = 64;
+        let mut out = Vec::with_capacity(samples);
+        let mut now = SimTime::ZERO;
+        for i in 0..samples + burn_in {
+            now += spacing;
+            pipe.lazy_update(0, 0, now);
+            if i >= burn_in {
+                out.push(pipe.dirs[0].busy_until[0].since(now).as_nanos() as u64);
+            }
+        }
+        out
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        /// The satellite property: across cross-traffic parameters (at
+        /// matched utilization, by construction — both models consume
+        /// the same [`CrossTraffic`]), the stationary sampler's backlog
+        /// distribution matches the replay's empirical one within a KS
+        /// bound. Sampling instants are spaced several relaxation times
+        /// apart so the replay's samples are near-independent.
+        #[test]
+        fn stationary_backlog_matches_replay_empirically(
+            bursts_k in 3u64..10,
+            burst_bytes in 800u64..3200,
+            seed in 0u64..1000,
+        ) {
+            let cross = CrossTraffic {
+                bursts_per_sec: bursts_k as f64 * 1000.0,
+                mean_burst_bytes: burst_bytes as f64,
+            };
+            prop_assume!(cross.utilization(1_000_000_000) < 0.9);
+            let n = 3000;
+            let replay = replay_backlogs(cross, n, Duration::from_micros(400), seed);
+            let sampler = StationarySampler::new(cross, 1_000_000_000);
+            let mut rng = rng::stream(seed, "ks.stationary");
+            let stationary: Vec<u64> = (0..n).map(|_| sampler.sample_ns(&mut rng)).collect();
+            let d = ks_distance(replay, stationary);
+            // Two-sample KS 99.9% critical value at n=m=3000 is
+            // ~0.050; 0.07 adds headroom for the residual sample
+            // correlation of the replay path.
+            prop_assert!(d < 0.07, "KS distance {d} for {cross:?}");
+        }
     }
 
     #[test]
@@ -337,6 +561,11 @@ mod tests {
         let c = CrossTraffic::backbone();
         let u = c.utilization(1_000_000_000);
         assert!(u > 0.05 && u < 0.6, "tuned utilization {u} out of band");
+        // The stability contract is shared: the stationary sampler's
+        // busy probability is the same utilization number the replay's
+        // 0.95 constructor assert checks.
+        let s = StationarySampler::new(c, 1_000_000_000);
+        assert_eq!(s.rho(), u);
     }
 
     #[test]
@@ -349,6 +578,24 @@ mod tests {
                 bursts_per_sec: 1000.0,
                 mean_burst_bytes: 10_000.0,
             }),
+            CrossTrafficModel::Replay,
+            0,
+            "s",
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unstable")]
+    fn rejects_overloaded_cross_traffic_stationary() {
+        // Same 0.95 stability assert, model-independent.
+        StripingLink::new(
+            2,
+            1_000_000,
+            Some(CrossTraffic {
+                bursts_per_sec: 1000.0,
+                mean_burst_bytes: 10_000.0,
+            }),
+            CrossTrafficModel::Stationary,
             0,
             "s",
         );
@@ -356,13 +603,55 @@ mod tests {
 
     #[test]
     fn determinism() {
-        let run = |seed| {
-            let pipe =
-                StripingLink::new(2, 1_000_000_000, Some(CrossTraffic::backbone()), seed, "s");
-            let (mut sim, src, _, _, tap) = rig(Box::new(pipe), seed);
-            send_and_collect(&mut sim, src, &tap, 64, Duration::from_micros(5))
-        };
-        assert_eq!(run(21), run(21));
+        for model in MODELS {
+            let run = |seed| {
+                let pipe = StripingLink::new(
+                    2,
+                    1_000_000_000,
+                    Some(CrossTraffic::backbone()),
+                    model,
+                    seed,
+                    "s",
+                );
+                let (mut sim, src, _, _, tap) = rig(Box::new(pipe), seed);
+                send_and_collect(&mut sim, src, &tap, 64, Duration::from_micros(5))
+            };
+            assert_eq!(run(21), run(21), "{}", model.label());
+        }
+    }
+
+    #[test]
+    fn poisson_small_rates_are_knuth_exact_and_unbiased() {
+        let mut r = rng::stream(5, "poisson.small");
+        let lambda = 20.0;
+        let n = 20_000;
+        let mean = (0..n)
+            .map(|_| f64::from(StripingLink::poisson(&mut r, lambda)))
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - lambda).abs() < 0.2, "Knuth branch biased: {mean}");
+    }
+
+    #[test]
+    fn poisson_overload_branch_is_unbiased() {
+        // λ = 900 is the backbone's capped-window rate. exp(-900)
+        // underflows to 0.0, so the historical Knuth loop terminated
+        // when its product underflowed — around k ≈ 744 regardless of
+        // λ. The normal-approximation branch restores the mean.
+        let lambda = 900.0;
+        assert!(lambda > StripingLink::KNUTH_MAX_LAMBDA);
+        assert_eq!((-lambda).exp(), 0.0, "premise: termination underflows");
+        let mut r = rng::stream(5, "poisson.overload");
+        let n = 20_000;
+        let mean = (0..n)
+            .map(|_| f64::from(StripingLink::poisson(&mut r, lambda)))
+            .sum::<f64>()
+            / n as f64;
+        // Standard error is √λ/√n ≈ 0.21; the historical bias was -156.
+        assert!(
+            (mean - lambda).abs() < 1.0,
+            "overload branch biased: mean {mean}, want ~{lambda}"
+        );
     }
 
     #[test]
@@ -370,42 +659,55 @@ mod tests {
         // §IV-C: serialization delay spreads leading edges; with equal
         // leading-edge spacing, bigger packets take longer to serialize
         // and thus effectively see a larger gap at the stripe.
-        let rate_small = pair_reorder_rate(Duration::ZERO, 500, 31);
-        // Same experiment with 1500-byte packets.
-        let pipe = StripingLink::new(2, 1_000_000_000, Some(CrossTraffic::backbone()), 32, "s");
-        let (mut sim, src, _, _, tap) = rig(Box::new(pipe), 32);
-        let mut reordered = 0;
-        let trials = 500;
-        for t in 0..trials {
-            crate::capture::Trace::reset(&tap);
-            let mk = |n: u16| {
-                reorder_wire::PacketBuilder::tcp()
-                    .src(reorder_wire::Ipv4Addr4::new(10, 0, 0, 1), 1000)
-                    .dst(reorder_wire::Ipv4Addr4::new(10, 0, 0, 2), 80)
-                    .seq(u32::from(n))
-                    .flags(reorder_wire::TcpFlags::ACK)
-                    .pad_to(1500)
-                    .build()
-            };
-            sim.transmit_from(src, Port(0), mk(2 * t));
-            // Leading edges separated by the 1500B serialization time at
-            // the ingress link rate — i.e. sent back-to-back.
-            sim.run_for(serialization_delay(1500, 1_000_000_000));
-            sim.transmit_from(src, Port(0), mk(2 * t + 1));
-            sim.run_for(Duration::from_millis(20));
-            let order: Vec<u32> = tap
-                .borrow()
-                .iter()
-                .map(|r| r.pkt.tcp().unwrap().seq.raw())
-                .collect();
-            if order.len() == 2 && order[0] > order[1] {
-                reordered += 1;
+        for model in MODELS {
+            let rate_small = pair_reorder_rate(model, Duration::ZERO, 500, 31);
+            // Same experiment with 1500-byte packets.
+            let pipe = StripingLink::new(
+                2,
+                1_000_000_000,
+                Some(CrossTraffic::backbone()),
+                model,
+                32,
+                "s",
+            );
+            let (mut sim, src, _, _, tap) = rig(Box::new(pipe), 32);
+            let mut reordered = 0;
+            let trials = 500;
+            for t in 0..trials {
+                crate::capture::Trace::reset(&tap);
+                let mk = |n: u16| {
+                    reorder_wire::PacketBuilder::tcp()
+                        .src(reorder_wire::Ipv4Addr4::new(10, 0, 0, 1), 1000)
+                        .dst(reorder_wire::Ipv4Addr4::new(10, 0, 0, 2), 80)
+                        .seq(u32::from(n))
+                        .flags(reorder_wire::TcpFlags::ACK)
+                        .pad_to(1500)
+                        .build()
+                };
+                sim.transmit_from(src, Port(0), mk(2 * t));
+                // Leading edges separated by the 1500B serialization time at
+                // the ingress link rate — i.e. sent back-to-back.
+                sim.run_for(serialization_delay(1500, 1_000_000_000));
+                sim.transmit_from(src, Port(0), mk(2 * t + 1));
+                sim.run_for(Duration::from_millis(20));
+                let order: Vec<u32> = tap
+                    .borrow()
+                    .iter()
+                    .map(|r| r.pkt.tcp().unwrap().seq.raw())
+                    .collect();
+                // Divide by `trials` below, so every trial must yield a
+                // verdict — a lost pair would silently deflate the rate.
+                assert_eq!(order.len(), 2, "striping must not lose packets");
+                if order[0] > order[1] {
+                    reordered += 1;
+                }
             }
+            let rate_big = reordered as f64 / trials as f64;
+            assert!(
+                rate_big < rate_small,
+                "{}: 1500B rate {rate_big} should be below 40B rate {rate_small}",
+                model.label()
+            );
         }
-        let rate_big = reordered as f64 / trials as f64;
-        assert!(
-            rate_big < rate_small,
-            "1500B rate {rate_big} should be below 40B rate {rate_small}"
-        );
     }
 }

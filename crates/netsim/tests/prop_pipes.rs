@@ -4,8 +4,8 @@
 
 use proptest::prelude::*;
 use reorder_netsim::pipes::{
-    ArqConfig, CrossTraffic, DelayJitter, DummynetConfig, DummynetReorder, MultipathRoute,
-    SplitMode, StripingLink, WirelessArq, DOWN, UP,
+    ArqConfig, CrossTraffic, CrossTrafficModel, DelayJitter, DummynetConfig, DummynetReorder,
+    MultipathRoute, SplitMode, StripingLink, WirelessArq, DOWN, UP,
 };
 use reorder_netsim::{Ctx, Device, LinkParams, Port, SimTime, Simulator, TraceHandle};
 use reorder_wire::{Ipv4Addr4, Packet, PacketBuilder, TcpFlags};
@@ -86,12 +86,17 @@ proptest! {
     fn striping_conserves_packets(
         seed in 0u64..1000,
         links in 1usize..5,
+        model in prop_oneof![
+            Just(CrossTrafficModel::Replay),
+            Just(CrossTrafficModel::Stationary)
+        ],
         gaps in proptest::collection::vec(0u64..100_000, 2..60),
     ) {
         let pipe = StripingLink::new(
             links,
             1_000_000_000,
             Some(CrossTraffic::backbone()),
+            model,
             seed,
             "p",
         );

@@ -25,11 +25,22 @@ pub const RATE_BUCKETS: [f64; 8] = [0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 
 pub struct RateHistogram {
     zero: u64,
     counts: [u64; RATE_BUCKETS.len()],
+    /// NaN inputs, quarantined: every `NaN <= bound` comparison is
+    /// false, so without this counter a NaN rate would fall through
+    /// the bucket scan into the top (25%, 100%] bucket and silently
+    /// fatten the heavy-reordering tail.
+    nan: u64,
 }
 
 impl RateHistogram {
-    /// Fold in one host's rate.
+    /// Fold in one host's rate. A NaN rate (no upstream caller
+    /// produces one today — pushes are gated on `total > 0`) is
+    /// counted in [`RateHistogram::nans`] rather than mis-bucketed.
     pub fn push(&mut self, rate: f64) {
+        if rate.is_nan() {
+            self.nan += 1;
+            return;
+        }
         if rate <= 0.0 {
             self.zero += 1;
             return;
@@ -43,14 +54,20 @@ impl RateHistogram {
         self.counts[RATE_BUCKETS.len() - 1] += 1;
     }
 
-    /// Total observations.
+    /// Total observations, including quarantined NaN inputs.
     pub fn total(&self) -> u64 {
-        self.zero + self.counts.iter().sum::<u64>()
+        self.zero + self.nan + self.counts.iter().sum::<u64>()
     }
 
     /// Hosts with exactly zero measured reordering.
     pub fn zeros(&self) -> u64 {
         self.zero
+    }
+
+    /// NaN rates rejected by [`RateHistogram::push`] — never part of
+    /// the bucket rows.
+    pub fn nans(&self) -> u64 {
+        self.nan
     }
 
     /// `(label, count)` rows, zero bucket first.
@@ -290,6 +307,27 @@ mod tests {
     use reorder_tcpstack::HostPersonality;
 
     #[test]
+    fn histogram_rejects_nan_instead_of_top_bucketing() {
+        // Regression: `NaN <= 0.0` and every `NaN <= bound` are false,
+        // so a NaN rate used to fall through the scan into the top
+        // (25%, 100%] bucket — a phantom heavy-reordering host.
+        let mut h = RateHistogram::default();
+        h.push(f64::NAN);
+        assert_eq!(h.nans(), 1);
+        assert_eq!(h.zeros(), 0);
+        assert_eq!(h.total(), 1);
+        assert!(
+            h.rows().iter().all(|&(_, c)| c == 0),
+            "NaN must not land in any bucket row: {:?}",
+            h.rows()
+        );
+        // Real rates keep bucketing as before around the quarantine.
+        h.push(0.5);
+        assert_eq!(h.rows().last().unwrap().1, 1);
+        assert_eq!(h.total(), 2);
+    }
+
+    #[test]
     fn histogram_buckets() {
         let mut h = RateHistogram::default();
         for r in [0.0, 0.0005, 0.004, 0.02, 0.3, 0.9, 0.0] {
@@ -297,6 +335,7 @@ mod tests {
         }
         assert_eq!(h.total(), 7);
         assert_eq!(h.zeros(), 2);
+        assert_eq!(h.nans(), 0);
         let rows = h.rows();
         assert_eq!(rows.len(), 1 + RATE_BUCKETS.len());
         assert_eq!(rows[0].1, 2); // zero bucket

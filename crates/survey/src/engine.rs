@@ -15,7 +15,7 @@ use crate::pipeline::{survey_host_pooled, HostJob, HostReport, TechniqueChoice};
 use crate::population::PopulationModel;
 use crate::report::jsonl_line;
 use crate::scheduler::{run_sharded, PoolStats};
-use reorder_core::scenario::ScenarioPool;
+use reorder_core::scenario::{ScenarioPool, SimVersion};
 use reorder_netsim::rng as simrng;
 use std::io::{self, Write};
 
@@ -49,6 +49,14 @@ pub struct CampaignConfig {
     /// [`ScenarioPool`]. On by default; `--no-pool` is the ablation
     /// arm (byte-identical output, fresh construction per host).
     pub pool: bool,
+    /// Simulation format version (the CLI's `--sim-version`): v2
+    /// (default) draws striping cross-traffic backlogs from the
+    /// stationary M/G/1 workload distribution in O(1); v1 replays the
+    /// Poisson burst history per arrival, reproducing pre-v2 campaign
+    /// bytes. Output is byte-deterministic *per version* (the
+    /// versions' reports intentionally differ — a declared output
+    /// break).
+    pub sim_version: SimVersion,
     /// Run only shard `k` of `n` (1-based `Some((k, n))`): the
     /// contiguous host-id slice [`shard_bounds`] computes. `None` runs
     /// everything. Concatenating the JSONL outputs of shards 1..=n (in
@@ -91,6 +99,7 @@ impl Default for CampaignConfig {
             gaps_us: Vec::new(),
             reuse: true,
             pool: true,
+            sim_version: SimVersion::default(),
             shard: None,
             model: PopulationModel::default(),
         }
@@ -158,7 +167,11 @@ pub fn run_campaign<W: Write>(
             };
             move |i| {
                 let id = (lo + i) as u64;
-                let spec = cfg.model.host(id, cfg.seed);
+                let mut spec = cfg.model.host(id, cfg.seed);
+                // The version is configuration, not population: stamp
+                // it after generation so v1 and v2 campaigns draw
+                // identical host specs from identical RNG streams.
+                spec.sim_version = cfg.sim_version;
                 let host_seed = simrng::derive_seed(cfg.seed, &format!("survey.run.{id}"));
                 survey_host_pooled(id, &spec, host_seed, job, &mut pool)
             }

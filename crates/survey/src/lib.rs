@@ -66,3 +66,4 @@ pub use aggregate::{CampaignSummary, RateHistogram};
 pub use engine::{run_campaign, shard_bounds, CampaignConfig, CampaignOutcome};
 pub use pipeline::{HostJob, HostReport, TechniqueChoice};
 pub use population::PopulationModel;
+pub use reorder_core::scenario::SimVersion;
