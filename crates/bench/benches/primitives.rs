@@ -1,11 +1,14 @@
 //! Criterion perf benches for the substrate hot paths: wire
-//! encode/decode, checksums, the event engine, and the pipes.
+//! encode/decode, checksums, the event engine, the pipes, and the
+//! campaign aggregation primitives.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use reorder_core::stats::QuantileSketch;
 use reorder_netsim::pipes::{
     CrossTraffic, CrossTrafficModel, DummynetConfig, DummynetReorder, StripingLink,
 };
 use reorder_netsim::{Ctx, Device, LinkParams, Port, SimTime, Simulator};
+use reorder_survey::RateHistogram;
 use reorder_wire::{checksum, Ipv4Addr4, Packet, PacketBuilder, TcpFlags, TcpOption};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -139,5 +142,59 @@ fn bench_engine(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_wire, bench_engine);
+/// The aggregation-primitive pair behind every per-host rate the
+/// campaign absorbs: the mergeable quantile sketch vs the fixed-bucket
+/// histogram it replaced as the summary's source of truth. Also the
+/// shard-merge cost, the one step the funnel-free path added.
+fn bench_stats(c: &mut Criterion) {
+    // A deterministic rate stream shaped like campaign output: mostly
+    // small positive rates, some exact zeros.
+    let rates: Vec<f64> = (0..4096u32)
+        .map(|i| {
+            if i % 7 == 0 {
+                0.0
+            } else {
+                f64::from(i % 997) / 997.0
+            }
+        })
+        .collect();
+    let mut g = c.benchmark_group("stats");
+    g.throughput(Throughput::Elements(rates.len() as u64));
+    g.bench_function("sketch_push_4096", |b| {
+        b.iter(|| {
+            let mut s = QuantileSketch::new();
+            for &r in &rates {
+                s.push(black_box(r));
+            }
+            black_box(s.count())
+        })
+    });
+    g.bench_function("histogram_push_4096", |b| {
+        b.iter(|| {
+            let mut h = RateHistogram::default();
+            for &r in &rates {
+                h.push(black_box(r));
+            }
+            black_box(h.total())
+        })
+    });
+    let (mut left, mut right) = (QuantileSketch::new(), QuantileSketch::new());
+    for (i, &r) in rates.iter().enumerate() {
+        if i % 2 == 0 {
+            left.push(r);
+        } else {
+            right.push(r);
+        }
+    }
+    g.bench_function("sketch_merge", |b| {
+        b.iter(|| {
+            let mut s = left.clone();
+            s.merge(black_box(&right));
+            black_box(s.count())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_wire, bench_engine, bench_stats);
 criterion_main!(benches);

@@ -44,7 +44,11 @@ fn measure(name: &'static str, cfg: &CampaignConfig, runs: usize) -> Row {
         let out: CampaignOutcome =
             run_campaign(cfg, None::<&mut Vec<u8>>).expect("no sink, no error");
         wall = wall.min(started.elapsed().as_secs_f64());
-        assert_eq!(out.reports.len(), cfg.hosts);
+        // Summary-only configs (the funnel-free path) keep no per-host
+        // reports; the summary still accounts for every host.
+        let kept = if cfg.keep_reports { cfg.hosts } else { 0 };
+        assert_eq!(out.reports.len(), kept);
+        assert_eq!(out.summary.hosts, cfg.hosts as u64);
         events = out.events;
     }
     Row {
@@ -105,6 +109,7 @@ fn main() {
     );
     rule(84);
 
+    let base_scaling = base.clone();
     let rows = [
         measure("v1_full", &v1.clone(), runs),
         measure(
@@ -189,6 +194,48 @@ fn main() {
         println!("peak RSS (VmHWM proxy): {} kB", kb);
     }
 
+    // Multi-core scaling: the same v2 full pipeline, summary-only
+    // (`keep_reports: false`, no sink), which takes the funnel-free
+    // sharded-fold path — per-worker aggregators, no id-order reorder
+    // buffer — at increasing worker counts. Recorded per worker count
+    // so the scaling curve is a trajectory, not a claim.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!();
+    println!("scaling (v2 full, summary-only / funnel-free; {cores} core(s) available):");
+    rule(84);
+    let scaling: Vec<(usize, Row)> = [
+        ("scale_w1", 1),
+        ("scale_w2", 2),
+        ("scale_w4", 4),
+        ("scale_w8", 8),
+    ]
+    .into_iter()
+    .map(|(name, w)| {
+        let cfg = CampaignConfig {
+            workers: w,
+            keep_reports: false,
+            ..base_scaling.clone()
+        };
+        (w, measure(name, &cfg, runs))
+    })
+    .collect();
+    println!(
+        "{:<20} {:>7} {:>9} {:>11} {:>13}",
+        "workers", "hosts", "wall s", "hosts/sec", "vs 1 worker"
+    );
+    rule(84);
+    let w1_rate = scaling[0].1.hosts_per_sec;
+    for (w, r) in &scaling {
+        println!(
+            "{:<20} {:>7} {:>9.3} {:>11.0} {:>12.2}x",
+            w,
+            r.hosts,
+            r.wall_s,
+            r.hosts_per_sec,
+            r.hosts_per_sec / w1_rate
+        );
+    }
+
     // Emit the JSON record.
     let mut json = String::new();
     let _ = write!(
@@ -207,6 +254,19 @@ fn main() {
             r.events,
             r.events_per_sec,
             if i + 1 < rows.len() { "," } else { "" },
+        );
+    }
+    json.push_str("  },\n");
+    let _ = writeln!(json, "  \"available_cores\": {cores},");
+    json.push_str("  \"scaling\": {\n");
+    for (i, (w, r)) in scaling.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    \"workers_{w}\": {{\"wall_s\": {:.4}, \"hosts_per_sec\": {:.1}, \"speedup_vs_w1\": {:.2}}}{}",
+            r.wall_s,
+            r.hosts_per_sec,
+            r.hosts_per_sec / w1_rate,
+            if i + 1 < scaling.len() { "," } else { "" },
         );
     }
     json.push_str("  }\n}\n");
@@ -238,6 +298,33 @@ fn main() {
                 eprintln!(
                     "FAIL: {version} full-pipeline throughput regressed more than 30% below \
                      the floor ({got:.0} < {limit:.0} hosts/sec; floor {floor:.0} from {floor_path})"
+                );
+                failed = true;
+            }
+        }
+        // Scaling gate: the funnel-free path must never make adding
+        // workers a net loss. The floor is a fraction of the summary-only
+        // 1-worker rate that the *best* multi-worker run must clear —
+        // honest on a 1-core runner (where the best achievable is ~1x
+        // minus scheduling overhead) while still catching a contended
+        // merge or a reintroduced funnel (which would tank every
+        // multi-worker row, not just dent it).
+        let frac_key = format!("{}_scaling_floor_frac", scale.pick("full", "std", "quick"));
+        if let Some(frac) = json_number(&floor_text, &frac_key) {
+            let w1 = scaling[0].1.hosts_per_sec;
+            let best = scaling[1..]
+                .iter()
+                .map(|(_, r)| r.hosts_per_sec)
+                .fold(f64::NEG_INFINITY, f64::max);
+            let limit = w1 * frac;
+            println!(
+                "floor gate [scaling]: best multi-worker {best:.0} hosts/sec vs \
+                 {frac:.2} x w1 ({w1:.0}) = {limit:.0}"
+            );
+            if best < limit {
+                eprintln!(
+                    "FAIL: multi-worker throughput collapsed ({best:.0} < {limit:.0} \
+                     hosts/sec; w1 {w1:.0}, frac {frac} from {floor_path})"
                 );
                 failed = true;
             }

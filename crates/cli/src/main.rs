@@ -37,12 +37,14 @@ COMMANDS:
                --step-us N          sweep step (default 25)
                --sim-version 1|2    cross-traffic model for striping paths
                                     (1 = replayed, 2 = stationary; default 2)
+               --workers auto|N     sweep threads (default auto = all cores;
+                                    output is byte-identical regardless)
                --seed S
   survey     sharded measurement campaign over a generated host
              population (§IV-B scaled up; deterministic in --seed,
              byte-identical across worker counts)
                --hosts N            population size (default 50)
-               --workers W          worker threads (default 0 = all cores)
+               --workers auto|N     worker threads (default auto = all cores)
                --samples N          samples per technique run (default 15)
                --rounds R           measurement rounds per host (default 1)
                --technique T        auto|single|single-rev|dual|syn|transfer

@@ -1,15 +1,25 @@
-//! Layer 4a: streaming aggregation.
+//! Layer 4a: sharded, mergeable streaming aggregation.
 //!
-//! The aggregator absorbs [`HostReport`]s one at a time (the engine
-//! feeds it in host-id order) and keeps only O(1) state per breakdown
-//! key: merged `(reordered, total)` counts, online mean/CI via
-//! [`reorder_core::stats::Streaming`], and fixed-bucket rate
-//! histograms. Nothing per-sample is ever retained — memory is
-//! O(hosts) for the reports the engine keeps, O(1) here.
+//! An aggregator absorbs [`HostReport`]s one at a time and keeps only
+//! O(1) state per breakdown key: merged `(reordered, total)` counts,
+//! order-independent mean/CI via [`reorder_core::stats::Moments`], and
+//! a mergeable quantile sketch ([`reorder_core::stats::QuantileSketch`])
+//! over per-host rates. Nothing per-sample is ever retained.
+//!
+//! Since the sharded-aggregation refactor every piece of summary state
+//! is a **commutative monoid**: integer counters, integer-state
+//! sketches, and fixed-point `Moments`. Absorbing reports in any order
+//! — or folding disjoint subsets into separate [`ShardAggregator`]s
+//! and merging — produces bit-identical state. That law is what lets
+//! summary-only campaigns skip the id-order reorder buffer entirely
+//! (each worker folds the hosts it happened to run; the final merge is
+//! associative), and it is the persistence primitive for
+//! checkpoint/resume: a shard's summary can be serialized, reloaded
+//! and merged losslessly.
 
 use crate::pipeline::HostReport;
 use reorder_core::metrics::ReorderEstimate;
-use reorder_core::stats::Streaming;
+use reorder_core::stats::{Moments, QuantileSketch, SKETCH_RELATIVE_ERROR};
 use reorder_core::techniques::IpidVerdict;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -83,9 +93,42 @@ impl RateHistogram {
         }
         rows
     }
+
+    /// The compatibility view: derive the fixed-bucket histogram from a
+    /// [`QuantileSketch`]. Each sketch bucket's count lands in the rate
+    /// bucket containing its representative value, so a derived count
+    /// can differ from a directly-pushed one only for observations
+    /// within the sketch's ε of a bucket edge. The summary renders this
+    /// view; the sketch is the source of truth that survives shard
+    /// merges (fixed buckets cannot).
+    pub fn from_sketch(sketch: &QuantileSketch) -> RateHistogram {
+        // Negative rates cannot occur upstream, but [`RateHistogram::push`]
+        // files `rate <= 0` under the zero bucket — the view keeps that
+        // convention for any negative sketch mass.
+        let neg = sketch.count()
+            - sketch.zeros()
+            - sketch.positive_buckets().map(|(_, c)| c).sum::<u64>();
+        let mut h = RateHistogram {
+            zero: sketch.zeros() + neg,
+            counts: [0; RATE_BUCKETS.len()],
+            nan: sketch.nans(),
+        };
+        'bucket: for (rep, count) in sketch.positive_buckets() {
+            for (i, &ub) in RATE_BUCKETS.iter().enumerate() {
+                if rep <= ub {
+                    h.counts[i] += count;
+                    continue 'bucket;
+                }
+            }
+            h.counts[RATE_BUCKETS.len() - 1] += count;
+        }
+        h
+    }
 }
 
-/// Per-breakdown-key accumulator.
+/// Per-breakdown-key accumulator. Every field is order-independent
+/// (integer counts or fixed-point [`Moments`]), so group rows merge
+/// exactly across shards.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct GroupAgg {
     /// Hosts in the group.
@@ -94,8 +137,8 @@ pub struct GroupAgg {
     pub fwd: ReorderEstimate,
     /// Pooled reverse estimate.
     pub rev: ReorderEstimate,
-    /// Online stats over per-host forward rates.
-    pub fwd_rates: Streaming,
+    /// Order-independent stats over per-host forward rates.
+    pub fwd_rates: Moments,
 }
 
 impl GroupAgg {
@@ -106,6 +149,13 @@ impl GroupAgg {
         if r.fwd.total > 0 {
             self.fwd_rates.push(r.fwd.rate());
         }
+    }
+
+    fn merge(&mut self, other: &GroupAgg) {
+        self.hosts += other.hosts;
+        self.fwd = self.fwd.merge(&other.fwd);
+        self.rev = self.rev.merge(&other.rev);
+        self.fwd_rates = self.fwd_rates.merge(&other.fwd_rates);
     }
 }
 
@@ -128,18 +178,20 @@ pub struct CampaignSummary {
     pub probe_failed: u64,
     /// Hosts whose measured fwd or rev rate was nonzero.
     pub reordering_hosts: u64,
-    /// Online stats over per-host forward rates.
-    pub fwd_rates: Streaming,
-    /// Online stats over per-host reverse rates.
-    pub rev_rates: Streaming,
+    /// Order-independent stats over per-host forward rates.
+    pub fwd_rates: Moments,
+    /// Order-independent stats over per-host reverse rates.
+    pub rev_rates: Moments,
     /// Pooled forward estimate over all samples of all hosts.
     pub fwd_pooled: ReorderEstimate,
     /// Pooled reverse estimate.
     pub rev_pooled: ReorderEstimate,
     /// Pooled reverse estimate of the transfer baseline.
     pub baseline_pooled: ReorderEstimate,
-    /// Histogram of per-host forward rates.
-    pub fwd_hist: RateHistogram,
+    /// Mergeable quantile sketch over per-host forward rates — the
+    /// source of truth for the Fig. 5 CDF points and the rendered rate
+    /// histogram (derived via [`RateHistogram::from_sketch`]).
+    pub fwd_sketch: QuantileSketch,
     /// Breakdown by measuring technique.
     pub by_technique: BTreeMap<&'static str, GroupAgg>,
     /// Breakdown by OS personality.
@@ -151,9 +203,11 @@ pub struct CampaignSummary {
 }
 
 impl CampaignSummary {
-    /// Fold in one host's report. The engine calls this in host-id
-    /// order, which pins the floating-point accumulation order and
-    /// keeps the rendered summary byte-identical across worker counts.
+    /// Fold in one host's report. Absorption is order-independent
+    /// (every field is a commutative monoid), so workers may fold
+    /// reports in completion order and still render a byte-identical
+    /// summary — [`ShardAggregator`] and the determinism suite build
+    /// on exactly this law.
     pub fn absorb(&mut self, r: &HostReport) {
         self.hosts += 1;
         if r.reachable {
@@ -170,7 +224,7 @@ impl CampaignSummary {
         }
         if r.fwd.total > 0 {
             self.fwd_rates.push(r.fwd.rate());
-            self.fwd_hist.push(r.fwd.rate());
+            self.fwd_sketch.push(r.fwd.rate());
         }
         if r.rev.total > 0 {
             self.rev_rates.push(r.rev.rate());
@@ -192,6 +246,41 @@ impl CampaignSummary {
         for &(gap, est) in &r.gap_points {
             let e = self.gap_profile.entry(gap).or_default();
             *e = e.merge(&est);
+        }
+    }
+
+    /// Fold another summary into this one — the associative merge that
+    /// combines per-worker [`ShardAggregator`]s (and, cross-process,
+    /// per-shard checkpoints) into the campaign total. Merging shard
+    /// summaries is bit-identical to absorbing every report into one
+    /// summary, in any order; the determinism suite asserts this end
+    /// to end.
+    pub fn merge(&mut self, other: &CampaignSummary) {
+        self.hosts += other.hosts;
+        self.reachable += other.reachable;
+        self.amenable += other.amenable;
+        self.constant_zero += other.constant_zero;
+        self.non_monotonic += other.non_monotonic;
+        self.probe_failed += other.probe_failed;
+        self.reordering_hosts += other.reordering_hosts;
+        self.fwd_rates = self.fwd_rates.merge(&other.fwd_rates);
+        self.rev_rates = self.rev_rates.merge(&other.rev_rates);
+        self.fwd_pooled = self.fwd_pooled.merge(&other.fwd_pooled);
+        self.rev_pooled = self.rev_pooled.merge(&other.rev_pooled);
+        self.baseline_pooled = self.baseline_pooled.merge(&other.baseline_pooled);
+        self.fwd_sketch.merge(&other.fwd_sketch);
+        for (&key, g) in &other.by_technique {
+            self.by_technique.entry(key).or_default().merge(g);
+        }
+        for (&key, g) in &other.by_personality {
+            self.by_personality.entry(key).or_default().merge(g);
+        }
+        for (&key, g) in &other.by_mechanism {
+            self.by_mechanism.entry(key).or_default().merge(g);
+        }
+        for (&gap, est) in &other.gap_profile {
+            let e = self.gap_profile.entry(gap).or_default();
+            *e = e.merge(est);
         }
     }
 
@@ -241,18 +330,36 @@ impl CampaignSummary {
                 self.baseline_pooled.total,
             );
         }
-        if self.fwd_hist.total() > 0 {
+        if self.fwd_sketch.count() > 0 {
+            // Fig. 5 CDF points, read from the sketch: exact to its
+            // documented relative error instead of bucket-floor
+            // granularity.
             let _ = writeln!(s, "{rule}");
+            let mut line = format!(
+                "fwd rate/host quantiles (sketch, rel err <= {:.2}%):",
+                SKETCH_RELATIVE_ERROR * 100.0
+            );
+            for (label, q) in [
+                ("p25", 0.25),
+                ("p50", 0.50),
+                ("p75", 0.75),
+                ("p90", 0.90),
+                ("p99", 0.99),
+            ] {
+                let v = self.fwd_sketch.quantile(q).unwrap_or(0.0);
+                let _ = write!(line, "  {label} {:.4}%", v * 100.0);
+            }
+            let _ = writeln!(s, "{line}");
+            let hist = RateHistogram::from_sketch(&self.fwd_sketch);
             let _ = writeln!(s, "fwd rate histogram (hosts)");
-            let max = self
-                .fwd_hist
+            let max = hist
                 .rows()
                 .iter()
                 .map(|&(_, c)| c)
                 .max()
                 .unwrap_or(1)
                 .max(1);
-            for (label, count) in self.fwd_hist.rows() {
+            for (label, count) in hist.rows() {
                 let bar = "#".repeat((count * 40 / max) as usize);
                 let _ = writeln!(s, "{label:>16} {count:>7}  {bar}");
             }
@@ -296,6 +403,34 @@ impl CampaignSummary {
             }
         }
         s
+    }
+}
+
+/// One worker's (or one process-shard's) aggregation state: a summary
+/// plus the per-host perf counters that used to ride the id-order
+/// funnel. Workers fold whichever hosts the work-stealing scheduler
+/// hands them; because every summary field merges exactly (see
+/// [`CampaignSummary::merge`]), the final fold over shard aggregators
+/// is independent of the nondeterministic host-to-worker assignment.
+#[derive(Debug, Clone, Default)]
+pub struct ShardAggregator {
+    /// The shard's streaming summary.
+    pub summary: CampaignSummary,
+    /// Simulator events dispatched by this shard's hosts.
+    pub events: u64,
+}
+
+impl ShardAggregator {
+    /// Fold in one host's report.
+    pub fn absorb(&mut self, r: &HostReport) {
+        self.events += r.events;
+        self.summary.absorb(r);
+    }
+
+    /// Fold another shard's state into this one (associative).
+    pub fn merge(&mut self, other: &ShardAggregator) {
+        self.events += other.events;
+        self.summary.merge(&other.summary);
     }
 }
 
@@ -344,6 +479,96 @@ mod tests {
         assert_eq!(rows[4].1, 1); // (1%, 2.5%]
         assert_eq!(rows.last().unwrap().1, 2); // (25%, 100%]
         assert_eq!(rows.iter().map(|&(_, c)| c).sum::<u64>(), 7);
+    }
+
+    #[test]
+    fn histogram_from_sketch_matches_direct_pushes() {
+        // Away from bucket edges the derived view is exact; the rates
+        // below sit mid-bucket, far beyond the sketch's 0.39% ε.
+        let rates = [0.0, 0.0005, 0.004, 0.02, 0.3, 0.9, 0.0, f64::NAN, 0.07];
+        let mut direct = RateHistogram::default();
+        let mut sketch = QuantileSketch::new();
+        for &r in &rates {
+            direct.push(r);
+            sketch.push(r);
+        }
+        let derived = RateHistogram::from_sketch(&sketch);
+        assert_eq!(derived, direct);
+        assert_eq!(derived.nans(), 1);
+    }
+
+    fn reports(n: usize, seed: u64) -> Vec<HostReport> {
+        let job = HostJob {
+            samples: 4,
+            gaps_us: vec![0, 50],
+            ..HostJob::default()
+        };
+        let personalities = [
+            HostPersonality::freebsd4(),
+            HostPersonality::openbsd3(),
+            HostPersonality::linux24(),
+        ];
+        (0..n)
+            .map(|i| {
+                let spec = HostSpec {
+                    fwd_reorder: 0.05 + 0.03 * (i % 4) as f64,
+                    ..HostSpec::clean("agg", personalities[i % 3].clone())
+                };
+                survey_host(i as u64, &spec, seed + i as u64, &job)
+            })
+            .collect()
+    }
+
+    /// The sharded-merge law end to end: any partition of reports into
+    /// shard aggregators, merged in any order, renders the same bytes
+    /// as one summary absorbing everything in id order.
+    #[test]
+    fn shard_merge_renders_identically_to_single_absorb() {
+        let rs = reports(18, 900);
+        let mut whole = CampaignSummary::default();
+        for r in &rs {
+            whole.absorb(r);
+        }
+        for shards in [2usize, 3, 5] {
+            let mut parts = vec![ShardAggregator::default(); shards];
+            // Deal round-robin AND absorb within each shard in reverse,
+            // so neither the partition nor the intra-shard order is the
+            // id order.
+            for (i, r) in rs.iter().enumerate().rev() {
+                parts[i % shards].absorb(r);
+            }
+            let mut merged = ShardAggregator::default();
+            for p in parts.iter().rev() {
+                merged.merge(p);
+            }
+            assert_eq!(merged.summary.hosts, whole.hosts);
+            assert_eq!(
+                merged.summary.render(),
+                whole.render(),
+                "{shards} shards must render identically"
+            );
+            assert_eq!(
+                merged.events,
+                rs.iter().map(|r| r.events).sum::<u64>(),
+                "events must merge"
+            );
+        }
+    }
+
+    #[test]
+    fn render_reads_quantiles_from_the_sketch() {
+        let rs = reports(12, 41);
+        let mut sum = CampaignSummary::default();
+        for r in &rs {
+            sum.absorb(r);
+        }
+        let rendered = sum.render();
+        assert!(
+            rendered.contains("fwd rate/host quantiles (sketch"),
+            "{rendered}"
+        );
+        assert!(rendered.contains("p50"));
+        assert!(rendered.contains("p99"));
     }
 
     #[test]

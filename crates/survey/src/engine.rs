@@ -10,11 +10,11 @@
 //! * therefore campaign output is byte-identical across reruns *and*
 //!   worker counts.
 
-use crate::aggregate::CampaignSummary;
+use crate::aggregate::{CampaignSummary, ShardAggregator};
 use crate::pipeline::{survey_host_pooled, HostJob, HostReport, TechniqueChoice};
 use crate::population::PopulationModel;
 use crate::report::jsonl_line;
-use crate::scheduler::{run_sharded, PoolStats};
+use crate::scheduler::{run_folded, run_sharded, PoolStats};
 use reorder_core::scenario::{ScenarioPool, SimVersion};
 use reorder_netsim::rng as simrng;
 use std::io::{self, Write};
@@ -57,6 +57,14 @@ pub struct CampaignConfig {
     /// versions' reports intentionally differ — a declared output
     /// break).
     pub sim_version: SimVersion,
+    /// Retain per-host [`HostReport`]s in [`CampaignOutcome::reports`].
+    /// On by default (library callers inspect them); the CLI turns it
+    /// off unless `--per-host` asks for the table. When off **and** no
+    /// JSONL sink is attached, the campaign takes the funnel-free
+    /// path: per-worker [`ShardAggregator`]s fold results locally and
+    /// merge at the end — no reorder buffer, no consuming thread, no
+    /// O(hosts) report vector.
+    pub keep_reports: bool,
     /// Run only shard `k` of `n` (1-based `Some((k, n))`): the
     /// contiguous host-id slice [`shard_bounds`] computes. `None` runs
     /// everything. Concatenating the JSONL outputs of shards 1..=n (in
@@ -100,6 +108,7 @@ impl Default for CampaignConfig {
             reuse: true,
             pool: true,
             sim_version: SimVersion::default(),
+            keep_reports: true,
             shard: None,
             model: PopulationModel::default(),
         }
@@ -109,7 +118,8 @@ impl Default for CampaignConfig {
 /// What a finished campaign hands back.
 #[derive(Debug)]
 pub struct CampaignOutcome {
-    /// Per-host reports, in host-id order (O(hosts) memory).
+    /// Per-host reports, in host-id order (O(hosts) memory). Empty
+    /// when [`CampaignConfig::keep_reports`] is off.
     pub reports: Vec<HostReport>,
     /// Streaming aggregates.
     pub summary: CampaignSummary,
@@ -126,6 +136,13 @@ pub struct CampaignOutcome {
 /// error source is the sink; its first write failure aborts the
 /// campaign (remaining hosts are not simulated) and is returned here.
 /// A campaign without a sink cannot fail.
+///
+/// Summary-only campaigns (no sink, [`CampaignConfig::keep_reports`]
+/// off) never instantiate the id-order reorder buffer: each worker
+/// folds its results into a local [`ShardAggregator`] and the shard
+/// states merge associatively at the end. The summary is bit-identical
+/// between the two paths — aggregation is order-independent by
+/// construction, and the determinism suite asserts it.
 pub fn run_campaign<W: Write>(
     cfg: &CampaignConfig,
     jsonl: Option<&mut W>,
@@ -147,37 +164,67 @@ pub fn run_campaign<W: Write>(
         None => (0, cfg.hosts),
     };
 
-    let mut reports: Vec<HostReport> = Vec::with_capacity(hi - lo);
-    let mut summary = CampaignSummary::default();
-    let mut events = 0u64;
-    let mut sink = jsonl;
-    let mut sink_err: Option<io::Error> = None;
-
+    // One simulator pool per worker: recycled allocations, never
+    // shared results (simulations are !Send anyway).
+    let mk_pool = || {
+        if cfg.pool {
+            ScenarioPool::new()
+        } else {
+            ScenarioPool::disabled()
+        }
+    };
+    // The per-host pipeline, shared by both consumption paths: a pure
+    // function of (config, master seed, absolute id) — never of the
+    // worker that runs it.
     let job = &job;
+    let run_host = |pool: &mut ScenarioPool, i: usize| -> HostReport {
+        let id = (lo + i) as u64;
+        let mut spec = cfg.model.host(id, cfg.seed);
+        // The version is configuration, not population: stamp it after
+        // generation so v1 and v2 campaigns draw identical host specs
+        // from identical RNG streams.
+        spec.sim_version = cfg.sim_version;
+        let host_seed = simrng::derive_seed(cfg.seed, &format!("survey.run.{id}"));
+        survey_host_pooled(id, &spec, host_seed, job, pool)
+    };
+
+    let mut sink = jsonl;
+    if sink.is_none() && !cfg.keep_reports {
+        // Funnel-free path: fold per worker, merge shard aggregators
+        // in worker order (any order gives the same bits).
+        let (shards, stats) = run_folded(
+            hi - lo,
+            cfg.workers,
+            || (mk_pool(), ShardAggregator::default()),
+            |pool, agg, i| agg.absorb(&run_host(pool, i)),
+        );
+        let mut merged = ShardAggregator::default();
+        for shard in &shards {
+            merged.merge(shard);
+        }
+        return Ok(CampaignOutcome {
+            reports: Vec::new(),
+            summary: merged.summary,
+            stats,
+            events: merged.events,
+        });
+    }
+
+    // Ordered path: a reorder buffer feeds the sink (and the report
+    // vector) in host-id order; the summary shares the same
+    // order-independent aggregation code.
+    let mut reports: Vec<HostReport> =
+        Vec::with_capacity(if cfg.keep_reports { hi - lo } else { 0 });
+    let mut agg = ShardAggregator::default();
+    let mut sink_err: Option<io::Error> = None;
     let stats = run_sharded(
         hi - lo,
         cfg.workers,
         || {
-            // One simulator pool per worker: recycled allocations,
-            // never shared results (simulations are !Send anyway).
-            let mut pool = if cfg.pool {
-                ScenarioPool::new()
-            } else {
-                ScenarioPool::disabled()
-            };
-            move |i| {
-                let id = (lo + i) as u64;
-                let mut spec = cfg.model.host(id, cfg.seed);
-                // The version is configuration, not population: stamp
-                // it after generation so v1 and v2 campaigns draw
-                // identical host specs from identical RNG streams.
-                spec.sim_version = cfg.sim_version;
-                let host_seed = simrng::derive_seed(cfg.seed, &format!("survey.run.{id}"));
-                survey_host_pooled(id, &spec, host_seed, job, &mut pool)
-            }
+            let mut pool = mk_pool();
+            move |i| run_host(&mut pool, i)
         },
         |_, report| {
-            events += report.events;
             if let Some(w) = sink.as_mut() {
                 let line = jsonl_line(&report);
                 if let Err(e) = w
@@ -191,8 +238,10 @@ pub fn run_campaign<W: Write>(
                     return std::ops::ControlFlow::Break(());
                 }
             }
-            summary.absorb(&report);
-            reports.push(report);
+            agg.absorb(&report);
+            if cfg.keep_reports {
+                reports.push(report);
+            }
             std::ops::ControlFlow::Continue(())
         },
     );
@@ -201,9 +250,9 @@ pub fn run_campaign<W: Write>(
         Some(e) => Err(e),
         None => Ok(CampaignOutcome {
             reports,
-            summary,
+            summary: agg.summary,
             stats,
-            events,
+            events: agg.events,
         }),
     }
 }

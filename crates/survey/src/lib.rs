@@ -25,8 +25,10 @@
 //!    [`Session`](reorder_core::Session) (amenability probe,
 //!    measurement, baseline and gap sweep reuse handshakes and the
 //!    validation verdict — the per-host fast path).
-//! 4. [`aggregate`] + [`report`] — streaming aggregation (online
-//!    mean/CI via `reorder_core::stats::Streaming`, rate histograms,
+//! 4. [`aggregate`] + [`report`] — sharded, mergeable streaming
+//!    aggregation (order-independent mean/CI via
+//!    `reorder_core::stats::Moments`, mergeable quantile sketches over
+//!    per-host rates via `reorder_core::stats::QuantileSketch`,
 //!    per-personality / per-technique / per-mechanism breakdowns, an
 //!    optional campaign gap profile) and report sinks (JSONL per host,
 //!    a rendered summary table). Memory is O(hosts), never O(samples):
@@ -34,8 +36,12 @@
 //!
 //! The [`engine`] ties them together. Results are byte-identical across
 //! reruns *and* worker counts for a fixed master seed: host seeds are
-//! derived per host id (not per worker), and the aggregator consumes
-//! results in id order through a reorder buffer.
+//! derived per host id (not per worker), and every piece of summary
+//! state merges exactly (commutative monoids all the way down), so
+//! per-worker [`ShardAggregator`]s fold results in completion order
+//! and still merge to the same bytes. The id-order reorder buffer is
+//! only instantiated when an ordered sink (JSONL, per-host tables)
+//! actually needs ordered lines.
 //!
 //! ```
 //! use reorder_survey::{CampaignConfig, run_campaign};
@@ -62,7 +68,7 @@ pub mod population;
 pub mod report;
 pub mod scheduler;
 
-pub use aggregate::{CampaignSummary, RateHistogram};
+pub use aggregate::{CampaignSummary, RateHistogram, ShardAggregator};
 pub use engine::{run_campaign, shard_bounds, CampaignConfig, CampaignOutcome};
 pub use pipeline::{HostJob, HostReport, TechniqueChoice};
 pub use population::PopulationModel;

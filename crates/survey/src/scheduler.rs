@@ -11,9 +11,19 @@
 //! locally — the same discipline as `reorder_bench::parallel_map`, plus
 //! stealing and streaming consumption.
 //!
-//! Results are consumed **in job-index order** regardless of completion
-//! order, via a reorder buffer on the collecting thread. That is what
-//! makes campaign reports byte-identical across worker counts.
+//! Two consumption modes:
+//!
+//! * [`run_sharded`] feeds results to a single consumer **in job-index
+//!   order** regardless of completion order, via a reorder buffer on
+//!   the collecting thread — required when an ordered sink (JSONL,
+//!   per-host tables) is attached.
+//! * [`run_folded`] keeps results on the worker that produced them:
+//!   each worker folds its results into a local state and the states
+//!   come back in worker-index order, with no channel, no reorder
+//!   buffer, and no single consuming thread. This is the funnel-free
+//!   path for summary-only campaigns — correct only when the fold is
+//!   order-independent (the aggregation layer's commutative-monoid
+//!   contract).
 
 use std::collections::{BTreeMap, VecDeque};
 use std::ops::ControlFlow;
@@ -153,6 +163,93 @@ where
     }
 }
 
+/// Run `jobs` indices on `workers` threads, folding each result into a
+/// **worker-local** state — the funnel-free alternative to
+/// [`run_sharded`] for consumers that don't need ordered results.
+///
+/// `mk_worker` runs once on each worker thread and returns `(local,
+/// state)`: `local` is worker-local scratch that never leaves the
+/// thread (e.g. a `!Send` simulator pool), `state` is the fold
+/// accumulator handed back at the end. `step` executes job `i`,
+/// folding its result into `state`. States are returned in
+/// worker-index order.
+///
+/// Work stealing makes the job→worker assignment nondeterministic, so
+/// a caller needing deterministic totals must fold with an
+/// order-independent (commutative, associative) operation —
+/// `reorder-survey`'s aggregation layer is built on exactly that
+/// contract, and the campaign determinism suite asserts it against
+/// the ordered path byte for byte.
+pub fn run_folded<L, S, F, G>(
+    jobs: usize,
+    workers: usize,
+    mk_worker: F,
+    step: G,
+) -> (Vec<S>, PoolStats)
+where
+    S: Send,
+    F: Fn() -> (L, S) + Sync,
+    G: Fn(&mut L, &mut S, usize) + Sync,
+{
+    let workers = resolve_workers(workers).min(jobs.max(1));
+    let mut deques: Vec<VecDeque<usize>> = vec![VecDeque::new(); workers];
+    for i in 0..jobs {
+        deques[i % workers].push_back(i);
+    }
+    let shards: Vec<Mutex<VecDeque<usize>>> = deques.into_iter().map(Mutex::new).collect();
+    let steals = AtomicU64::new(0);
+    let states: Vec<Mutex<Option<S>>> = (0..workers).map(|_| Mutex::new(None)).collect();
+
+    thread::scope(|s| {
+        for w in 0..workers {
+            let shards = &shards;
+            let steals = &steals;
+            let states = &states;
+            let mk_worker = &mk_worker;
+            let step = &step;
+            s.spawn(move || {
+                let (mut local, mut state) = mk_worker();
+                loop {
+                    // Own shard first (front), then steal (back) — the
+                    // same discipline as `run_sharded`.
+                    let mut next = shards[w].lock().expect("shard poisoned").pop_front();
+                    if next.is_none() {
+                        for v in 1..workers {
+                            let victim = (w + v) % workers;
+                            let got = shards[victim].lock().expect("shard poisoned").pop_back();
+                            if got.is_some() {
+                                steals.fetch_add(1, Ordering::Relaxed);
+                                next = got;
+                                break;
+                            }
+                        }
+                    }
+                    let Some(i) = next else { break };
+                    step(&mut local, &mut state, i);
+                }
+                *states[w].lock().expect("state poisoned") = Some(state);
+            });
+        }
+    });
+
+    let states = states
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("state poisoned")
+                .expect("worker died before folding its state")
+        })
+        .collect();
+    (
+        states,
+        PoolStats {
+            workers,
+            steals: steals.load(Ordering::Relaxed),
+            aborted: false,
+        },
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -246,5 +343,62 @@ mod tests {
     fn resolve_workers_auto() {
         assert!(resolve_workers(0) >= 1);
         assert_eq!(resolve_workers(3), 3);
+    }
+
+    #[test]
+    fn folded_covers_every_job_exactly_once() {
+        for workers in [1, 2, 4, 7] {
+            let (states, stats) = run_folded(
+                100,
+                workers,
+                || ((), Vec::new()),
+                |_, seen: &mut Vec<usize>, i| seen.push(i),
+            );
+            assert_eq!(states.len(), stats.workers);
+            let mut all: Vec<usize> = states.into_iter().flatten().collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..100).collect::<Vec<_>>());
+            assert!(!stats.aborted);
+        }
+    }
+
+    #[test]
+    fn folded_zero_jobs_returns_initial_states() {
+        let (states, stats) = run_folded(0, 4, || ((), 7u64), |_, _, _| panic!("no jobs"));
+        assert_eq!(states, vec![7]);
+        assert_eq!(stats.steals, 0);
+    }
+
+    #[test]
+    fn folded_order_independent_sum_matches_serial() {
+        // An order-independent fold (integer sum) must be invariant
+        // across worker counts — the aggregation contract in miniature.
+        let serial: u64 = (0..500u64).map(|i| i * i).sum();
+        for workers in [1, 3, 8] {
+            let (states, _) = run_folded(
+                500,
+                workers,
+                || ((), 0u64),
+                |_, acc, i| *acc += (i as u64) * (i as u64),
+            );
+            assert_eq!(states.into_iter().sum::<u64>(), serial);
+        }
+    }
+
+    #[test]
+    fn folded_steals_relieve_stragglers() {
+        let (_, stats) = run_folded(
+            40,
+            2,
+            || ((), ()),
+            |_, _, i| {
+                if i % 2 == 0 {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            },
+        );
+        if stats.workers == 2 {
+            assert!(stats.steals > 0, "expected steals, got {stats:?}");
+        }
     }
 }

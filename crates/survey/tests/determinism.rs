@@ -234,7 +234,12 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
 #[test]
 fn pinned_v1_smoke_reproduces_historical_bytes() {
     const PINNED_JSONL_FNV1A: u64 = 0xad1e_47f7_cf2c_16ae;
-    const PINNED_SUMMARY_FNV1A: u64 = 0xef4b_1f8e_cbea_de07;
+    // Summary re-blessed at the sharded-aggregation landing: the
+    // rendered table gained a sketch-backed quantile line and its
+    // mean/CI now come from order-independent `Moments` (a declared
+    // render change). The JSONL pin above is untouched — per-host
+    // measurement bytes did not move.
+    const PINNED_SUMMARY_FNV1A: u64 = 0x2342_62da_c971_e867;
     let cfg = CampaignConfig {
         hosts: 40,
         workers: 2,
@@ -255,6 +260,100 @@ fn pinned_v1_smoke_reproduces_historical_bytes() {
         PINNED_SUMMARY_FNV1A,
         "v1 summary bytes moved — campaign v1 is the frozen format"
     );
+}
+
+/// The pinned v2 smoke: the same reference config under `--sim-version
+/// 2` (stationary cross-traffic draws). Captured immediately before
+/// the sharded-aggregation refactor, so it proves the funnel rework
+/// did not move a byte of the current-format JSONL either.
+#[test]
+fn pinned_v2_smoke_reproduces_historical_bytes() {
+    const PINNED_JSONL_FNV1A: u64 = 0x59dd_b94a_617a_8127;
+    let cfg = CampaignConfig {
+        hosts: 40,
+        workers: 2,
+        seed: 1,
+        sim_version: SimVersion::V2,
+        ..CampaignConfig::default()
+    };
+    let mut buf = Vec::new();
+    run_campaign(&cfg, Some(&mut buf)).expect("in-memory sink");
+    assert_eq!(
+        fnv1a64(&buf),
+        PINNED_JSONL_FNV1A,
+        "v2 JSONL bytes moved — if this is an intended declared break, \
+         re-bless the pinned hash"
+    );
+}
+
+/// The funnel-free path (no sink, `keep_reports: false` — per-worker
+/// `ShardAggregator`s merged at the end, no id-order reorder buffer)
+/// must render the same summary as the ordered path, for every worker
+/// count and with pooling on or off. This is the tentpole guarantee:
+/// summary state is a commutative monoid, so the nondeterministic
+/// work-stealing partition cannot leak into the output.
+#[test]
+fn funnel_free_summary_matches_ordered_path_across_workers() {
+    let run = |workers: usize, keep_reports: bool, pool: bool| -> String {
+        let cfg = CampaignConfig {
+            hosts: 48,
+            workers,
+            seed: 14,
+            samples: 4,
+            pool,
+            keep_reports,
+            ..CampaignConfig::default()
+        };
+        let out = if keep_reports {
+            run_campaign(&cfg, Some(&mut Vec::new())).expect("in-memory sink")
+        } else {
+            run_campaign(&cfg, None::<&mut Vec<u8>>).expect("no sink")
+        };
+        assert_eq!(out.reports.len(), if keep_reports { 48 } else { 0 });
+        assert_eq!(out.summary.hosts, 48);
+        out.summary.render()
+    };
+    let ordered = run(1, true, true);
+    for workers in [1, 2, 8] {
+        for pool in [true, false] {
+            assert_eq!(
+                run(workers, false, pool),
+                ordered,
+                "funnel-free summary diverged (workers {workers}, pool {pool})"
+            );
+        }
+    }
+}
+
+/// Shard campaigns merge: running K/N shards separately and folding
+/// their summaries through `CampaignSummary::merge` reproduces the
+/// unsharded summary — the associative-merge contract at the process
+/// level (N machines can split a campaign and combine summaries).
+#[test]
+fn merged_shard_summaries_equal_the_unsharded_summary() {
+    let run = |shard: Option<(usize, usize)>| {
+        let cfg = CampaignConfig {
+            hosts: 31,
+            workers: 2,
+            seed: 5,
+            samples: 3,
+            keep_reports: false,
+            shard,
+            ..CampaignConfig::default()
+        };
+        run_campaign(&cfg, None::<&mut Vec<u8>>)
+            .expect("no sink")
+            .summary
+    };
+    let whole = run(None);
+    // Fold shards out of order — merge is commutative, not just
+    // associative.
+    let mut merged = run(Some((3, 4)));
+    for k in [1, 4, 2] {
+        merged.merge(&run(Some((k, 4))));
+    }
+    assert_eq!(merged.render(), whole.render());
+    assert_eq!(merged.hosts, whole.hosts);
 }
 
 /// The reuse-off (per-phase scenario) protocol builds many scenarios
