@@ -23,7 +23,7 @@
 
 use reorder_bench::{rule, Scale};
 use reorder_core::scenario::SimVersion;
-use reorder_survey::{run_campaign, CampaignConfig, CampaignOutcome};
+use reorder_survey::{run_campaign, CampaignConfig, CampaignOutcome, TelemetryMode};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -145,6 +145,17 @@ fn main() {
             },
             runs,
         ),
+        // Telemetry overhead arm: the same full v2 pipeline with
+        // summary-mode instrumentation on — gated against `v2_full`
+        // below so observation stays within its ≤5% budget.
+        measure(
+            "v2_full_telemetry",
+            &CampaignConfig {
+                telemetry: TelemetryMode::Summary,
+                ..base.clone()
+            },
+            runs,
+        ),
         // Ablations (v2): each turns one hot-path contribution off.
         measure(
             "v2_full_no_pool",
@@ -158,7 +169,7 @@ fn main() {
             "v2_full_no_reuse",
             &CampaignConfig {
                 reuse: false,
-                ..base
+                ..base.clone()
             },
             runs,
         ),
@@ -188,6 +199,37 @@ fn main() {
     println!(
         "v2/v1 full-pipeline wall ratio: {:.2}x faster (v1 {:.3}s -> v2 {:.3}s)",
         speedup, v1_full.wall_s, v2_full.wall_s
+    );
+    // Fraction of the uninstrumented throughput that survives
+    // summary-mode telemetry (1.0 = free; the floor gate wants ≥0.95).
+    // Measured as alternating off/summary pairs, min-of-n each, so
+    // shared-runner drift hits both arms equally — comparing two rows
+    // timed minutes apart swings ±40% on a busy box, the paired ratio
+    // does not.
+    let telemetry_frac = {
+        let summary_cfg = CampaignConfig {
+            telemetry: TelemetryMode::Summary,
+            ..base.clone()
+        };
+        let time_one = |cfg: &CampaignConfig| {
+            let started = Instant::now();
+            run_campaign(cfg, None::<&mut Vec<u8>>).expect("no sink, no error");
+            started.elapsed().as_secs_f64()
+        };
+        // Median of the per-pair wall ratios: each ratio cancels
+        // whatever drift its own pair saw, and the median discards the
+        // pairs an interference spike hit — min-of-n per arm proved
+        // ±5% flaky here, which a 0.95 gate cannot afford.
+        let mut ratios: Vec<f64> = (0..runs.max(9))
+            .map(|_| time_one(&base) / time_one(&summary_cfg))
+            .collect();
+        ratios.sort_by(f64::total_cmp);
+        ratios[ratios.len() / 2]
+    };
+    println!(
+        "telemetry overhead (summary vs off, paired): {:.1}% ({:.3} of off throughput)",
+        (1.0 - telemetry_frac) * 100.0,
+        telemetry_frac
     );
     let rss = peak_rss_kb();
     if let Some(kb) = rss {
@@ -236,6 +278,46 @@ fn main() {
         );
     }
 
+    // One traced run (summary telemetry, multi-worker where the box
+    // allows) for the phase/worker breakdown the JSON record embeds —
+    // separate from the perf rows above so instrumentation never
+    // contaminates the recorded throughput trajectory.
+    let traced_workers = cores.min(4);
+    let traced_cfg = CampaignConfig {
+        workers: traced_workers,
+        keep_reports: false,
+        telemetry: TelemetryMode::Summary,
+        ..base_scaling
+    };
+    let traced_started = Instant::now();
+    let traced = run_campaign(&traced_cfg, None::<&mut Vec<u8>>).expect("no sink, no error");
+    let traced_wall = traced_started.elapsed().as_secs_f64();
+    let merged = traced.telemetry.merged();
+    println!();
+    println!("phase breakdown ({traced_workers} worker(s), summary telemetry):");
+    rule(84);
+    println!(
+        "{:<16} {:>9} {:>11} {:>13}",
+        "span", "count", "total s", "mean ms"
+    );
+    rule(84);
+    for (key, s) in merged.spans() {
+        println!(
+            "{:<16} {:>9} {:>11.3} {:>13.4}",
+            key,
+            s.count(),
+            s.total_secs(),
+            s.secs.mean() * 1e3
+        );
+    }
+    let telemetry_doc = traced.telemetry.to_json(
+        traced.summary.hosts,
+        seed,
+        traced.events,
+        traced.stats.steals,
+        traced_wall,
+    );
+
     // Emit the JSON record.
     let mut json = String::new();
     let _ = write!(
@@ -269,7 +351,10 @@ fn main() {
             if i + 1 < scaling.len() { "," } else { "" },
         );
     }
-    json.push_str("  }\n}\n");
+    json.push_str("  },\n");
+    let _ = writeln!(json, "  \"telemetry_overhead_frac\": {telemetry_frac:.3},");
+    let _ = writeln!(json, "  \"telemetry\": {}", telemetry_doc.trim_end());
+    json.push_str("}\n");
     let out_path =
         std::env::var("REORDER_BENCH_OUT").unwrap_or_else(|_| "BENCH_campaign.json".to_string());
     std::fs::write(&out_path, &json).expect("writing BENCH_campaign.json");
@@ -325,6 +410,30 @@ fn main() {
                 eprintln!(
                     "FAIL: multi-worker throughput collapsed ({best:.0} < {limit:.0} \
                      hosts/sec; w1 {w1:.0}, frac {frac} from {floor_path})"
+                );
+                failed = true;
+            }
+        }
+        // Telemetry gate: summary-mode instrumentation must keep at
+        // least `frac` of the uninstrumented full-pipeline throughput
+        // (the tentpole's ≤5% overhead budget, as a recorded floor
+        // rather than a claim). Both rows are min-of-n from the same
+        // process, so the ratio is far less runner-noisy than the
+        // absolute hosts/sec floors above.
+        let tel_key = format!(
+            "{}_telemetry_floor_frac",
+            scale.pick("full", "std", "quick")
+        );
+        if let Some(frac) = json_number(&floor_text, &tel_key) {
+            println!(
+                "floor gate [telemetry]: {telemetry_frac:.3} of off throughput vs floor {frac:.2}"
+            );
+            if telemetry_frac < frac {
+                eprintln!(
+                    "FAIL: summary telemetry costs too much ({:.1}% > {:.1}% overhead \
+                     budget; frac {frac} from {floor_path})",
+                    (1.0 - telemetry_frac) * 100.0,
+                    (1.0 - frac) * 100.0,
                 );
                 failed = true;
             }

@@ -7,7 +7,7 @@ use reorder_core::scenario::{self, SimVersion};
 use reorder_core::validate::validate_run;
 use reorder_core::{technique, Measurer, Session, TestKind};
 use reorder_netsim::pipes::{ArqConfig, CrossTraffic};
-use reorder_survey::{run_campaign, CampaignConfig, TechniqueChoice};
+use reorder_survey::{run_campaign, CampaignConfig, TechniqueChoice, TelemetryMode};
 use reorder_tcpstack::HostPersonality;
 use std::time::Duration;
 
@@ -169,7 +169,7 @@ pub fn profile(args: &Args) -> Result<(), ArgError> {
     reorder_survey::scheduler::run_sharded(
         gaps.len(),
         workers,
-        || {
+        |_| {
             |i: usize| -> Result<ReorderEstimate, String> {
                 let gap = gaps[i];
                 let mut sc = match mechanism.as_str() {
@@ -276,7 +276,26 @@ pub fn survey(args: &Args) -> Result<(), ArgError> {
         "per-host",
         "shard",
         "sim-version",
+        "telemetry",
+        "metrics",
+        "progress",
     ])?;
+    let metrics = args.get("metrics");
+    let telemetry = match args.get("telemetry") {
+        Some(name) => {
+            let mode = TelemetryMode::parse(name).map_err(ArgError)?;
+            if metrics.is_some() && !mode.is_enabled() {
+                return Err(ArgError(
+                    "--metrics needs telemetry: drop `--telemetry off` or pass summary/full"
+                        .to_string(),
+                ));
+            }
+            mode
+        }
+        // `--metrics` without an explicit mode means "measure, cheaply".
+        None if metrics.is_some() => TelemetryMode::Summary,
+        None => TelemetryMode::Off,
+    };
     let cfg = CampaignConfig {
         hosts: args.get_or("hosts", 50)?,
         workers: parse_workers(args)?,
@@ -296,34 +315,45 @@ pub fn survey(args: &Args) -> Result<(), ArgError> {
         // (and without `--jsonl`) the engine takes the funnel-free
         // sharded-fold path and never materialises per-host reports.
         keep_reports: args.switch("per-host"),
+        telemetry,
+        progress: args.switch("progress"),
         model: Default::default(),
     };
 
     let started = std::time::Instant::now();
-    let mut file = match args.get("jsonl") {
-        Some(path) => Some(
+    // `--jsonl -` streams the per-host lines to stdout; human-facing
+    // output (per-host table, summary) then moves to stderr so the
+    // JSONL stream stays machine-parseable byte-for-byte.
+    let jsonl_on_stdout = args.get("jsonl") == Some("-");
+    let mut sink: Option<Box<dyn std::io::Write>> = match args.get("jsonl") {
+        Some("-") => Some(Box::new(std::io::BufWriter::new(std::io::stdout()))),
+        Some(path) => Some(Box::new(
             std::fs::File::create(path)
                 .map(std::io::BufWriter::new)
                 .map_err(|e| ArgError(format!("creating {path}: {e}")))?,
-        ),
+        )),
         None => None,
     };
-    let out = run_campaign(&cfg, file.as_mut())
+    let out = run_campaign(&cfg, sink.as_mut())
         .map_err(|e| ArgError(format!("writing JSONL report: {e}")))?;
-    if let Some(mut f) = file {
+    if let Some(mut f) = sink {
         use std::io::Write as _;
         f.flush()
             .map_err(|e| ArgError(format!("writing JSONL report: {e}")))?;
     }
     let wall = started.elapsed();
 
+    let mut human = String::new();
     if args.switch("per-host") {
-        println!(
+        use std::fmt::Write as _;
+        let _ = writeln!(
+            human,
             "{:<22} {:<12} {:<13} {:>10} {:>9} {:>9} {:>12}",
             "host", "personality", "verdict", "technique", "fwd", "rev", "status"
         );
         for r in &out.reports {
-            println!(
+            let _ = writeln!(
+                human,
                 "{:<22} {:<12} {:<13} {:>10} {:>8.2}% {:>8.2}% {:>12}",
                 r.spec.name,
                 r.spec.personality.name,
@@ -335,14 +365,37 @@ pub fn survey(args: &Args) -> Result<(), ArgError> {
             );
         }
     }
-    print!("{}", out.summary.render());
+    human.push_str(&out.summary.render());
+    if jsonl_on_stdout {
+        eprint!("{human}");
+    } else {
+        print!("{human}");
+    }
     eprintln!(
-        "campaign: {} hosts in {:.2}s on {} worker(s), {} steal(s)",
+        "campaign: {} hosts in {:.2}s on {} worker(s), {} steal(s), {} event(s), {:.0} events/s",
         cfg.hosts,
         wall.as_secs_f64(),
         out.stats.workers,
-        out.stats.steals
+        out.stats.steals,
+        out.events,
+        out.events as f64 / wall.as_secs_f64().max(1e-9),
     );
+
+    if let Some(target) = metrics {
+        let doc = out.telemetry.to_json(
+            out.summary.hosts,
+            cfg.seed,
+            out.events,
+            out.stats.steals,
+            wall.as_secs_f64(),
+        );
+        if target == "-" {
+            println!("{doc}");
+        } else {
+            std::fs::write(target, doc + "\n")
+                .map_err(|e| ArgError(format!("writing {target}: {e}")))?;
+        }
+    }
     Ok(())
 }
 

@@ -50,7 +50,8 @@ COMMANDS:
                --technique T        auto|single|single-rev|dual|syn|transfer
                                     (default auto: IPID-validate, dual where
                                     amenable, SYN fallback)
-               --jsonl FILE         write one JSON line per host
+               --jsonl FILE|-       write one JSON line per host (- =
+                                    stdout; the summary moves to stderr)
                --gaps-us LIST       extra gap sweep, e.g. 0,100,300 (§IV-C)
                --shard K/N          run only host-id shard K of N (1-based);
                                     concatenating shards 1..N reproduces the
@@ -64,6 +65,14 @@ COMMANDS:
                                     traffic (historical bytes), 2 = O(1)
                                     stationary draws (default; ~2x faster);
                                     output is byte-deterministic per version
+               --telemetry MODE     off|summary|full instrumentation
+                                    (default off; full adds latency
+                                    quantile sketches per span)
+               --metrics FILE|-     write the reorder.metrics/1 JSON
+                                    document (- = stdout; implies
+                                    --telemetry summary unless set)
+               --progress           heartbeat to stderr: hosts done,
+                                    hosts/s, ETA, per-worker utilization
                --seed S
   validate   measure and cross-check against the capture trace (§IV-A)
                --fwd P --rev P --samples N --seed S

@@ -100,6 +100,105 @@ fn survey_sim_versions_are_deterministic_and_distinct() {
 }
 
 #[test]
+fn progress_never_touches_jsonl_stdout() {
+    // `--jsonl -` owns stdout; heartbeat and summary ride stderr. The
+    // machine-readable bytes must be identical with and without
+    // `--progress` (and with telemetry on for good measure).
+    let base = &[
+        "survey",
+        "--hosts",
+        "12",
+        "--samples",
+        "4",
+        "--seed",
+        "5",
+        "--jsonl",
+        "-",
+    ];
+    let (plain, plain_err, ok) = reorder(base);
+    assert!(ok, "survey --jsonl - failed: {plain_err}");
+    let noisy = [base as &[&str], &["--progress", "--telemetry", "full"]].concat();
+    let (noisy_out, _, ok) = reorder(&noisy);
+    assert!(ok);
+    assert_eq!(
+        plain, noisy_out,
+        "--progress/--telemetry altered the JSONL stream"
+    );
+    assert_eq!(
+        plain.lines().count(),
+        12,
+        "one JSON line per host on stdout"
+    );
+    assert!(
+        plain.lines().all(|l| l.starts_with('{')),
+        "non-JSONL noise on stdout"
+    );
+    // The human summary still reaches the user — on stderr.
+    assert!(
+        plain_err.contains("hosts"),
+        "summary missing from stderr: {plain_err}"
+    );
+}
+
+#[test]
+fn metrics_document_smoke() {
+    let (stdout, stderr, ok) = reorder(&[
+        "survey",
+        "--hosts",
+        "8",
+        "--samples",
+        "4",
+        "--seed",
+        "3",
+        "--workers",
+        "2",
+        "--metrics",
+        "-",
+    ]);
+    assert!(ok, "survey --metrics - failed: {stderr}");
+    let doc = stdout
+        .lines()
+        .last()
+        .expect("metrics document on the last stdout line");
+    for key in [
+        "\"schema\":\"reorder.metrics/1\"",
+        "\"mode\":\"summary\"",
+        "\"hosts\":8",
+        "\"workers\":2",
+        "\"seed\":3",
+        "\"wall_s\":",
+        "\"events\":",
+        "\"steals\":",
+        "\"merged\":{",
+        "\"per_worker\":[",
+        "\"netsim.events\":",
+        "\"sched.tasks\":",
+        "\"agg.absorbs\":8",
+        "\"host\":{\"count\":8",
+    ] {
+        assert!(doc.contains(key), "missing {key} in metrics doc: {doc}");
+    }
+    // Footer now surfaces the event count and rate (satellite fix).
+    assert!(
+        stderr.contains("event(s)"),
+        "no event count in footer: {stderr}"
+    );
+
+    // Contradictory flags are rejected up front.
+    let (_, stderr, ok) = reorder(&[
+        "survey",
+        "--hosts",
+        "4",
+        "--metrics",
+        "-",
+        "--telemetry",
+        "off",
+    ]);
+    assert!(!ok, "--metrics with --telemetry off must fail");
+    assert!(stderr.contains("--metrics needs telemetry"), "{stderr}");
+}
+
+#[test]
 fn help_and_errors() {
     let (stdout, _, ok) = reorder(&["help"]);
     assert!(ok);

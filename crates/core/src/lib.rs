@@ -76,6 +76,7 @@ pub mod scenario;
 pub mod sender;
 pub mod stats;
 pub mod techniques;
+pub mod telemetry;
 pub mod validate;
 
 pub use measurer::{

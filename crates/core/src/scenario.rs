@@ -587,7 +587,9 @@ pub struct ScenarioPool {
     sim: Option<Simulator>,
     enabled: bool,
     events: u64,
+    overflow: u64,
     recycled: u64,
+    fresh: u64,
 }
 
 impl ScenarioPool {
@@ -597,7 +599,9 @@ impl ScenarioPool {
             sim: None,
             enabled: true,
             events: 0,
+            overflow: 0,
             recycled: 0,
+            fresh: 0,
         }
     }
 
@@ -622,9 +626,24 @@ impl ScenarioPool {
         self.events
     }
 
-    /// How many builds were served from a recycled simulator.
+    /// How many builds were served from a recycled simulator (the
+    /// telemetry layer's pool *hits*).
     pub fn recycled(&self) -> u64 {
         self.recycled
+    }
+
+    /// How many builds constructed a fresh [`Simulator`] (pool
+    /// *misses*: the first build of every worker, plus every build of
+    /// a [`ScenarioPool::disabled`] pool).
+    pub fn fresh_builds(&self) -> u64 {
+        self.fresh
+    }
+
+    /// Calendar-queue overflow-heap pushes absorbed from recycled
+    /// scenarios so far ([`Simulator::overflow_events`], banked by
+    /// [`ScenarioPool::recycle`] alongside the event count).
+    pub fn overflow_absorbed(&self) -> u64 {
+        self.overflow
     }
 
     fn checkout(&mut self, seed: u64) -> Simulator {
@@ -634,7 +653,10 @@ impl ScenarioPool {
                 self.recycled += 1;
                 sim
             }
-            _ => Simulator::new(seed),
+            _ => {
+                self.fresh += 1;
+                Simulator::new(seed)
+            }
         }
     }
 
@@ -645,6 +667,7 @@ impl ScenarioPool {
     pub fn recycle(&mut self, scenario: Scenario) {
         let sim = scenario.prober.into_sim();
         self.events += sim.events_processed();
+        self.overflow += sim.overflow_events();
         if self.enabled {
             self.sim = Some(sim);
         }

@@ -1,0 +1,148 @@
+//! Property tests for [`WorkerTelemetry`]'s algebraic laws, mirroring
+//! `prop_sketch.rs`: merge is an exact commutative monoid over the
+//! whole state (counters, span moments, span sketches), and building a
+//! telemetry from any partition of an observation stream then merging
+//! equals the serial build. These laws are what make per-worker
+//! telemetry safe to fold in completion order — the merged metrics
+//! document is independent of worker count and steal schedule, just
+//! like the campaign summary itself.
+
+use proptest::prelude::*;
+use reorder_core::telemetry::{TelemetryMode, WorkerTelemetry};
+
+const COUNTERS: [&str; 3] = ["netsim.events", "pool.hits", "sched.tasks"];
+const SPANS: [&str; 3] = ["host", "measure", "baseline"];
+
+/// One observation a worker might record mid-campaign.
+#[derive(Clone, Debug)]
+enum Op {
+    Count(usize, u64),
+    Span(usize, f64),
+}
+
+fn arb_ops(max_len: usize) -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0usize..COUNTERS.len(), 0u64..10_000).prop_map(|(k, n)| Op::Count(k, n)),
+            // Span durations in seconds, the unit the pipeline records
+            // (well inside the Moments fixed-point domain).
+            (0usize..SPANS.len(), 1e-6f64..1e3).prop_map(|(k, s)| Op::Span(k, s)),
+        ],
+        0..max_len,
+    )
+}
+
+/// Serial build: apply every op to one telemetry. `Full` mode so span
+/// sketches carry state too — the strongest equality we can test.
+fn apply(ops: &[Op]) -> WorkerTelemetry {
+    let mut tel = WorkerTelemetry::new();
+    for op in ops {
+        match *op {
+            Op::Count(k, n) => tel.count(COUNTERS[k], n),
+            Op::Span(k, s) => tel.record_span(SPANS[k], TelemetryMode::Full, s),
+        }
+    }
+    tel
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Merge is associative, commutative, and has the empty telemetry
+    /// as identity — exact `Eq` on the full state, not approximate.
+    #[test]
+    fn telemetry_merge_is_an_exact_commutative_monoid(
+        a in arb_ops(40),
+        b in arb_ops(40),
+        c in arb_ops(40),
+    ) {
+        let (ta, tb, tc) = (apply(&a), apply(&b), apply(&c));
+        // (a ∪ b) ∪ c
+        let mut left = ta.clone();
+        left.merge(&tb);
+        left.merge(&tc);
+        // a ∪ (b ∪ c)
+        let mut bc = tb.clone();
+        bc.merge(&tc);
+        let mut right = ta.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right, "merge must be associative");
+        // b ∪ a == a ∪ b
+        let mut ab = ta.clone();
+        ab.merge(&tb);
+        let mut ba = tb.clone();
+        ba.merge(&ta);
+        prop_assert_eq!(&ab, &ba, "merge must be commutative");
+        // Empty telemetry is the identity, on both sides.
+        let mut with_empty = left.clone();
+        with_empty.merge(&WorkerTelemetry::new());
+        prop_assert_eq!(&with_empty, &left, "empty must be a right identity");
+        let mut empty_first = WorkerTelemetry::new();
+        empty_first.merge(&left);
+        prop_assert_eq!(&empty_first, &left, "empty must be a left identity");
+    }
+
+    /// Partition invariance: splitting the observation stream at any
+    /// point and merging the per-shard telemetries reproduces the
+    /// serial build exactly — the property that makes the metrics
+    /// document worker-count-independent.
+    #[test]
+    fn telemetry_is_partition_invariant(ops in arb_ops(80), cut in 0usize..80) {
+        let cut = cut.min(ops.len());
+        let serial = apply(&ops);
+        let mut split = apply(&ops[..cut]);
+        split.merge(&apply(&ops[cut..]));
+        prop_assert_eq!(&split, &serial, "split/merge must equal the serial build");
+
+        // Counter totals are plain sums; span counts are op counts.
+        for (k, key) in COUNTERS.iter().enumerate() {
+            let want: u64 = ops
+                .iter()
+                .filter_map(|op| match op {
+                    Op::Count(i, n) if *i == k => Some(*n),
+                    _ => None,
+                })
+                .sum();
+            prop_assert_eq!(serial.counter(key), want);
+        }
+        for (k, key) in SPANS.iter().enumerate() {
+            let want = ops
+                .iter()
+                .filter(|op| matches!(op, Op::Span(i, _) if *i == k))
+                .count() as u64;
+            prop_assert_eq!(
+                serial.span_stats(key).map_or(0, |s| s.count()),
+                want
+            );
+        }
+    }
+
+    /// `Summary` and `Full` record identical counters and span moments;
+    /// `Full` only adds the quantile sketch. `Off` records nothing.
+    #[test]
+    fn modes_only_differ_in_sketch_depth(ops in arb_ops(40)) {
+        let build = |mode: TelemetryMode| {
+            let mut tel = WorkerTelemetry::new();
+            for op in &ops {
+                match *op {
+                    Op::Count(k, n) => tel.count(COUNTERS[k], n),
+                    Op::Span(k, s) => tel.record_span(SPANS[k], mode, s),
+                }
+            }
+            tel
+        };
+        let (summary, full) = (build(TelemetryMode::Summary), build(TelemetryMode::Full));
+        for key in SPANS {
+            let (s, f) = (summary.span_stats(key), full.span_stats(key));
+            prop_assert_eq!(s.is_some(), f.is_some());
+            if let (Some(s), Some(f)) = (s, f) {
+                prop_assert_eq!(&s.secs, &f.secs, "moments must not depend on mode");
+                prop_assert_eq!(s.sketch.count(), 0, "summary must skip the sketch");
+                prop_assert_eq!(f.sketch.count(), f.secs.count(), "full must feed the sketch");
+            }
+        }
+        for key in COUNTERS {
+            prop_assert_eq!(summary.counter(key), full.counter(key));
+        }
+    }
+}

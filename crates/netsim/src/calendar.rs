@@ -105,6 +105,11 @@ pub(crate) struct CalendarQueue<T> {
     /// three times per pop (deadline checks wrap the event loop), so
     /// the ring scan is paid once per structural change instead.
     min_cache: Cell<Option<(SimTime, u64)>>,
+    /// Pushes routed to the overflow heap since construction or
+    /// [`CalendarQueue::clear`] — the telemetry counter for "how often
+    /// does traffic fall off the wheel" (each such push costs a heap
+    /// insert instead of an O(1) bucket append).
+    overflow_pushes: u64,
 }
 
 impl<T> CalendarQueue<T> {
@@ -118,6 +123,7 @@ impl<T> CalendarQueue<T> {
             wheel_len: 0,
             len: 0,
             min_cache: Cell::new(None),
+            overflow_pushes: 0,
         }
     }
 
@@ -143,6 +149,12 @@ impl<T> CalendarQueue<T> {
         self.wheel_len = 0;
         self.len = 0;
         self.min_cache.set(None);
+        self.overflow_pushes = 0;
+    }
+
+    /// Pushes that landed in the overflow heap (see the field docs).
+    pub fn overflow_pushes(&self) -> u64 {
+        self.overflow_pushes
     }
 
     /// Schedule `item` at `time` with tiebreak `seq`. `now` is the
@@ -174,6 +186,7 @@ impl<T> CalendarQueue<T> {
             // earlier than the cursor's bucket (the clock now trails
             // the cursor). Both sides ride the ordered heap, and every
             // pop compares heap and wheel minima, so ordering holds.
+            self.overflow_pushes += 1;
             self.overflow.push(Reverse(entry));
             return;
         }

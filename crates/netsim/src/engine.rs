@@ -174,6 +174,16 @@ impl Simulator {
         self.queue.len()
     }
 
+    /// Event pushes that missed the calendar queue's wheel window and
+    /// fell back to the ordered overflow heap, since construction (or
+    /// the last [`Simulator::reset`]). A telemetry counter: overflow
+    /// pushes cost a heap insert instead of an O(1) bucket append, so
+    /// a high ratio against [`Simulator::events_processed`] means the
+    /// wheel width no longer matches the workload's event horizon.
+    pub fn overflow_events(&self) -> u64 {
+        self.queue.overflow_pushes()
+    }
+
     /// The master seed (devices use it with [`crate::rng::stream`]).
     pub fn master_seed(&self) -> u64 {
         self.master_seed

@@ -11,13 +11,20 @@
 //!   worker counts.
 
 use crate::aggregate::{CampaignSummary, ShardAggregator};
-use crate::pipeline::{survey_host_pooled, HostJob, HostReport, TechniqueChoice};
+use crate::metrics::{progress_line, CampaignTelemetry};
+use crate::pipeline::{survey_host_traced, HostJob, HostReport, TechniqueChoice};
 use crate::population::PopulationModel;
 use crate::report::jsonl_line;
-use crate::scheduler::{run_folded, run_sharded, PoolStats};
+use crate::scheduler::{
+    resolve_workers, run_folded_probed, run_sharded_probed, PoolStats, RunProbe,
+};
 use reorder_core::scenario::{ScenarioPool, SimVersion};
+use reorder_core::telemetry::{TelemetryMode, WorkerTelemetry};
 use reorder_netsim::rng as simrng;
 use std::io::{self, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// Everything a campaign needs.
 #[derive(Debug, Clone)]
@@ -65,6 +72,16 @@ pub struct CampaignConfig {
     /// merge at the end — no reorder buffer, no consuming thread, no
     /// O(hosts) report vector.
     pub keep_reports: bool,
+    /// Telemetry mode: `Off` (default) measures nothing; `Summary`
+    /// collects counters and phase-span moments; `Full` adds
+    /// [`reorder_core::stats::QuantileSketch`] latency distributions.
+    /// Telemetry observes and never participates — campaign output is
+    /// byte-identical in every mode.
+    pub telemetry: TelemetryMode,
+    /// Print a throttled heartbeat line to stderr while the campaign
+    /// runs (hosts done, hosts/sec, ETA, per-worker utilization).
+    /// Never touches stdout, so JSONL piping stays clean.
+    pub progress: bool,
     /// Run only shard `k` of `n` (1-based `Some((k, n))`): the
     /// contiguous host-id slice [`shard_bounds`] computes. `None` runs
     /// everything. Concatenating the JSONL outputs of shards 1..=n (in
@@ -109,6 +126,8 @@ impl Default for CampaignConfig {
             pool: true,
             sim_version: SimVersion::default(),
             keep_reports: true,
+            telemetry: TelemetryMode::Off,
+            progress: false,
             shard: None,
             model: PopulationModel::default(),
         }
@@ -129,6 +148,10 @@ pub struct CampaignOutcome {
     /// time this gives the events/sec figure `exp_scale` records in
     /// `BENCH_campaign.json`.
     pub events: u64,
+    /// Campaign telemetry: per-worker counters and span stats,
+    /// exactly mergeable ([`CampaignTelemetry::merged`]). Empty when
+    /// [`CampaignConfig::telemetry`] was [`TelemetryMode::Off`].
+    pub telemetry: CampaignTelemetry,
 }
 
 /// Run a campaign. When `jsonl` is given, one JSON line per host is
@@ -155,6 +178,7 @@ pub fn run_campaign<W: Write>(
         amenability_only: cfg.amenability_only,
         gaps_us: cfg.gaps_us.clone(),
         reuse: cfg.reuse,
+        telemetry: cfg.telemetry,
     };
     // Host ids this process measures. Specs and seeds key on the
     // absolute id, so a shard's slice of the report is byte-identical
@@ -175,9 +199,10 @@ pub fn run_campaign<W: Write>(
     };
     // The per-host pipeline, shared by both consumption paths: a pure
     // function of (config, master seed, absolute id) — never of the
-    // worker that runs it.
+    // worker that runs it. Telemetry observes into `tel` and never
+    // feeds back into the report.
     let job = &job;
-    let run_host = |pool: &mut ScenarioPool, i: usize| -> HostReport {
+    let run_host = |pool: &mut ScenarioPool, tel: &mut WorkerTelemetry, i: usize| -> HostReport {
         let id = (lo + i) as u64;
         let mut spec = cfg.model.host(id, cfg.seed);
         // The version is configuration, not population: stamp it after
@@ -185,75 +210,192 @@ pub fn run_campaign<W: Write>(
         // from identical RNG streams.
         spec.sim_version = cfg.sim_version;
         let host_seed = simrng::derive_seed(cfg.seed, &format!("survey.run.{id}"));
-        survey_host_pooled(id, &spec, host_seed, job, pool)
+        survey_host_traced(id, &spec, host_seed, job, pool, tel)
     };
 
-    let mut sink = jsonl;
-    if sink.is_none() && !cfg.keep_reports {
-        // Funnel-free path: fold per worker, merge shard aggregators
-        // in worker order (any order gives the same bits).
-        let (shards, stats) = run_folded(
-            hi - lo,
-            cfg.workers,
-            || (mk_pool(), ShardAggregator::default()),
-            |pool, agg, i| agg.absorb(&run_host(pool, i)),
-        );
-        let mut merged = ShardAggregator::default();
-        for shard in &shards {
-            merged.merge(shard);
-        }
-        return Ok(CampaignOutcome {
-            reports: Vec::new(),
-            summary: merged.summary,
-            stats,
-            events: merged.events,
-        });
-    }
+    // Live observation surface: `done` always counts completed hosts;
+    // timing (busy/idle splits, live utilization) turns on when either
+    // telemetry or the progress heartbeat needs it. `workers_used`
+    // mirrors the scheduler's own worker resolution.
+    let mode = cfg.telemetry;
+    let jobs = hi - lo;
+    let workers_used = resolve_workers(cfg.workers).min(jobs.max(1));
+    let timed = mode.is_enabled() || cfg.progress;
+    let probe = RunProbe::new(timed, workers_used);
+    let probe = &probe;
 
-    // Ordered path: a reorder buffer feeds the sink (and the report
-    // vector) in host-id order; the summary shares the same
-    // order-independent aggregation code.
-    let mut reports: Vec<HostReport> =
-        Vec::with_capacity(if cfg.keep_reports { hi - lo } else { 0 });
-    let mut agg = ShardAggregator::default();
-    let mut sink_err: Option<io::Error> = None;
-    let stats = run_sharded(
-        hi - lo,
-        cfg.workers,
-        || {
-            let mut pool = mk_pool();
-            move |i| run_host(&mut pool, i)
-        },
-        |_, report| {
-            if let Some(w) = sink.as_mut() {
-                let line = jsonl_line(&report);
-                if let Err(e) = w
-                    .write_all(line.as_bytes())
-                    .and_then(|()| w.write_all(b"\n"))
-                {
-                    // A dead sink (full disk, closed pipe) aborts the
-                    // campaign instead of burning the remaining hosts'
-                    // simulation time on a report that will be Err anyway.
-                    sink_err = Some(e);
-                    return std::ops::ControlFlow::Break(());
+    let mut sink = jsonl;
+    let mut run = move || -> io::Result<CampaignOutcome> {
+        if sink.is_none() && !cfg.keep_reports {
+            // Funnel-free path: fold per worker, merge shard
+            // aggregators in worker order (any order gives the same
+            // bits). Worker telemetry rides the fold state.
+            let (shards, stats) = run_folded_probed(
+                jobs,
+                cfg.workers,
+                |_w| {
+                    (
+                        mk_pool(),
+                        (ShardAggregator::default(), WorkerTelemetry::new()),
+                    )
+                },
+                |pool, state: &mut (ShardAggregator, WorkerTelemetry), i| {
+                    let (agg, tel) = state;
+                    let report = run_host(pool, tel, i);
+                    agg.absorb(&report);
+                    if mode.is_enabled() {
+                        tel.count("agg.absorbs", 1);
+                    }
+                },
+                probe,
+            );
+            let mut merged = ShardAggregator::default();
+            let mut telemetry = CampaignTelemetry {
+                mode,
+                ..CampaignTelemetry::default()
+            };
+            for (agg, tel) in shards {
+                merged.merge(&agg);
+                if mode.is_enabled() {
+                    telemetry.campaign.count("agg.merges", 1);
+                    telemetry.per_worker.push(tel);
                 }
             }
-            agg.absorb(&report);
-            if cfg.keep_reports {
-                reports.push(report);
-            }
-            std::ops::ControlFlow::Continue(())
-        },
-    );
+            attach_scheduler_counters(&mut telemetry, &stats);
+            return Ok(CampaignOutcome {
+                reports: Vec::new(),
+                summary: merged.summary,
+                stats,
+                events: merged.events,
+                telemetry,
+            });
+        }
 
-    match sink_err {
-        Some(e) => Err(e),
-        None => Ok(CampaignOutcome {
-            reports,
-            summary: agg.summary,
-            stats,
-            events: agg.events,
-        }),
+        // Ordered path: a reorder buffer feeds the sink (and the
+        // report vector) in host-id order; the summary shares the same
+        // order-independent aggregation code. Per-worker telemetry
+        // accumulates in a slot per worker (merged per host — the
+        // job closure has no end-of-run hook), absorbs are counted on
+        // the collector where they happen.
+        let mut reports: Vec<HostReport> =
+            Vec::with_capacity(if cfg.keep_reports { jobs } else { 0 });
+        let mut agg = ShardAggregator::default();
+        let mut collector_tel = WorkerTelemetry::new();
+        let tel_slots: Vec<Mutex<WorkerTelemetry>> = (0..workers_used)
+            .map(|_| Mutex::new(WorkerTelemetry::new()))
+            .collect();
+        let mut sink_err: Option<io::Error> = None;
+        let stats = run_sharded_probed(
+            jobs,
+            cfg.workers,
+            |w| {
+                let mut pool = mk_pool();
+                let slot = &tel_slots[w];
+                move |i| {
+                    let mut tel = WorkerTelemetry::new();
+                    let report = run_host(&mut pool, &mut tel, i);
+                    if mode.is_enabled() {
+                        slot.lock().expect("telemetry slot poisoned").merge(&tel);
+                    }
+                    report
+                }
+            },
+            |_, report| {
+                if let Some(w) = sink.as_mut() {
+                    let line = jsonl_line(&report);
+                    if let Err(e) = w
+                        .write_all(line.as_bytes())
+                        .and_then(|()| w.write_all(b"\n"))
+                    {
+                        // A dead sink (full disk, closed pipe) aborts the
+                        // campaign instead of burning the remaining hosts'
+                        // simulation time on a report that will be Err anyway.
+                        sink_err = Some(e);
+                        return std::ops::ControlFlow::Break(());
+                    }
+                }
+                agg.absorb(&report);
+                if mode.is_enabled() {
+                    collector_tel.count("agg.absorbs", 1);
+                }
+                if cfg.keep_reports {
+                    reports.push(report);
+                }
+                std::ops::ControlFlow::Continue(())
+            },
+            probe,
+        );
+
+        let mut telemetry = CampaignTelemetry {
+            mode,
+            campaign: collector_tel,
+            ..CampaignTelemetry::default()
+        };
+        if mode.is_enabled() {
+            telemetry.per_worker = tel_slots
+                .into_iter()
+                .map(|m| m.into_inner().expect("telemetry slot poisoned"))
+                .collect();
+        }
+        attach_scheduler_counters(&mut telemetry, &stats);
+        match sink_err {
+            Some(e) => Err(e),
+            None => Ok(CampaignOutcome {
+                reports,
+                summary: agg.summary,
+                stats,
+                events: agg.events,
+                telemetry,
+            }),
+        }
+    };
+
+    if !cfg.progress {
+        return run();
+    }
+
+    // Heartbeat: a watcher thread reads the probe and prints a
+    // throttled progress line to stderr. stderr only — stdout belongs
+    // to pinned report bytes — and nothing here feeds back into the
+    // campaign, so output stays byte-identical with the flag on.
+    let started = Instant::now();
+    let total = jobs as u64;
+    let stop = AtomicBool::new(false);
+    let stop = &stop;
+    std::thread::scope(|s| {
+        s.spawn(move || {
+            let mut last = 0.0f64;
+            while !stop.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(50));
+                let elapsed = started.elapsed().as_secs_f64();
+                if elapsed - last >= 0.5 {
+                    last = elapsed;
+                    let busy: Vec<u64> = (0..probe.slots()).map(|w| probe.busy_ns(w)).collect();
+                    let done = probe.done.load(Ordering::Relaxed);
+                    eprintln!("{}", progress_line(done, total, elapsed, &busy));
+                }
+            }
+        });
+        let result = run();
+        stop.store(true, Ordering::Relaxed);
+        result
+    })
+}
+
+/// Fold the scheduler's per-worker counters ([`crate::scheduler::WorkerStats`])
+/// into the matching worker's telemetry, under `sched.*` keys. No-op
+/// when telemetry is off.
+fn attach_scheduler_counters(tel: &mut CampaignTelemetry, stats: &PoolStats) {
+    if !tel.mode.is_enabled() {
+        return;
+    }
+    for (tel_w, ws) in tel.per_worker.iter_mut().zip(&stats.per_worker) {
+        tel_w.count("sched.tasks", ws.tasks);
+        tel_w.count("sched.steal_attempts", ws.steal_attempts);
+        tel_w.count("sched.steals", ws.steals);
+        tel_w.count("sched.busy_ns", ws.busy_ns);
+        tel_w.count("sched.idle_ns", ws.idle_ns);
+        tel_w.count("sched.wall_ns", ws.wall_ns);
     }
 }
 
@@ -380,6 +522,111 @@ mod tests {
             .enumerate()
             .all(|(k, r)| r.id == (lo + k) as u64));
         assert_eq!(out.summary.hosts, (hi - lo) as u64);
+    }
+
+    #[test]
+    fn telemetry_never_changes_output() {
+        // Telemetry observes; campaign bytes must be identical across
+        // every mode (and with the progress heartbeat armed).
+        let base = CampaignConfig {
+            hosts: 8,
+            workers: 2,
+            seed: 31,
+            samples: 4,
+            baseline: false,
+            ..CampaignConfig::default()
+        };
+        let mut runs = Vec::new();
+        for (telemetry, progress) in [
+            (TelemetryMode::Off, false),
+            (TelemetryMode::Summary, false),
+            (TelemetryMode::Full, true),
+        ] {
+            let cfg = CampaignConfig {
+                telemetry,
+                progress,
+                ..base.clone()
+            };
+            let mut buf = Vec::new();
+            let out = run_campaign(&cfg, Some(&mut buf)).expect("in-memory sink");
+            runs.push((buf, out.summary.render()));
+        }
+        assert_eq!(runs[0], runs[1], "Summary mode changed output");
+        assert_eq!(runs[0], runs[2], "Full mode + progress changed output");
+    }
+
+    #[test]
+    fn telemetry_counters_are_worker_count_invariant() {
+        // The mergeable-monoid contract end to end: however hosts are
+        // partitioned across workers (and whichever consumption path
+        // runs), the merged counters are identical.
+        let run = |workers: usize, keep_reports: bool| {
+            let cfg = CampaignConfig {
+                hosts: 12,
+                workers,
+                seed: 5,
+                samples: 4,
+                baseline: false,
+                keep_reports,
+                telemetry: TelemetryMode::Summary,
+                ..CampaignConfig::default()
+            };
+            run_campaign(&cfg, None::<&mut Vec<u8>>).expect("no sink")
+        };
+        let baseline = run(1, true);
+        let merged = baseline.telemetry.merged();
+        assert_eq!(merged.counter("netsim.events"), baseline.events);
+        assert_eq!(merged.counter("agg.absorbs"), 12);
+        assert_eq!(merged.counter("sched.tasks"), 12);
+        assert!(merged.counter("pool.hits") > 0, "pooled run must recycle");
+        for workers in [2, 4] {
+            for keep_reports in [true, false] {
+                let out = run(workers, keep_reports);
+                let m = out.telemetry.merged();
+                for key in [
+                    "netsim.events",
+                    "netsim.calendar_overflow",
+                    "pool.hits",
+                    "pool.misses",
+                    "agg.absorbs",
+                    "sched.tasks",
+                ] {
+                    // Pool misses are per-worker first builds, so they
+                    // scale with the worker count — but hits + misses
+                    // (total checkouts) must not.
+                    if key == "pool.misses" || key == "pool.hits" {
+                        continue;
+                    }
+                    assert_eq!(
+                        m.counter(key),
+                        merged.counter(key),
+                        "{key} must be partition-invariant (workers={workers}, keep={keep_reports})"
+                    );
+                }
+                assert_eq!(
+                    m.counter("pool.hits") + m.counter("pool.misses"),
+                    merged.counter("pool.hits") + merged.counter("pool.misses"),
+                    "total checkouts invariant (workers={workers})"
+                );
+                let span = m.span_stats("host").expect("host span recorded");
+                assert_eq!(span.count(), 12, "one host span per host");
+            }
+        }
+    }
+
+    #[test]
+    fn telemetry_off_records_nothing() {
+        let cfg = CampaignConfig {
+            hosts: 4,
+            workers: 2,
+            seed: 9,
+            samples: 3,
+            baseline: false,
+            ..CampaignConfig::default()
+        };
+        let out = run_campaign(&cfg, None::<&mut Vec<u8>>).expect("no sink");
+        assert_eq!(out.telemetry, crate::metrics::CampaignTelemetry::disabled());
+        assert!(out.telemetry.merged().is_empty());
     }
 
     #[test]

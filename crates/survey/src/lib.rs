@@ -63,6 +63,7 @@
 
 pub mod aggregate;
 pub mod engine;
+pub mod metrics;
 pub mod pipeline;
 pub mod population;
 pub mod report;
@@ -70,6 +71,8 @@ pub mod scheduler;
 
 pub use aggregate::{CampaignSummary, RateHistogram, ShardAggregator};
 pub use engine::{run_campaign, shard_bounds, CampaignConfig, CampaignOutcome};
+pub use metrics::{CampaignTelemetry, METRICS_SCHEMA};
 pub use pipeline::{HostJob, HostReport, TechniqueChoice};
 pub use population::PopulationModel;
 pub use reorder_core::scenario::SimVersion;
+pub use reorder_core::telemetry::{TelemetryMode, WorkerTelemetry};

@@ -30,6 +30,7 @@ use reorder_core::metrics::ReorderEstimate;
 use reorder_core::sample::TestConfig;
 use reorder_core::scenario::{HostSpec, ScenarioPool};
 use reorder_core::techniques::{IpidVerdict, TestKind};
+use reorder_core::telemetry::{TelemetryMode, WorkerTelemetry};
 use reorder_core::{technique, Measurement, Measurer, ProbeError, Session};
 use reorder_netsim::rng as simrng;
 use std::fmt;
@@ -103,6 +104,10 @@ pub struct HostJob {
     /// Share one scenario and one connection-caching [`Session`] across
     /// the host's phases (see the module docs).
     pub reuse: bool,
+    /// Telemetry mode for phase spans and pipeline counters (recorded
+    /// into the [`WorkerTelemetry`] handed to [`survey_host_traced`]).
+    /// `Off` (the default) measures nothing — a few branches, no clock.
+    pub telemetry: TelemetryMode,
 }
 
 impl Default for HostJob {
@@ -115,6 +120,7 @@ impl Default for HostJob {
             amenability_only: false,
             gaps_us: Vec::new(),
             reuse: true,
+            telemetry: TelemetryMode::Off,
         }
     }
 }
@@ -211,6 +217,17 @@ impl Phase {
             Phase::Fallback(r) => format!("round{r}.fallback"),
             Phase::Baseline => "baseline".to_string(),
             Phase::Gap(g) => format!("gap{g}"),
+        }
+    }
+
+    /// The telemetry span label this phase's duration is recorded
+    /// under. Fallback rounds are measurement work like the rounds
+    /// they replace, so both share the `measure` span.
+    fn span_label(&self) -> &'static str {
+        match self {
+            Phase::Round(_) | Phase::Fallback(_) => "measure",
+            Phase::Baseline => "baseline",
+            Phase::Gap(_) => "gap_sweep",
         }
     }
 }
@@ -317,13 +334,47 @@ pub fn survey_host_pooled(
     job: &HostJob,
     pool: &mut ScenarioPool,
 ) -> HostReport {
+    survey_host_traced(id, spec, host_seed, job, pool, &mut WorkerTelemetry::new())
+}
+
+/// [`survey_host_pooled`] with a telemetry sink: phase span durations
+/// (`host`, `amenability`, `measure`, `baseline`, `gap_sweep`) and
+/// pipeline counters (`netsim.events`, `netsim.calendar_overflow`,
+/// `pool.hits`, `pool.misses`) are folded into `tel` according to
+/// [`HostJob::telemetry`]. With [`TelemetryMode::Off`] (the default)
+/// nothing is recorded and no clock is read — `tel` stays untouched —
+/// and in every mode the returned report is byte-identical to the
+/// untraced run (telemetry observes; it never participates).
+pub fn survey_host_traced(
+    id: u64,
+    spec: &HostSpec,
+    host_seed: u64,
+    job: &HostJob,
+    pool: &mut ScenarioPool,
+    tel: &mut WorkerTelemetry,
+) -> HostReport {
+    let mode = job.telemetry;
     let events_before = pool.events_absorbed();
+    let overflow_before = pool.overflow_absorbed();
+    let hits_before = pool.recycled();
+    let misses_before = pool.fresh_builds();
+    let host_sw = mode.start();
     let mut report = if job.reuse {
-        survey_host_reusing(id, spec, host_seed, job, pool)
+        survey_host_reusing(id, spec, host_seed, job, pool, tel)
     } else {
-        survey_host_fresh(id, spec, host_seed, job, pool)
+        survey_host_fresh(id, spec, host_seed, job, pool, tel)
     };
     report.events = pool.events_absorbed() - events_before;
+    if mode.is_enabled() {
+        tel.span("host", mode, host_sw);
+        tel.count("netsim.events", report.events);
+        tel.count(
+            "netsim.calendar_overflow",
+            pool.overflow_absorbed() - overflow_before,
+        );
+        tel.count("pool.hits", pool.recycled() - hits_before);
+        tel.count("pool.misses", pool.fresh_builds() - misses_before);
+    }
     report
 }
 
@@ -337,15 +388,22 @@ fn survey_host_reusing(
     host_seed: u64,
     job: &HostJob,
     pool: &mut ScenarioPool,
+    tel: &mut WorkerTelemetry,
 ) -> HostReport {
+    let mode = job.telemetry;
     let mut sc = pool.internet_host(spec, simrng::derive_seed(host_seed, "session"));
     let report = {
         let mut session = Session::new(&mut sc.prober, sc.target, 80).with_reuse(true);
+        let sw = mode.start();
         let verdict = technique(TestKind::DualConnection, TestConfig::samples(5))
             .probe_amenability(&mut session)
             .ok();
-        run_protocol(id, spec, verdict, job, |kind, _phase, cfg| {
-            Measurer::new(kind).with_config(cfg).run(&mut session)
+        tel.span("amenability", mode, sw);
+        run_protocol(id, spec, verdict, job, |kind, phase, cfg| {
+            let sw = mode.start();
+            let outcome = Measurer::new(kind).with_config(cfg).run(&mut session);
+            tel.span(phase.span_label(), mode, sw);
+            outcome
         })
         // Session drops here: cached connections close politely while
         // the scenario is still alive, so teardown traffic is counted.
@@ -363,8 +421,11 @@ fn survey_host_fresh(
     host_seed: u64,
     job: &HostJob,
     pool: &mut ScenarioPool,
+    tel: &mut WorkerTelemetry,
 ) -> HostReport {
+    let mode = job.telemetry;
     let verdict = {
+        let sw = mode.start();
         let mut sc = pool.internet_host(spec, simrng::derive_seed(host_seed, "amenability"));
         let verdict = {
             let mut session = Session::new(&mut sc.prober, sc.target, 80);
@@ -373,9 +434,11 @@ fn survey_host_fresh(
                 .ok()
         };
         pool.recycle(sc);
+        tel.span("amenability", mode, sw);
         verdict
     };
     run_protocol(id, spec, verdict, job, |kind, phase, cfg| {
+        let sw = mode.start();
         let seed = simrng::derive_seed(host_seed, &phase.seed_label());
         let mut sc = pool.internet_host(spec, seed);
         let outcome = {
@@ -383,6 +446,7 @@ fn survey_host_fresh(
             Measurer::new(kind).with_config(cfg).run(&mut session)
         };
         pool.recycle(sc);
+        tel.span(phase.span_label(), mode, sw);
         outcome
     })
 }

@@ -24,23 +24,113 @@
 //!   path for summary-only campaigns — correct only when the fold is
 //!   order-independent (the aggregation layer's commutative-monoid
 //!   contract).
+//!
+//! Both modes report per-worker counters ([`WorkerStats`]: tasks,
+//! steal attempts/successes, busy vs idle nanoseconds) and accept a
+//! [`RunProbe`] — the live observation surface a progress heartbeat
+//! reads while the run is in flight. Timing is opt-in via the probe:
+//! an untimed run never reads a clock in the worker loop.
 
 use std::collections::{BTreeMap, VecDeque};
 use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Mutex};
 use std::thread;
+use std::time::Instant;
+
+/// One worker's scheduler counters for a finished run. Integer state:
+/// summing any partition of workers gives the same totals, matching
+/// the telemetry layer's mergeable-monoid contract.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Jobs this worker executed (own shard + stolen).
+    pub tasks: u64,
+    /// Steal probes: locked peeks at another worker's shard, whether
+    /// or not a job came back.
+    pub steal_attempts: u64,
+    /// Jobs executed after being stolen from another worker's shard.
+    pub steals: u64,
+    /// Nanoseconds spent executing jobs (zero when the run's
+    /// [`RunProbe`] was untimed).
+    pub busy_ns: u64,
+    /// Wall nanoseconds minus busy nanoseconds: lock waits, steal
+    /// probes and channel sends (zero when untimed).
+    pub idle_ns: u64,
+    /// Worker-thread wall nanoseconds, spawn to exit (zero when
+    /// untimed).
+    pub wall_ns: u64,
+}
 
 /// Counters the pool reports after a run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PoolStats {
     /// Worker threads used.
     pub workers: usize,
-    /// Jobs executed after being stolen from another worker's shard.
+    /// Jobs executed after being stolen from another worker's shard
+    /// (the sum of [`WorkerStats::steals`]).
     pub steals: u64,
     /// True when `consume` broke the run off early; trailing jobs were
     /// skipped or discarded.
     pub aborted: bool,
+    /// Per-worker counters, in worker-index order.
+    pub per_worker: Vec<WorkerStats>,
+}
+
+/// Live observation surface for an in-flight run, shared between the
+/// workers and whoever watches them (the `--progress` heartbeat).
+/// Workers bump [`RunProbe::done`] after every job; a *timed* probe
+/// additionally makes each worker read the clock around every job,
+/// publish its running busy time, and report busy/idle/wall splits in
+/// its [`WorkerStats`]. [`RunProbe::disabled`] costs one relaxed
+/// atomic increment per job and never a syscall.
+#[derive(Debug)]
+pub struct RunProbe {
+    timed: bool,
+    /// Jobs completed so far, across all workers.
+    pub done: AtomicU64,
+    busy_ns: Vec<AtomicU64>,
+}
+
+impl RunProbe {
+    /// A probe for up to `workers` workers. `timed` turns on per-job
+    /// clock reads (busy/idle accounting and live utilization).
+    pub fn new(timed: bool, workers: usize) -> RunProbe {
+        RunProbe {
+            timed,
+            done: AtomicU64::new(0),
+            busy_ns: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// The no-observation probe: untimed, no per-worker slots.
+    pub fn disabled() -> RunProbe {
+        RunProbe::new(false, 0)
+    }
+
+    /// Whether workers time their jobs.
+    pub fn timed(&self) -> bool {
+        self.timed
+    }
+
+    /// Worker `w`'s published busy nanoseconds so far (0 when untimed
+    /// or out of range).
+    pub fn busy_ns(&self, w: usize) -> u64 {
+        self.busy_ns
+            .get(w)
+            .map(|a| a.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Per-worker slots allocated.
+    pub fn slots(&self) -> usize {
+        self.busy_ns.len()
+    }
+
+    fn publish_busy(&self, w: usize, ns: u64) {
+        if let Some(slot) = self.busy_ns.get(w) {
+            slot.store(ns, Ordering::Relaxed);
+        }
+    }
 }
 
 /// Resolve a requested worker count: 0 means "all available cores".
@@ -54,71 +144,136 @@ pub fn resolve_workers(requested: usize) -> usize {
     }
 }
 
+/// Pop the next job index for worker `w`: own shard first (front),
+/// then steal from the other shards (back), counting probes and
+/// successes into `st`.
+fn next_job(
+    w: usize,
+    workers: usize,
+    shards: &[Mutex<VecDeque<usize>>],
+    st: &mut WorkerStats,
+) -> Option<usize> {
+    if let Some(i) = shards[w].lock().expect("shard poisoned").pop_front() {
+        return Some(i);
+    }
+    for v in 1..workers {
+        let victim = (w + v) % workers;
+        st.steal_attempts += 1;
+        let got = shards[victim].lock().expect("shard poisoned").pop_back();
+        if got.is_some() {
+            st.steals += 1;
+            return got;
+        }
+    }
+    None
+}
+
+/// Deal job indices round-robin: shard w holds indices ≡ w (mod workers).
+fn deal_shards(jobs: usize, workers: usize) -> Vec<Mutex<VecDeque<usize>>> {
+    let mut deques: Vec<VecDeque<usize>> = vec![VecDeque::new(); workers];
+    for i in 0..jobs {
+        deques[i % workers].push_back(i);
+    }
+    deques.into_iter().map(Mutex::new).collect()
+}
+
+fn collect_stats(workers: usize, aborted: bool, wstats: Vec<Mutex<WorkerStats>>) -> PoolStats {
+    let per_worker: Vec<WorkerStats> = wstats
+        .into_iter()
+        .map(|m| m.into_inner().expect("stats poisoned"))
+        .collect();
+    PoolStats {
+        workers,
+        steals: per_worker.iter().map(|s| s.steals).sum(),
+        aborted,
+        per_worker,
+    }
+}
+
+/// Run `jobs` indices through per-worker job closures on `workers`
+/// threads and feed every result to `consume` **in index order** —
+/// see [`run_sharded_probed`] for the full contract. This convenience
+/// form attaches a [`RunProbe::disabled`].
+pub fn run_sharded<R, F, J, C>(jobs: usize, workers: usize, mk_worker: F, consume: C) -> PoolStats
+where
+    R: Send,
+    F: Fn(usize) -> J + Sync,
+    J: FnMut(usize) -> R,
+    C: FnMut(usize, R) -> ControlFlow<()>,
+{
+    run_sharded_probed(jobs, workers, mk_worker, consume, &RunProbe::disabled())
+}
+
 /// Run `jobs` indices through per-worker job closures on `workers`
 /// threads and feed every result to `consume` **in index order**.
 ///
-/// `mk_worker` runs once on each worker thread and returns that
-/// worker's job closure — the hook for per-worker mutable state such
-/// as a recycled [`reorder_core::scenario::ScenarioPool`] (simulations
-/// are `!Send`, so worker-local state must be born on the worker).
-/// The closure must stay a pure function of the index — state may
-/// only affect *how fast* a result is produced, never *what* it is —
-/// or the order-independence guarantee means nothing; the campaign
+/// `mk_worker` runs once on each worker thread — receiving the worker
+/// index — and returns that worker's job closure — the hook for
+/// per-worker mutable state such as a recycled
+/// [`reorder_core::scenario::ScenarioPool`] (simulations are `!Send`,
+/// so worker-local state must be born on the worker). The closure must
+/// stay a pure function of the index — state may only affect *how
+/// fast* a result is produced, never *what* it is — or the
+/// order-independence guarantee means nothing; the campaign
 /// determinism suite asserts this by comparing pooled, fresh, sharded
 /// and differently-parallel runs byte for byte.
 ///
 /// `consume` may return [`ControlFlow::Break`] to abort the campaign
 /// early (e.g. a failed sink): queued shards are drained, the workers
-/// stop, and remaining results are discarded. Returns pool counters.
-pub fn run_sharded<R, F, J, C>(
+/// stop, and remaining results are discarded. `probe` is the live
+/// observation surface (see [`RunProbe`]). Returns pool counters,
+/// including per-worker [`WorkerStats`].
+pub fn run_sharded_probed<R, F, J, C>(
     jobs: usize,
     workers: usize,
     mk_worker: F,
     mut consume: C,
+    probe: &RunProbe,
 ) -> PoolStats
 where
     R: Send,
-    F: Fn() -> J + Sync,
+    F: Fn(usize) -> J + Sync,
     J: FnMut(usize) -> R,
     C: FnMut(usize, R) -> ControlFlow<()>,
 {
     let workers = resolve_workers(workers).min(jobs.max(1));
-    // Deal round-robin: shard w holds indices ≡ w (mod workers).
-    let mut deques: Vec<VecDeque<usize>> = vec![VecDeque::new(); workers];
-    for i in 0..jobs {
-        deques[i % workers].push_back(i);
-    }
-    let shards: Vec<Mutex<VecDeque<usize>>> = deques.into_iter().map(Mutex::new).collect();
-    let steals = AtomicU64::new(0);
+    let shards = deal_shards(jobs, workers);
+    let wstats: Vec<Mutex<WorkerStats>> = (0..workers)
+        .map(|_| Mutex::new(WorkerStats::default()))
+        .collect();
     let (tx, rx) = mpsc::channel::<(usize, R)>();
 
     let aborted = thread::scope(|s| {
         for w in 0..workers {
             let tx = tx.clone();
             let shards = &shards;
-            let steals = &steals;
+            let wstats = &wstats;
             let mk_worker = &mk_worker;
             s.spawn(move || {
-                let mut job = mk_worker();
-                loop {
-                    // Own shard first (front), then steal (back).
-                    let mut next = shards[w].lock().expect("shard poisoned").pop_front();
-                    if next.is_none() {
-                        for v in 1..workers {
-                            let victim = (w + v) % workers;
-                            let got = shards[victim].lock().expect("shard poisoned").pop_back();
-                            if got.is_some() {
-                                steals.fetch_add(1, Ordering::Relaxed);
-                                next = got;
-                                break;
-                            }
-                        }
-                    }
-                    let Some(i) = next else { break };
-                    if tx.send((i, job(i))).is_err() {
+                let mut job = mk_worker(w);
+                let mut st = WorkerStats::default();
+                let born = probe.timed().then(Instant::now);
+                while let Some(i) = next_job(w, workers, shards, &mut st) {
+                    let r = if born.is_some() {
+                        let t = Instant::now();
+                        let r = job(i);
+                        st.busy_ns += t.elapsed().as_nanos() as u64;
+                        probe.publish_busy(w, st.busy_ns);
+                        r
+                    } else {
+                        job(i)
+                    };
+                    st.tasks += 1;
+                    probe.done.fetch_add(1, Ordering::Relaxed);
+                    if tx.send((i, r)).is_err() {
                         break;
                     }
                 }
+                if let Some(t0) = born {
+                    st.wall_ns = t0.elapsed().as_nanos() as u64;
+                    st.idle_ns = st.wall_ns.saturating_sub(st.busy_ns);
+                }
+                *wstats[w].lock().expect("stats poisoned") = st;
             });
         }
         drop(tx);
@@ -156,30 +311,12 @@ where
         aborted
     });
 
-    PoolStats {
-        workers,
-        steals: steals.load(Ordering::Relaxed),
-        aborted,
-    }
+    collect_stats(workers, aborted, wstats)
 }
 
 /// Run `jobs` indices on `workers` threads, folding each result into a
-/// **worker-local** state — the funnel-free alternative to
-/// [`run_sharded`] for consumers that don't need ordered results.
-///
-/// `mk_worker` runs once on each worker thread and returns `(local,
-/// state)`: `local` is worker-local scratch that never leaves the
-/// thread (e.g. a `!Send` simulator pool), `state` is the fold
-/// accumulator handed back at the end. `step` executes job `i`,
-/// folding its result into `state`. States are returned in
-/// worker-index order.
-///
-/// Work stealing makes the job→worker assignment nondeterministic, so
-/// a caller needing deterministic totals must fold with an
-/// order-independent (commutative, associative) operation —
-/// `reorder-survey`'s aggregation layer is built on exactly that
-/// contract, and the campaign determinism suite asserts it against
-/// the ordered path byte for byte.
+/// **worker-local** state — see [`run_folded_probed`] for the full
+/// contract. This convenience form attaches a [`RunProbe::disabled`].
 pub fn run_folded<L, S, F, G>(
     jobs: usize,
     workers: usize,
@@ -188,45 +325,78 @@ pub fn run_folded<L, S, F, G>(
 ) -> (Vec<S>, PoolStats)
 where
     S: Send,
-    F: Fn() -> (L, S) + Sync,
+    F: Fn(usize) -> (L, S) + Sync,
+    G: Fn(&mut L, &mut S, usize) + Sync,
+{
+    run_folded_probed(jobs, workers, mk_worker, step, &RunProbe::disabled())
+}
+
+/// Run `jobs` indices on `workers` threads, folding each result into a
+/// **worker-local** state — the funnel-free alternative to
+/// [`run_sharded_probed`] for consumers that don't need ordered
+/// results.
+///
+/// `mk_worker` runs once on each worker thread — receiving the worker
+/// index — and returns `(local, state)`: `local` is worker-local
+/// scratch that never leaves the thread (e.g. a `!Send` simulator
+/// pool), `state` is the fold accumulator handed back at the end.
+/// `step` executes job `i`, folding its result into `state`. States
+/// are returned in worker-index order, and `probe` is the live
+/// observation surface (see [`RunProbe`]).
+///
+/// Work stealing makes the job→worker assignment nondeterministic, so
+/// a caller needing deterministic totals must fold with an
+/// order-independent (commutative, associative) operation —
+/// `reorder-survey`'s aggregation layer is built on exactly that
+/// contract, and the campaign determinism suite asserts it against
+/// the ordered path byte for byte.
+pub fn run_folded_probed<L, S, F, G>(
+    jobs: usize,
+    workers: usize,
+    mk_worker: F,
+    step: G,
+    probe: &RunProbe,
+) -> (Vec<S>, PoolStats)
+where
+    S: Send,
+    F: Fn(usize) -> (L, S) + Sync,
     G: Fn(&mut L, &mut S, usize) + Sync,
 {
     let workers = resolve_workers(workers).min(jobs.max(1));
-    let mut deques: Vec<VecDeque<usize>> = vec![VecDeque::new(); workers];
-    for i in 0..jobs {
-        deques[i % workers].push_back(i);
-    }
-    let shards: Vec<Mutex<VecDeque<usize>>> = deques.into_iter().map(Mutex::new).collect();
-    let steals = AtomicU64::new(0);
+    let shards = deal_shards(jobs, workers);
+    let wstats: Vec<Mutex<WorkerStats>> = (0..workers)
+        .map(|_| Mutex::new(WorkerStats::default()))
+        .collect();
     let states: Vec<Mutex<Option<S>>> = (0..workers).map(|_| Mutex::new(None)).collect();
 
     thread::scope(|s| {
         for w in 0..workers {
             let shards = &shards;
-            let steals = &steals;
+            let wstats = &wstats;
             let states = &states;
             let mk_worker = &mk_worker;
             let step = &step;
             s.spawn(move || {
-                let (mut local, mut state) = mk_worker();
-                loop {
-                    // Own shard first (front), then steal (back) — the
-                    // same discipline as `run_sharded`.
-                    let mut next = shards[w].lock().expect("shard poisoned").pop_front();
-                    if next.is_none() {
-                        for v in 1..workers {
-                            let victim = (w + v) % workers;
-                            let got = shards[victim].lock().expect("shard poisoned").pop_back();
-                            if got.is_some() {
-                                steals.fetch_add(1, Ordering::Relaxed);
-                                next = got;
-                                break;
-                            }
-                        }
+                let (mut local, mut state) = mk_worker(w);
+                let mut st = WorkerStats::default();
+                let born = probe.timed().then(Instant::now);
+                while let Some(i) = next_job(w, workers, shards, &mut st) {
+                    if born.is_some() {
+                        let t = Instant::now();
+                        step(&mut local, &mut state, i);
+                        st.busy_ns += t.elapsed().as_nanos() as u64;
+                        probe.publish_busy(w, st.busy_ns);
+                    } else {
+                        step(&mut local, &mut state, i);
                     }
-                    let Some(i) = next else { break };
-                    step(&mut local, &mut state, i);
+                    st.tasks += 1;
+                    probe.done.fetch_add(1, Ordering::Relaxed);
                 }
+                if let Some(t0) = born {
+                    st.wall_ns = t0.elapsed().as_nanos() as u64;
+                    st.idle_ns = st.wall_ns.saturating_sub(st.busy_ns);
+                }
+                *wstats[w].lock().expect("stats poisoned") = st;
                 *states[w].lock().expect("state poisoned") = Some(state);
             });
         }
@@ -240,14 +410,7 @@ where
                 .expect("worker died before folding its state")
         })
         .collect();
-    (
-        states,
-        PoolStats {
-            workers,
-            steals: steals.load(Ordering::Relaxed),
-            aborted: false,
-        },
-    )
+    (states, collect_stats(workers, false, wstats))
 }
 
 #[cfg(test)]
@@ -262,7 +425,7 @@ mod tests {
             let stats = run_sharded(
                 100,
                 workers,
-                || |i| i * 3,
+                |_| |i| i * 3,
                 |i, r| {
                     seen.push((i, r));
                     ControlFlow::Continue(())
@@ -280,13 +443,13 @@ mod tests {
 
     #[test]
     fn zero_jobs_is_fine() {
-        let stats = run_sharded(0, 4, || |i| i, |_, _: usize| panic!("no jobs to consume"));
+        let stats = run_sharded(0, 4, |_| |i| i, |_, _: usize| panic!("no jobs to consume"));
         assert_eq!(stats.steals, 0);
     }
 
     #[test]
     fn workers_cap_at_job_count() {
-        let stats = run_sharded(2, 16, || |i| i, |_, _| ControlFlow::Continue(()));
+        let stats = run_sharded(2, 16, |_| |i| i, |_, _| ControlFlow::Continue(()));
         assert_eq!(stats.workers, 2);
     }
 
@@ -297,7 +460,7 @@ mod tests {
         let stats = run_sharded(
             40,
             2,
-            || {
+            |_| {
                 |i| {
                     if i % 2 == 0 {
                         std::thread::sleep(Duration::from_millis(2));
@@ -320,7 +483,7 @@ mod tests {
         let stats = run_sharded(
             500,
             4,
-            || {
+            |_| {
                 |i| {
                     std::thread::sleep(Duration::from_micros(200));
                     i
@@ -346,12 +509,56 @@ mod tests {
     }
 
     #[test]
+    fn per_worker_stats_account_for_every_job() {
+        let probe = RunProbe::new(true, 3);
+        let stats = run_sharded_probed(60, 3, |_| |i| i, |_, _| ControlFlow::Continue(()), &probe);
+        assert_eq!(stats.per_worker.len(), stats.workers);
+        let tasks: u64 = stats.per_worker.iter().map(|s| s.tasks).sum();
+        assert_eq!(tasks, 60, "every job attributed to exactly one worker");
+        let steals: u64 = stats.per_worker.iter().map(|s| s.steals).sum();
+        assert_eq!(steals, stats.steals);
+        assert_eq!(probe.done.load(Ordering::Relaxed), 60);
+        for st in &stats.per_worker {
+            assert!(st.wall_ns >= st.busy_ns, "wall covers busy: {st:?}");
+            assert_eq!(st.idle_ns, st.wall_ns - st.busy_ns);
+        }
+    }
+
+    #[test]
+    fn untimed_probe_reports_zero_ns() {
+        let stats = run_sharded(20, 2, |_| |i| i, |_, _| ControlFlow::Continue(()));
+        for st in &stats.per_worker {
+            assert_eq!(st.busy_ns, 0);
+            assert_eq!(st.wall_ns, 0);
+        }
+        // Task and steal counters are always on.
+        assert_eq!(stats.per_worker.iter().map(|s| s.tasks).sum::<u64>(), 20);
+    }
+
+    #[test]
+    fn mk_worker_receives_distinct_indices() {
+        let seen: Vec<Mutex<u64>> = (0..4).map(|_| Mutex::new(0)).collect();
+        let seen_ref = &seen;
+        run_sharded(
+            40,
+            4,
+            move |w| {
+                *seen_ref[w].lock().unwrap() += 1;
+                |i| i
+            },
+            |_, _| ControlFlow::Continue(()),
+        );
+        let counts: Vec<u64> = seen.iter().map(|m| *m.lock().unwrap()).collect();
+        assert!(counts.iter().all(|&c| c <= 1), "index reuse: {counts:?}");
+    }
+
+    #[test]
     fn folded_covers_every_job_exactly_once() {
         for workers in [1, 2, 4, 7] {
             let (states, stats) = run_folded(
                 100,
                 workers,
-                || ((), Vec::new()),
+                |_| ((), Vec::new()),
                 |_, seen: &mut Vec<usize>, i| seen.push(i),
             );
             assert_eq!(states.len(), stats.workers);
@@ -364,7 +571,7 @@ mod tests {
 
     #[test]
     fn folded_zero_jobs_returns_initial_states() {
-        let (states, stats) = run_folded(0, 4, || ((), 7u64), |_, _, _| panic!("no jobs"));
+        let (states, stats) = run_folded(0, 4, |_| ((), 7u64), |_, _, _| panic!("no jobs"));
         assert_eq!(states, vec![7]);
         assert_eq!(stats.steals, 0);
     }
@@ -378,7 +585,7 @@ mod tests {
             let (states, _) = run_folded(
                 500,
                 workers,
-                || ((), 0u64),
+                |_| ((), 0u64),
                 |_, acc, i| *acc += (i as u64) * (i as u64),
             );
             assert_eq!(states.into_iter().sum::<u64>(), serial);
@@ -390,7 +597,7 @@ mod tests {
         let (_, stats) = run_folded(
             40,
             2,
-            || ((), ()),
+            |_| ((), ()),
             |_, _, i| {
                 if i % 2 == 0 {
                     std::thread::sleep(Duration::from_millis(2));
@@ -400,5 +607,21 @@ mod tests {
         if stats.workers == 2 {
             assert!(stats.steals > 0, "expected steals, got {stats:?}");
         }
+    }
+
+    #[test]
+    fn folded_timed_probe_publishes_busy_ns() {
+        let probe = RunProbe::new(true, 2);
+        let (_, stats) = run_folded_probed(
+            10,
+            2,
+            |_| ((), ()),
+            |_, _, _| std::thread::sleep(Duration::from_micros(500)),
+            &probe,
+        );
+        let busy: u64 = stats.per_worker.iter().map(|s| s.busy_ns).sum();
+        assert!(busy > 0, "timed run must accumulate busy time");
+        let published: u64 = (0..probe.slots()).map(|w| probe.busy_ns(w)).sum();
+        assert_eq!(published, busy, "final published busy matches stats");
     }
 }

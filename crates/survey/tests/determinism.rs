@@ -356,6 +356,40 @@ fn merged_shard_summaries_equal_the_unsharded_summary() {
     assert_eq!(merged.hosts, whole.hosts);
 }
 
+/// Telemetry observes, never participates: the pinned v1/v2 reference
+/// bytes must not move under `Full` instrumentation — the strongest
+/// form of the "`--metrics` changes no output byte" contract, checked
+/// against the frozen-format hashes rather than a sibling run.
+#[test]
+fn full_telemetry_reproduces_the_pinned_bytes() {
+    use reorder_survey::TelemetryMode;
+    for (version, pinned) in [
+        (SimVersion::V1, 0xad1e_47f7_cf2c_16ae_u64),
+        (SimVersion::V2, 0x59dd_b94a_617a_8127_u64),
+    ] {
+        let cfg = CampaignConfig {
+            hosts: 40,
+            workers: 2,
+            seed: 1,
+            sim_version: version,
+            telemetry: TelemetryMode::Full,
+            ..CampaignConfig::default()
+        };
+        let mut buf = Vec::new();
+        let out = run_campaign(&cfg, Some(&mut buf)).expect("in-memory sink");
+        assert_eq!(
+            fnv1a64(&buf),
+            pinned,
+            "{version:?}: telemetry must not change a byte of the report"
+        );
+        // And it did actually record: every host leaves a span.
+        assert_eq!(
+            out.telemetry.merged().span_stats("host").map(|s| s.count()),
+            Some(40)
+        );
+    }
+}
+
 /// The reuse-off (per-phase scenario) protocol builds many scenarios
 /// per host — the pool's busiest recycling pattern must be inert too.
 #[test]
