@@ -22,6 +22,7 @@
 //!   the quick scale with the checked-in `BENCH_floor.json`.
 
 use reorder_bench::{rule, Scale};
+use reorder_campaign::{start, CampaignOptions, CampaignSpec, InProcessRunner};
 use reorder_core::scenario::SimVersion;
 use reorder_survey::{run_campaign, CampaignConfig, CampaignOutcome, TelemetryMode};
 use std::fmt::Write as _;
@@ -231,6 +232,69 @@ fn main() {
         (1.0 - telemetry_frac) * 100.0,
         telemetry_frac
     );
+
+    // Orchestration overhead: the same v2 full pipeline driven by the
+    // campaign orchestrator — shard planning, in-process supervision,
+    // and a sealed checkpoint written at every shard boundary — vs the
+    // plain engine call. Same paired median-of-ratios discipline as the
+    // telemetry arm: per-pair ratios cancel shared-runner drift, the
+    // median discards interference spikes.
+    let campaign_shards = 4usize;
+    let (campaign_frac, campaign_wall) = {
+        let dir =
+            std::env::temp_dir().join(format!("reorder_exp_scale_campaign_{}", std::process::id()));
+        let spec = CampaignSpec {
+            hosts,
+            seed,
+            samples: base.samples,
+            rounds: base.rounds,
+            technique: base.technique,
+            baseline: base.baseline,
+            amenability_only: base.amenability_only,
+            gaps_us: base.gaps_us.clone(),
+            reuse: base.reuse,
+            sim_version: base.sim_version,
+            shards: campaign_shards,
+            jsonl: false,
+        };
+        let opts = CampaignOptions {
+            inflight: 1, // serial shards, comparable to the 1-worker engine call
+            ..CampaignOptions::default()
+        };
+        let runner = InProcessRunner {
+            workers,
+            telemetry: TelemetryMode::Off,
+        };
+        let time_plain = |cfg: &CampaignConfig| {
+            let started = Instant::now();
+            run_campaign(cfg, None::<&mut Vec<u8>>).expect("no sink, no error");
+            started.elapsed().as_secs_f64()
+        };
+        let orchestrated = |wall_min: &mut f64| {
+            let _ = std::fs::remove_dir_all(&dir);
+            let started = Instant::now();
+            let report = start(&dir, spec.clone(), &opts, &runner).expect("orchestrated run");
+            let wall = started.elapsed().as_secs_f64();
+            assert!(!report.interrupted && report.failed.is_empty());
+            assert_eq!(report.checkpoint.agg.summary.hosts, hosts as u64);
+            *wall_min = wall_min.min(wall);
+            wall
+        };
+        let mut wall_min = f64::INFINITY;
+        let mut ratios: Vec<f64> = (0..runs.max(9))
+            .map(|_| time_plain(&base) / orchestrated(&mut wall_min))
+            .collect();
+        ratios.sort_by(f64::total_cmp);
+        let _ = std::fs::remove_dir_all(&dir);
+        (ratios[ratios.len() / 2], wall_min)
+    };
+    println!(
+        "campaign orchestration overhead ({campaign_shards} shards, checkpoint per shard, \
+         paired): {:.1}% ({:.3} of plain throughput, best {:.3}s)",
+        (1.0 - campaign_frac) * 100.0,
+        campaign_frac,
+        campaign_wall
+    );
     let rss = peak_rss_kb();
     if let Some(kb) = rss {
         println!("peak RSS (VmHWM proxy): {} kB", kb);
@@ -353,6 +417,12 @@ fn main() {
     }
     json.push_str("  },\n");
     let _ = writeln!(json, "  \"telemetry_overhead_frac\": {telemetry_frac:.3},");
+    let _ = writeln!(
+        json,
+        "  \"campaign\": {{\"shards\": {campaign_shards}, \"wall_s\": {campaign_wall:.4}, \
+         \"hosts_per_sec\": {:.1}, \"overhead_frac\": {campaign_frac:.3}}},",
+        hosts as f64 / campaign_wall
+    );
     let _ = writeln!(json, "  \"telemetry\": {}", telemetry_doc.trim_end());
     json.push_str("}\n");
     let out_path =
@@ -433,6 +503,26 @@ fn main() {
                     "FAIL: summary telemetry costs too much ({:.1}% > {:.1}% overhead \
                      budget; frac {frac} from {floor_path})",
                     (1.0 - telemetry_frac) * 100.0,
+                    (1.0 - frac) * 100.0,
+                );
+                failed = true;
+            }
+        }
+        // Campaign gate: orchestration (supervision + a checkpoint per
+        // shard boundary) must keep at least `frac` of the plain
+        // engine's throughput — the tentpole's ≤5% resume-overhead
+        // budget as a recorded floor. Paired median-of-ratios, same
+        // noise argument as the telemetry gate.
+        let camp_key = format!("{}_campaign_floor_frac", scale.pick("full", "std", "quick"));
+        if let Some(frac) = json_number(&floor_text, &camp_key) {
+            println!(
+                "floor gate [campaign]: {campaign_frac:.3} of plain throughput vs floor {frac:.2}"
+            );
+            if campaign_frac < frac {
+                eprintln!(
+                    "FAIL: campaign orchestration costs too much ({:.1}% > {:.1}% overhead \
+                     budget; frac {frac} from {floor_path})",
+                    (1.0 - campaign_frac) * 100.0,
                     (1.0 - frac) * 100.0,
                 );
                 failed = true;

@@ -1,0 +1,64 @@
+//! # reorder-campaign
+//!
+//! A crash-safe multi-process campaign orchestrator for the survey
+//! engine: plan a campaign as an ordered set of shard tasks, fan them
+//! out across worker processes (or supervisor threads), supervise with
+//! per-shard retry/backoff and a bounded in-flight window, and persist
+//! a schema-versioned checkpoint at every shard boundary so an
+//! interrupted campaign resumes losslessly.
+//!
+//! The determinism contract is the headline: **a resumed campaign's
+//! merged summary and concatenated JSONL are byte-identical to an
+//! uninterrupted run's.** Three laws compose to make that true:
+//!
+//! 1. every piece of aggregation and telemetry state is a commutative
+//!    monoid (PR 6), so shard states merge to the same bits in any
+//!    completion order;
+//! 2. those states serialize exactly — integer fixed-point documents,
+//!    never rounded floats — so a state restored from a checkpoint is
+//!    the state that was saved ([`reorder_survey::ShardState`]);
+//! 3. shard JSONL slices are contiguous id ranges that concatenate to
+//!    the unsharded report byte-for-byte (PR 3).
+//!
+//! Crash safety is mechanical, not probabilistic: every durable file —
+//! checkpoint, shard parts, finalized outputs — is written
+//! temp-then-rename ([`checkpoint::atomic_write`]), so any interrupt
+//! leaves either the previous version or nothing, and the checkpoint
+//! document carries an FNV-1a integrity hash that rejects a flipped
+//! byte on load. The fault-injection hook
+//! ([`CampaignOptions::fail_after_shards`]) stops the supervisor after
+//! N checkpoint writes, byte-for-byte equivalent to `kill -9`, which
+//! is how CI proves the recovery path instead of claiming it.
+//!
+//! ```
+//! use reorder_campaign::{start, CampaignOptions, CampaignSpec, InProcessRunner};
+//!
+//! let dir = std::env::temp_dir().join(format!("reorder_doc_campaign_{}", std::process::id()));
+//! let spec = CampaignSpec {
+//!     hosts: 12,
+//!     shards: 3,
+//!     samples: 3,
+//!     baseline: false,
+//!     ..CampaignSpec::default()
+//! };
+//! let runner = InProcessRunner { workers: 1, telemetry: Default::default() };
+//! let report = start(&dir, spec, &CampaignOptions::default(), &runner).unwrap();
+//! assert_eq!(report.checkpoint.completed.len(), 3);
+//! assert_eq!(report.checkpoint.agg.summary.hosts, 12);
+//! assert!(report.failed.is_empty());
+//! # std::fs::remove_dir_all(&dir).unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod orchestrator;
+pub mod spec;
+
+pub use checkpoint::{atomic_write, AtomicFile, Checkpoint, CHECKPOINT_SCHEMA};
+pub use orchestrator::{
+    checkpoint_path, part_path, resume, start, CampaignOptions, CampaignReport, InProcessRunner,
+    ProcessRunner, ShardRunner,
+};
+pub use spec::CampaignSpec;

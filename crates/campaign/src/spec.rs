@@ -1,0 +1,250 @@
+//! The campaign plan: every knob that affects output bytes, and
+//! nothing that doesn't.
+//!
+//! A [`CampaignSpec`] is the identity of a campaign. It serializes to
+//! canonical JSON whose FNV-1a hash is the campaign **fingerprint**:
+//! two invocations with equal fingerprints produce byte-identical
+//! merged output, so a resume is only allowed against a checkpoint
+//! whose fingerprint matches. Runtime knobs — worker threads, in-flight
+//! window, retry budget, telemetry mode — are deliberately excluded:
+//! they change how fast the bytes arrive, never which bytes.
+
+use reorder_core::jsonx;
+use reorder_core::scenario::SimVersion;
+use reorder_core::telemetry::TelemetryMode;
+use reorder_survey::{CampaignConfig, TechniqueChoice};
+
+/// Parse a JSON `true`/`false` field.
+fn bool_field(text: &str, key: &str) -> Result<bool, String> {
+    match jsonx::field(text, key)? {
+        "true" => Ok(true),
+        "false" => Ok(false),
+        other => Err(format!("`{key}` is not a bool: `{other}`")),
+    }
+}
+
+/// The output-affecting configuration of one campaign, plus its shard
+/// plan. Field set mirrors [`CampaignConfig`] minus the runtime knobs
+/// (`workers`, `pool`, `keep_reports`, `telemetry`, `progress`) that
+/// cannot change campaign bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignSpec {
+    /// Hosts to survey across all shards.
+    pub hosts: usize,
+    /// Master seed; every host seed derives from it.
+    pub seed: u64,
+    /// Samples per technique run.
+    pub samples: usize,
+    /// Measurement rounds per host.
+    pub rounds: usize,
+    /// Technique selection.
+    pub technique: TechniqueChoice,
+    /// Take the data-transfer reverse-path baseline.
+    pub baseline: bool,
+    /// Amenability verdicts only, no measurement.
+    pub amenability_only: bool,
+    /// Inter-packet gaps (µs) for a campaign-level gap profile.
+    pub gaps_us: Vec<u64>,
+    /// Share one session across each host's phases (affects the
+    /// measurement protocol, hence bytes).
+    pub reuse: bool,
+    /// Simulation format version (output differs per version).
+    pub sim_version: SimVersion,
+    /// Number of shard tasks the campaign is planned as.
+    pub shards: usize,
+    /// Whether shards produce JSONL part files (concatenated at
+    /// finalize into the campaign report).
+    pub jsonl: bool,
+}
+
+impl Default for CampaignSpec {
+    fn default() -> Self {
+        let base = CampaignConfig::default();
+        CampaignSpec {
+            hosts: base.hosts,
+            seed: base.seed,
+            samples: base.samples,
+            rounds: base.rounds,
+            technique: base.technique,
+            baseline: base.baseline,
+            amenability_only: base.amenability_only,
+            gaps_us: base.gaps_us,
+            reuse: base.reuse,
+            sim_version: base.sim_version,
+            shards: 1,
+            jsonl: false,
+        }
+    }
+}
+
+impl CampaignSpec {
+    /// Canonical JSON form — fixed key order, no whitespace — whose
+    /// bytes define the campaign [`CampaignSpec::fingerprint`].
+    pub fn to_json(&self) -> String {
+        let gaps = self
+            .gaps_us
+            .iter()
+            .map(|g| g.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"hosts\":{},\"seed\":{},\"samples\":{},\"rounds\":{},\"technique\":\"{}\",\
+             \"baseline\":{},\"amenability_only\":{},\"gaps_us\":[{gaps}],\"reuse\":{},\
+             \"sim_version\":\"{}\",\"shards\":{},\"jsonl\":{}}}",
+            self.hosts,
+            self.seed,
+            self.samples,
+            self.rounds,
+            self.technique,
+            self.baseline,
+            self.amenability_only,
+            self.reuse,
+            self.sim_version,
+            self.shards,
+            self.jsonl,
+        )
+    }
+
+    /// Parse a [`CampaignSpec::to_json`] document. Every field is
+    /// required; an out-of-range shard count is rejected here so no
+    /// planner downstream sees `shards == 0`.
+    pub fn from_json(text: &str) -> Result<CampaignSpec, String> {
+        let mut gaps_us = Vec::new();
+        for raw in jsonx::elements(jsonx::field(text, "gaps_us")?)? {
+            gaps_us.push(raw.trim().parse().map_err(|_| "non-integer gap")?);
+        }
+        let spec = CampaignSpec {
+            hosts: jsonx::int_field(text, "hosts")?,
+            seed: jsonx::int_field(text, "seed")?,
+            samples: jsonx::int_field(text, "samples")?,
+            rounds: jsonx::int_field(text, "rounds")?,
+            technique: TechniqueChoice::parse(jsonx::str_field(text, "technique")?)?,
+            baseline: bool_field(text, "baseline")?,
+            amenability_only: bool_field(text, "amenability_only")?,
+            gaps_us,
+            reuse: bool_field(text, "reuse")?,
+            sim_version: jsonx::str_field(text, "sim_version")?.parse()?,
+            shards: jsonx::int_field(text, "shards")?,
+            jsonl: bool_field(text, "jsonl")?,
+        };
+        if spec.shards == 0 {
+            return Err("campaign wants at least 1 shard".into());
+        }
+        Ok(spec)
+    }
+
+    /// The campaign identity hash: FNV-1a over the canonical JSON.
+    /// Equal fingerprints ⇒ byte-identical merged output; a resume
+    /// against a different fingerprint is refused.
+    pub fn fingerprint(&self) -> u64 {
+        jsonx::fnv1a64(self.to_json().as_bytes())
+    }
+
+    /// Materialize the engine configuration for one shard run,
+    /// attaching the runtime knobs the spec deliberately omits.
+    pub fn config(&self, workers: usize, telemetry: TelemetryMode) -> CampaignConfig {
+        CampaignConfig {
+            hosts: self.hosts,
+            workers,
+            seed: self.seed,
+            samples: self.samples,
+            rounds: self.rounds,
+            technique: self.technique,
+            baseline: self.baseline,
+            amenability_only: self.amenability_only,
+            gaps_us: self.gaps_us.clone(),
+            reuse: self.reuse,
+            sim_version: self.sim_version,
+            keep_reports: false,
+            telemetry,
+            ..CampaignConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_json_round_trips() {
+        let spec = CampaignSpec {
+            hosts: 1234,
+            seed: 42,
+            samples: 7,
+            rounds: 2,
+            technique: TechniqueChoice::parse("syn").unwrap(),
+            baseline: false,
+            amenability_only: true,
+            gaps_us: vec![0, 50, 300],
+            reuse: false,
+            sim_version: "1".parse().unwrap(),
+            shards: 16,
+            jsonl: true,
+        };
+        let restored = CampaignSpec::from_json(&spec.to_json()).expect("round trip");
+        assert_eq!(restored, spec);
+        assert_eq!(restored.fingerprint(), spec.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_tracks_output_affecting_fields() {
+        let base = CampaignSpec::default();
+        for (label, tweaked) in [
+            (
+                "hosts",
+                CampaignSpec {
+                    hosts: 51,
+                    ..base.clone()
+                },
+            ),
+            (
+                "seed",
+                CampaignSpec {
+                    seed: 78,
+                    ..base.clone()
+                },
+            ),
+            (
+                "shards",
+                CampaignSpec {
+                    shards: 2,
+                    ..base.clone()
+                },
+            ),
+            (
+                "jsonl",
+                CampaignSpec {
+                    jsonl: true,
+                    ..base.clone()
+                },
+            ),
+            (
+                "reuse",
+                CampaignSpec {
+                    reuse: false,
+                    ..base.clone()
+                },
+            ),
+        ] {
+            assert_ne!(
+                tweaked.fingerprint(),
+                base.fingerprint(),
+                "{label} must change the fingerprint"
+            );
+        }
+    }
+
+    #[test]
+    fn spec_rejects_zero_shards_and_malformed_fields() {
+        let zero = CampaignSpec::default()
+            .to_json()
+            .replace("\"shards\":1", "\"shards\":0");
+        assert!(CampaignSpec::from_json(&zero).is_err());
+        assert!(CampaignSpec::from_json("{}").is_err());
+        let bad = CampaignSpec::default()
+            .to_json()
+            .replace("\"technique\":\"auto\"", "\"technique\":\"warp\"");
+        assert!(CampaignSpec::from_json(&bad).is_err());
+    }
+}

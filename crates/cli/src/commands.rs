@@ -1,14 +1,22 @@
 //! Subcommand implementations.
 
 use crate::args::{ArgError, Args};
+use reorder_campaign::{
+    atomic_write, AtomicFile, CampaignOptions, CampaignSpec, InProcessRunner, ProcessRunner,
+    ShardRunner,
+};
 use reorder_core::metrics::ReorderEstimate;
 use reorder_core::sample::TestConfig;
 use reorder_core::scenario::{self, SimVersion};
 use reorder_core::validate::validate_run;
 use reorder_core::{technique, Measurer, Session, TestKind};
 use reorder_netsim::pipes::{ArqConfig, CrossTraffic};
-use reorder_survey::{run_campaign, CampaignConfig, TechniqueChoice, TelemetryMode};
+use reorder_survey::{
+    run_campaign, CampaignConfig, CampaignTelemetry, ShardAggregator, ShardState, TechniqueChoice,
+    TelemetryMode,
+};
 use reorder_tcpstack::HostPersonality;
+use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 fn personality(name: &str) -> Result<HostPersonality, ArgError> {
@@ -230,9 +238,16 @@ pub fn profile(args: &Args) -> Result<(), ArgError> {
 
 /// Parse `--shard K/N` ("2/4"): 1-based shard K of N. The engine's
 /// contiguous split guarantees that concatenating the JSONL outputs of
-/// shards 1..=N reproduces the unsharded report byte-for-byte.
+/// shards 1..=N reproduces the unsharded report byte-for-byte. Every
+/// rejection — missing `/`, non-integers, `N = 0`, `K = 0`, `K > N` —
+/// names the accepted form, mirroring [`parse_workers`].
 fn parse_shard(s: &str) -> Result<(usize, usize), ArgError> {
-    let bad = || ArgError(format!("invalid shard `{s}` (want K/N with 1 <= K <= N)"));
+    let bad = || {
+        ArgError(format!(
+            "invalid --shard `{s}` (accepted: K/N, the 1-based shard K of N \
+             with 1 <= K <= N, e.g. 2/4)"
+        ))
+    };
     let (k, n) = s.split_once('/').ok_or_else(bad)?;
     let k: usize = k.trim().parse().map_err(|_| bad())?;
     let n: usize = n.trim().parse().map_err(|_| bad())?;
@@ -255,6 +270,30 @@ fn parse_gaps(s: &str) -> Result<Vec<u64>, ArgError> {
         .collect()
 }
 
+/// The `--jsonl` sink: stdout streams directly, files stage through an
+/// [`AtomicFile`] so an interrupted survey leaves the previous report
+/// (or nothing) rather than a truncated, valid-looking prefix.
+enum JsonlSink {
+    Stdout(std::io::BufWriter<std::io::Stdout>),
+    File(AtomicFile),
+}
+
+impl std::io::Write for JsonlSink {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            JsonlSink::Stdout(w) => w.write(buf),
+            JsonlSink::File(w) => w.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            JsonlSink::Stdout(w) => w.flush(),
+            JsonlSink::File(w) => w.flush(),
+        }
+    }
+}
+
 /// `reorder survey` — the sharded campaign engine (`reorder-survey`)
 /// run over a generated host population. Output on stdout is
 /// byte-identical across reruns and worker counts for a fixed seed;
@@ -275,6 +314,7 @@ pub fn survey(args: &Args) -> Result<(), ArgError> {
         "amenability-only",
         "per-host",
         "shard",
+        "shard-state",
         "sim-version",
         "telemetry",
         "metrics",
@@ -325,23 +365,51 @@ pub fn survey(args: &Args) -> Result<(), ArgError> {
     // output (per-host table, summary) then moves to stderr so the
     // JSONL stream stays machine-parseable byte-for-byte.
     let jsonl_on_stdout = args.get("jsonl") == Some("-");
-    let mut sink: Option<Box<dyn std::io::Write>> = match args.get("jsonl") {
-        Some("-") => Some(Box::new(std::io::BufWriter::new(std::io::stdout()))),
-        Some(path) => Some(Box::new(
-            std::fs::File::create(path)
-                .map(std::io::BufWriter::new)
+    let mut sink: Option<JsonlSink> = match args.get("jsonl") {
+        Some("-") => Some(JsonlSink::Stdout(
+            std::io::BufWriter::new(std::io::stdout()),
+        )),
+        Some(path) => Some(JsonlSink::File(
+            AtomicFile::create(Path::new(path))
                 .map_err(|e| ArgError(format!("creating {path}: {e}")))?,
         )),
         None => None,
     };
     let out = run_campaign(&cfg, sink.as_mut())
         .map_err(|e| ArgError(format!("writing JSONL report: {e}")))?;
-    if let Some(mut f) = sink {
-        use std::io::Write as _;
-        f.flush()
-            .map_err(|e| ArgError(format!("writing JSONL report: {e}")))?;
+    match sink {
+        Some(JsonlSink::Stdout(mut w)) => {
+            use std::io::Write as _;
+            w.flush()
+                .map_err(|e| ArgError(format!("writing JSONL report: {e}")))?;
+        }
+        // The file only appears once every line is in it.
+        Some(JsonlSink::File(f)) => f
+            .commit()
+            .map_err(|e| ArgError(format!("writing JSONL report: {e}")))?,
+        None => {}
     }
     let wall = started.elapsed();
+
+    // `--shard-state` turns this invocation into a campaign worker: the
+    // sealed exact state goes to the file (atomically), and the human
+    // rendering is suppressed — the orchestrator merges and renders.
+    let shard_state = args.get("shard-state");
+    if let Some(path) = shard_state {
+        let (shard, shards) = cfg.shard.unwrap_or((1, 1));
+        let state = ShardState {
+            shard,
+            shards,
+            agg: ShardAggregator {
+                summary: out.summary.clone(),
+                events: out.events,
+            },
+            telemetry: out.telemetry.merged(),
+            steals: out.stats.steals,
+        };
+        atomic_write(Path::new(path), format!("{}\n", state.to_json()).as_bytes())
+            .map_err(|e| ArgError(format!("writing shard state {path}: {e}")))?;
+    }
 
     let mut human = String::new();
     if args.switch("per-host") {
@@ -366,7 +434,9 @@ pub fn survey(args: &Args) -> Result<(), ArgError> {
         }
     }
     human.push_str(&out.summary.render());
-    if jsonl_on_stdout {
+    if shard_state.is_some() {
+        // Worker mode: no human rendering; the state file is the output.
+    } else if jsonl_on_stdout {
         eprint!("{human}");
     } else {
         print!("{human}");
@@ -392,9 +462,268 @@ pub fn survey(args: &Args) -> Result<(), ArgError> {
         if target == "-" {
             println!("{doc}");
         } else {
-            std::fs::write(target, doc + "\n")
+            atomic_write(Path::new(target), (doc + "\n").as_bytes())
                 .map_err(|e| ArgError(format!("writing {target}: {e}")))?;
         }
+    }
+    Ok(())
+}
+
+/// Parse `--fail-after-shards` / `REORDER_FAIL_AFTER_SHARDS` (flag
+/// wins): the deterministic fault-injection hook — the supervisor
+/// stops, as a crash would, after that many checkpoint writes.
+fn parse_fail_after(args: &Args) -> Result<Option<usize>, ArgError> {
+    let (origin, value) = match args.get("fail-after-shards") {
+        Some(v) => ("--fail-after-shards".to_string(), v.to_string()),
+        None => match std::env::var("REORDER_FAIL_AFTER_SHARDS") {
+            Ok(v) => ("REORDER_FAIL_AFTER_SHARDS".to_string(), v),
+            Err(_) => return Ok(None),
+        },
+    };
+    match value.parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(Some(n)),
+        _ => Err(ArgError(format!(
+            "invalid {origin} `{value}` (accepted: positive shard count)"
+        ))),
+    }
+}
+
+/// `reorder campaign` — the crash-safe orchestrator
+/// (`reorder-campaign`) around the survey engine: plans `--hosts` as
+/// `--shards` shard tasks, fans them out across worker processes
+/// (spawned `reorder survey --shard K/N --shard-state FILE`
+/// invocations; `--in-process` supervises library calls instead),
+/// retries failures with backoff, and checkpoints after every shard so
+/// `--resume DIR` continues losslessly — the merged summary and
+/// concatenated JSONL are byte-identical to an uninterrupted run.
+pub fn campaign(args: &Args) -> Result<(), ArgError> {
+    args.expect_only(&[
+        "dir",
+        "resume",
+        "hosts",
+        "seed",
+        "samples",
+        "rounds",
+        "technique",
+        "gaps-us",
+        "no-baseline",
+        "no-reuse",
+        "amenability-only",
+        "sim-version",
+        "shards",
+        "jsonl",
+        "workers",
+        "inflight",
+        "retries",
+        "backoff-ms",
+        "in-process",
+        "fail-after-shards",
+        "telemetry",
+        "metrics",
+        "progress",
+    ])?;
+    let metrics = args.get("metrics");
+    let telemetry = match args.get("telemetry") {
+        Some(name) => {
+            let mode = TelemetryMode::parse(name).map_err(ArgError)?;
+            if metrics.is_some() && !mode.is_enabled() {
+                return Err(ArgError(
+                    "--metrics needs telemetry: drop `--telemetry off` or pass summary/full"
+                        .to_string(),
+                ));
+            }
+            mode
+        }
+        None if metrics.is_some() => TelemetryMode::Summary,
+        None => TelemetryMode::Off,
+    };
+    if args.get("jsonl").is_some() {
+        return Err(ArgError(
+            "--jsonl takes no value here: the campaign report lands in DIR/campaign.jsonl"
+                .to_string(),
+        ));
+    }
+
+    let resuming = args.get("resume").is_some();
+    let dir: PathBuf = match (args.get("resume"), args.get("dir")) {
+        (Some(_), Some(_)) => {
+            return Err(ArgError(
+                "--resume DIR already names the campaign directory; drop --dir".to_string(),
+            ))
+        }
+        (Some(d), None) | (None, Some(d)) => PathBuf::from(d),
+        (None, None) => {
+            return Err(ArgError(
+                "campaign needs --dir DIR (or --resume DIR)".to_string(),
+            ))
+        }
+    };
+    if resuming {
+        // The checkpoint is the plan; silently accepting plan flags
+        // here would invite a divergent resume.
+        for flag in [
+            "hosts",
+            "seed",
+            "samples",
+            "rounds",
+            "technique",
+            "gaps-us",
+            "sim-version",
+            "shards",
+        ] {
+            if args.get(flag).is_some() {
+                return Err(ArgError(format!(
+                    "--resume restores the checkpointed plan; drop --{flag}"
+                )));
+            }
+        }
+        for switch in ["no-baseline", "no-reuse", "amenability-only", "jsonl"] {
+            if args.switch(switch) {
+                return Err(ArgError(format!(
+                    "--resume restores the checkpointed plan; drop --{switch}"
+                )));
+            }
+        }
+    }
+    let spec = CampaignSpec {
+        hosts: args.get_or("hosts", 50)?,
+        seed: args.get_or("seed", 77)?,
+        samples: args.get_or("samples", 15)?,
+        rounds: args.get_or("rounds", 1)?,
+        technique: TechniqueChoice::parse(args.get("technique").unwrap_or("auto"))
+            .map_err(ArgError)?,
+        baseline: !args.switch("no-baseline"),
+        amenability_only: args.switch("amenability-only"),
+        gaps_us: parse_gaps(args.get("gaps-us").unwrap_or(""))?,
+        reuse: !args.switch("no-reuse"),
+        sim_version: parse_sim_version(args)?,
+        shards: args.get_or("shards", 8)?,
+        jsonl: args.switch("jsonl"),
+    };
+    if spec.shards == 0 {
+        return Err(ArgError(
+            "invalid --shards `0` (accepted: positive shard count)".to_string(),
+        ));
+    }
+    let opts = CampaignOptions {
+        inflight: args.get_or("inflight", 0)?,
+        retries: args.get_or("retries", 2)?,
+        backoff_ms: args.get_or("backoff-ms", 250)?,
+        telemetry,
+        fail_after_shards: parse_fail_after(args)?,
+        progress: args.switch("progress"),
+    };
+    let workers = parse_workers(args)?;
+
+    let in_process_runner;
+    let process_runner;
+    let runner: &dyn ShardRunner = if args.switch("in-process") {
+        in_process_runner = InProcessRunner { workers, telemetry };
+        &in_process_runner
+    } else {
+        let exe = std::env::current_exe()
+            .map_err(|e| ArgError(format!("locating the reorder binary: {e}")))?;
+        let state_dir = dir.join("state");
+        std::fs::create_dir_all(&state_dir)
+            .map_err(|e| ArgError(format!("creating {}: {e}", state_dir.display())))?;
+        process_runner = ProcessRunner {
+            exe,
+            workers,
+            telemetry,
+            state_dir,
+        };
+        &process_runner
+    };
+
+    let started = std::time::Instant::now();
+    let report = if resuming {
+        reorder_campaign::resume(&dir, &opts, runner)
+    } else {
+        reorder_campaign::start(&dir, spec, &opts, runner)
+    }
+    .map_err(|e| ArgError(format!("campaign: {e}")))?;
+    let wall = started.elapsed();
+    let ckpt = &report.checkpoint;
+
+    // A finished campaign prints its summary exactly as `survey` would.
+    if let Some(path) = &report.summary_path {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ArgError(format!("reading {}: {e}", path.display())))?;
+        print!("{text}");
+    }
+    let failed_note = if report.failed.is_empty() {
+        String::new()
+    } else {
+        let ids = report
+            .failed
+            .iter()
+            .map(|(shard, _)| shard.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(", FAILED shards [{ids}]")
+    };
+    eprintln!(
+        "campaign: {}/{} shard(s) done ({} resumed, {} this run), {} retry(s), \
+         {} steal(s), {} event(s) in {:.2}s{failed_note}; dir {}",
+        ckpt.completed.len(),
+        ckpt.spec.shards,
+        report.resumed,
+        report.completed_now,
+        report.retries,
+        ckpt.steals,
+        ckpt.agg.events,
+        wall.as_secs_f64(),
+        dir.display(),
+    );
+
+    if let Some(target) = metrics {
+        // The checkpoint carries the exact merged worker telemetry; the
+        // orchestrated document has no per-worker residency (workers
+        // are transient processes), so `per_worker` is empty.
+        let tel = CampaignTelemetry {
+            mode: telemetry,
+            per_worker: Vec::new(),
+            campaign: ckpt.telemetry.clone(),
+        };
+        let doc = tel.to_json(
+            ckpt.agg.summary.hosts,
+            ckpt.spec.seed,
+            ckpt.agg.events,
+            ckpt.steals,
+            wall.as_secs_f64(),
+        );
+        if target == "-" {
+            println!("{doc}");
+        } else {
+            atomic_write(Path::new(target), (doc + "\n").as_bytes())
+                .map_err(|e| ArgError(format!("writing {target}: {e}")))?;
+        }
+    }
+
+    if report.interrupted {
+        return Err(ArgError(format!(
+            "campaign interrupted by fault injection after {} shard(s); \
+             resume with `reorder campaign --resume {}`",
+            report.completed_now,
+            dir.display()
+        )));
+    }
+    if !report.failed.is_empty() {
+        for (shard, error) in &report.failed {
+            eprintln!("campaign: shard {shard} permanently failed: {error}");
+        }
+        let ids = report
+            .failed
+            .iter()
+            .map(|(shard, _)| shard.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        return Err(ArgError(format!(
+            "{} shard(s) permanently failed after retries: {ids}; fix the cause \
+             and `reorder campaign --resume {}`",
+            report.failed.len(),
+            dir.display()
+        )));
     }
     Ok(())
 }
@@ -633,11 +962,38 @@ mod tests {
         assert_eq!(parse_shard("1/1").unwrap(), (1, 1));
         assert_eq!(parse_shard("2/4").unwrap(), (2, 4));
         assert_eq!(parse_shard(" 3 / 4 ").unwrap(), (3, 4));
-        for bad in ["", "3", "0/4", "5/4", "a/4", "4/", "/4", "1/0"] {
-            assert!(parse_shard(bad).is_err(), "`{bad}` must be rejected");
-        }
         let e = survey(&parse("survey --hosts 4 --shard 9/2")).unwrap_err();
-        assert!(e.0.contains("invalid shard"), "{e}");
+        assert!(e.0.contains("invalid --shard"), "{e}");
+    }
+
+    #[test]
+    fn shard_rejections_each_name_the_accepted_form() {
+        // One case per rejection class, mirroring the `parse_workers`
+        // error style: the message must name the accepted form.
+        for (class, bad) in [
+            ("empty", ""),
+            ("missing slash", "3"),
+            ("k = 0", "0/4"),
+            ("k > n", "5/4"),
+            ("non-integer k", "a/4"),
+            ("missing n", "4/"),
+            ("missing k", "/4"),
+            ("n = 0", "1/0"),
+            ("fractional", "2.5/4"),
+            ("negative", "-1/4"),
+        ] {
+            let e = parse_shard(bad).expect_err(&format!("{class}: `{bad}` must be rejected"));
+            assert!(
+                e.0.contains("accepted: K/N"),
+                "{class}: error must name the accepted form: {}",
+                e.0
+            );
+            assert!(
+                e.0.contains(bad),
+                "{class}: error must echo the input: {}",
+                e.0
+            );
+        }
     }
 
     #[test]
@@ -659,6 +1015,113 @@ mod tests {
     #[test]
     fn pcap_requires_out() {
         assert!(pcap(&parse("pcap")).is_err());
+    }
+
+    fn campaign_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("reorder_cli_campaign_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn campaign_in_process_writes_summary_and_jsonl() {
+        let dir = campaign_dir("ok");
+        let cmd = format!(
+            "campaign --dir {} --hosts 9 --shards 3 --samples 3 --seed 11 \
+             --no-baseline --jsonl --in-process --workers 1 --inflight 2",
+            dir.display()
+        );
+        campaign(&parse(&cmd)).expect("campaign");
+        let summary = std::fs::read_to_string(dir.join("summary.txt")).expect("summary.txt");
+        assert!(summary.contains("campaign summary: 9 hosts"), "{summary}");
+        let jsonl = std::fs::read_to_string(dir.join("campaign.jsonl")).expect("campaign.jsonl");
+        assert_eq!(jsonl.lines().count(), 9, "one JSONL line per host");
+
+        // Resuming a finished campaign is an idempotent no-op.
+        let resume_cmd = format!(
+            "campaign --resume {} --in-process --workers 1",
+            dir.display()
+        );
+        campaign(&parse(&resume_cmd)).expect("resume of finished campaign");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn campaign_fault_injection_then_resume_is_byte_identical() {
+        let dir_a = campaign_dir("ref");
+        let dir_b = campaign_dir("crash");
+        let plan = |dir: &std::path::Path, extra: &str| {
+            format!(
+                "campaign --dir {} --hosts 8 --shards 4 --samples 3 --seed 12 \
+                 --no-baseline --jsonl --in-process --workers 1 --inflight 1{extra}",
+                dir.display()
+            )
+        };
+        campaign(&parse(&plan(&dir_a, ""))).expect("uninterrupted run");
+
+        let e = campaign(&parse(&plan(&dir_b, " --fail-after-shards 2"))).unwrap_err();
+        assert!(e.0.contains("interrupted"), "{e}");
+        assert!(
+            e.0.contains("--resume"),
+            "the error must say how to continue: {e}"
+        );
+        assert!(
+            !dir_b.join("summary.txt").exists(),
+            "an interrupted campaign must not finalize"
+        );
+
+        let resume_cmd = format!(
+            "campaign --resume {} --in-process --workers 1",
+            dir_b.display()
+        );
+        campaign(&parse(&resume_cmd)).expect("resume");
+        assert_eq!(
+            std::fs::read(dir_a.join("summary.txt")).unwrap(),
+            std::fs::read(dir_b.join("summary.txt")).unwrap(),
+            "resumed summary must be byte-identical"
+        );
+        assert_eq!(
+            std::fs::read(dir_a.join("campaign.jsonl")).unwrap(),
+            std::fs::read(dir_b.join("campaign.jsonl")).unwrap(),
+            "resumed JSONL must be byte-identical"
+        );
+        let _ = std::fs::remove_dir_all(&dir_a);
+        let _ = std::fs::remove_dir_all(&dir_b);
+    }
+
+    #[test]
+    fn campaign_rejects_misuse() {
+        let e = campaign(&parse("campaign")).unwrap_err();
+        assert!(e.0.contains("--dir"), "{e}");
+        let e = campaign(&parse("campaign --dir a --resume b")).unwrap_err();
+        assert!(e.0.contains("drop --dir"), "{e}");
+        let e = campaign(&parse("campaign --resume a --hosts 9")).unwrap_err();
+        assert!(e.0.contains("drop --hosts"), "{e}");
+        let e = campaign(&parse("campaign --dir a --shards 0")).unwrap_err();
+        assert!(e.0.contains("--shards"), "{e}");
+        let e = campaign(&parse("campaign --dir a --fail-after-shards 0")).unwrap_err();
+        assert!(e.0.contains("accepted: positive shard count"), "{e}");
+        let e = campaign(&parse("campaign --dir a --jsonl out.jsonl")).unwrap_err();
+        assert!(e.0.contains("campaign.jsonl"), "{e}");
+    }
+
+    #[test]
+    fn survey_shard_state_suppresses_summary_and_round_trips() {
+        let path = std::env::temp_dir().join(format!(
+            "reorder_cli_shard_state_{}.json",
+            std::process::id()
+        ));
+        let cmd = format!(
+            "survey --hosts 6 --samples 3 --seed 4 --shard 2/3 --shard-state {}",
+            path.display()
+        );
+        survey(&parse(&cmd)).expect("worker-mode survey");
+        let text = std::fs::read_to_string(&path).expect("state file");
+        let state = ShardState::from_json(&text).expect("sealed state parses");
+        assert_eq!((state.shard, state.shards), (2, 3));
+        assert_eq!(state.agg.summary.hosts, 2, "shard 2/3 of 6 hosts holds 2");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

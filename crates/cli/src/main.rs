@@ -56,6 +56,10 @@ COMMANDS:
                --shard K/N          run only host-id shard K of N (1-based);
                                     concatenating shards 1..N reproduces the
                                     unsharded JSONL byte-for-byte
+               --shard-state FILE   worker mode: write the sealed exact
+                                    shard state (reorder.shard/1) to FILE
+                                    atomically and suppress the human
+                                    summary (used by `campaign`)
                --per-host           print the per-host table too
                --no-baseline        skip the data-transfer baseline
                --no-reuse           fresh scenario + handshakes per phase
@@ -74,6 +78,32 @@ COMMANDS:
                --progress           heartbeat to stderr: hosts done,
                                     hosts/s, ETA, per-worker utilization
                --seed S
+  campaign   crash-safe orchestrated survey: shard plan, worker
+             processes, checkpoint/resume (resumed output is
+             byte-identical to an uninterrupted run)
+               --dir DIR            campaign directory (checkpoint, shard
+                                    parts, summary.txt, campaign.jsonl)
+               --resume DIR         continue an interrupted campaign from
+                                    its checkpoint (plan flags come from
+                                    the checkpoint, not the command line)
+               --shards N           shard tasks in the plan (default 8)
+               --jsonl              keep per-host JSONL: shard parts are
+                                    concatenated into DIR/campaign.jsonl
+               --inflight N         max shards in flight (default 0 = cores)
+               --retries N          re-attempts per failed shard (default 2)
+               --backoff-ms N       base retry backoff, doubled per attempt
+                                    (default 250)
+               --in-process         supervise library calls instead of
+                                    spawning worker processes
+               --fail-after-shards N  fault injection: stop (as a crash
+                                    would) after N checkpoint writes; also
+                                    via REORDER_FAIL_AFTER_SHARDS (flag wins)
+               --workers auto|N     threads per shard run (default auto)
+               --hosts/--seed/--samples/--rounds/--technique/--gaps-us/
+               --no-baseline/--no-reuse/--amenability-only/--sim-version
+                                    as in `survey` (the campaign plan)
+               --telemetry MODE, --metrics FILE|-, --progress
+                                    as in `survey` (merged across shards)
   validate   measure and cross-check against the capture trace (§IV-A)
                --fwd P --rev P --samples N --seed S
   pcap       run a measurement and export the server-side trace
@@ -96,6 +126,7 @@ fn main() -> ExitCode {
         Some("measure") => commands::measure(&args),
         Some("profile") => commands::profile(&args),
         Some("survey") => commands::survey(&args),
+        Some("campaign") => commands::campaign(&args),
         Some("validate") => commands::validate(&args),
         Some("pcap") => commands::pcap(&args),
         Some("help") | None => {

@@ -199,6 +199,118 @@ fn metrics_document_smoke() {
 }
 
 #[test]
+fn campaign_process_mode_crash_and_resume_byte_identical() {
+    // The headline contract, end to end through real worker processes:
+    // a campaign killed by fault injection and resumed produces the
+    // same bytes as an uninterrupted run — and as a plain unsharded
+    // `survey` of the same spec.
+    let base = std::env::temp_dir().join(format!("reorder_smoke_campaign_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let dir_a = base.join("clean");
+    let dir_b = base.join("crash");
+    let plan = |dir: &std::path::Path| {
+        vec![
+            "campaign".to_string(),
+            "--dir".to_string(),
+            dir.display().to_string(),
+            "--hosts".to_string(),
+            "12".to_string(),
+            "--shards".to_string(),
+            "4".to_string(),
+            "--samples".to_string(),
+            "3".to_string(),
+            "--seed".to_string(),
+            "21".to_string(),
+            "--no-baseline".to_string(),
+            "--jsonl".to_string(),
+            "--workers".to_string(),
+            "1".to_string(),
+            "--inflight".to_string(),
+            "2".to_string(),
+        ]
+    };
+    fn to_refs(v: &[String]) -> Vec<&str> {
+        v.iter().map(String::as_str).collect()
+    }
+
+    let args_a = plan(&dir_a);
+    let (stdout_a, stderr_a, ok) = reorder(&to_refs(&args_a));
+    assert!(ok, "clean campaign failed: {stderr_a}");
+    assert!(
+        stdout_a.contains("campaign summary: 12 hosts"),
+        "summary missing from stdout: {stdout_a}"
+    );
+
+    // Interrupt after 2 checkpointed shards: honest nonzero exit that
+    // says how to continue.
+    let mut args_b = plan(&dir_b);
+    args_b.extend(["--fail-after-shards".to_string(), "2".to_string()]);
+    let (_, stderr_b, ok) = reorder(&to_refs(&args_b));
+    assert!(!ok, "an interrupted campaign must exit nonzero");
+    assert!(stderr_b.contains("--resume"), "no resume hint: {stderr_b}");
+    assert!(
+        !dir_b.join("summary.txt").exists(),
+        "interrupted campaign must not finalize outputs"
+    );
+
+    let resume_args = [
+        "campaign",
+        "--resume",
+        dir_b.to_str().expect("utf8 path"),
+        "--workers",
+        "1",
+        "--inflight",
+        "2",
+    ];
+    let (stdout_r, stderr_r, ok) = reorder(&resume_args);
+    assert!(ok, "resume failed: {stderr_r}");
+    assert_eq!(stdout_a, stdout_r, "resumed summary output must match");
+    assert_eq!(
+        std::fs::read(dir_a.join("summary.txt")).unwrap(),
+        std::fs::read(dir_b.join("summary.txt")).unwrap(),
+        "summary.txt must be byte-identical after resume"
+    );
+    assert_eq!(
+        std::fs::read(dir_a.join("campaign.jsonl")).unwrap(),
+        std::fs::read(dir_b.join("campaign.jsonl")).unwrap(),
+        "campaign.jsonl must be byte-identical after resume"
+    );
+
+    // Both equal the unsharded survey's JSONL for the same plan.
+    let (survey_jsonl, survey_err, ok) = reorder(&[
+        "survey",
+        "--hosts",
+        "12",
+        "--samples",
+        "3",
+        "--seed",
+        "21",
+        "--no-baseline",
+        "--jsonl",
+        "-",
+    ]);
+    assert!(ok, "survey failed: {survey_err}");
+    assert_eq!(
+        survey_jsonl.into_bytes(),
+        std::fs::read(dir_a.join("campaign.jsonl")).unwrap(),
+        "campaign JSONL must equal the unsharded survey's"
+    );
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn shard_rejections_exit_nonzero_with_accepted_form() {
+    for bad in ["1/0", "0/4", "5/4", "abc"] {
+        let (_, stderr, ok) = reorder(&["survey", "--hosts", "4", "--shard", bad]);
+        assert!(!ok, "--shard {bad} must exit nonzero");
+        assert!(
+            stderr.contains("accepted: K/N"),
+            "--shard {bad}: error must name the accepted form: {stderr}"
+        );
+    }
+}
+
+#[test]
 fn help_and_errors() {
     let (stdout, _, ok) = reorder(&["help"]);
     assert!(ok);

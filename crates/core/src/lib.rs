@@ -67,6 +67,7 @@
 
 pub mod baseline;
 pub mod impact;
+pub mod jsonx;
 pub mod measurer;
 pub mod metrics;
 pub mod probe;

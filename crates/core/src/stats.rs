@@ -513,6 +513,42 @@ impl Moments {
             sumsq: self.sumsq + other.sumsq,
         }
     }
+
+    /// Serialize the exact accumulator state as one JSON object. The
+    /// fixed-point sums are integers, so the round-trip through
+    /// [`Moments::from_json`] is bit-exact — the checkpoint primitive
+    /// the campaign orchestrator persists at shard boundaries.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"n\":{},\"sum\":{},\"sumsq\":{}}}",
+            self.n, self.sum, self.sumsq
+        )
+    }
+
+    /// Parse a [`Moments::to_json`] string back into the exact state.
+    /// Rejects malformed input rather than defaulting any field.
+    pub fn from_json(text: &str) -> Result<Moments, String> {
+        fn int<T: std::str::FromStr>(text: &str, key: &str) -> Result<T, String> {
+            let pat = format!("\"{key}\":");
+            let at = text
+                .find(&pat)
+                .ok_or_else(|| format!("missing `{key}` in moments JSON"))?;
+            let rest = &text[at + pat.len()..];
+            let end = rest
+                .char_indices()
+                .find(|&(i, c)| !(c.is_ascii_digit() || (i == 0 && c == '-')))
+                .map(|(i, _)| i)
+                .unwrap_or(rest.len());
+            rest[..end]
+                .parse()
+                .map_err(|_| format!("bad `{key}` in moments JSON"))
+        }
+        Ok(Moments {
+            n: int(text, "n")?,
+            sum: int(text, "sum")?,
+            sumsq: int(text, "sumsq")?,
+        })
+    }
 }
 
 /// Result of a paired-difference analysis.

@@ -21,10 +21,35 @@
 //! so they live only in telemetry output — never in campaign reports,
 //! whose bytes stay pinned regardless of mode.
 
+use crate::jsonx;
 use crate::stats::{Moments, QuantileSketch};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::time::Instant;
+
+/// Intern a dynamic label as `&'static str` — the checkpoint-restore
+/// path for telemetry and aggregate maps, whose keys are static by
+/// construction everywhere else. Each distinct label leaks exactly
+/// once (deduplicated through a global set), so memory growth is
+/// bounded by the label vocabulary, which is finite: restored
+/// documents carry only labels some build emitted.
+pub fn intern_label(label: &str) -> &'static str {
+    use std::collections::BTreeSet;
+    use std::sync::{Mutex, OnceLock};
+    static INTERNED: OnceLock<Mutex<BTreeSet<&'static str>>> = OnceLock::new();
+    let mut set = INTERNED
+        .get_or_init(|| Mutex::new(BTreeSet::new()))
+        .lock()
+        .expect("label interner poisoned");
+    match set.get(label) {
+        Some(&interned) => interned,
+        None => {
+            let leaked: &'static str = Box::leak(label.to_owned().into_boxed_str());
+            set.insert(leaked);
+            leaked
+        }
+    }
+}
 
 /// How much the telemetry layer measures. Runtime-selected (the CLI's
 /// `--telemetry`), default [`TelemetryMode::Off`].
@@ -141,6 +166,25 @@ impl SpanStats {
         self.secs = self.secs.merge(&other.secs);
         self.sketch.merge(&other.sketch);
     }
+
+    /// Serialize the exact accumulator state (integer fixed-point
+    /// moments plus sketch buckets) — the checkpoint form, distinct
+    /// from the rounded display document in `WorkerTelemetry::to_json`.
+    pub fn state_json(&self) -> String {
+        format!(
+            "{{\"secs\":{},\"sketch\":{}}}",
+            self.secs.to_json(),
+            self.sketch.to_json()
+        )
+    }
+
+    /// Parse a [`SpanStats::state_json`] document back bit-exactly.
+    pub fn from_state_json(text: &str) -> Result<SpanStats, String> {
+        Ok(SpanStats {
+            secs: Moments::from_json(jsonx::field(text, "secs")?)?,
+            sketch: QuantileSketch::from_json(jsonx::field(text, "sketch")?)?,
+        })
+    }
 }
 
 /// One worker's telemetry: monotonic counters and per-label span
@@ -255,6 +299,49 @@ impl WorkerTelemetry {
         out.push_str("}}");
         out
     }
+
+    /// Serialize the exact telemetry state for checkpoints. Unlike the
+    /// display document [`WorkerTelemetry::to_json`] (whose floats are
+    /// rounded to 9 decimals and golden-pinned), this emits the raw
+    /// integer accumulator state and round-trips bit-exactly through
+    /// [`WorkerTelemetry::from_state_json`]: merging restored state
+    /// equals merging the originals.
+    pub fn state_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{k}\":{v}"));
+        }
+        out.push_str("},\"spans\":{");
+        for (i, (k, s)) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{k}\":{}", s.state_json()));
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Parse a [`WorkerTelemetry::state_json`] document back into the
+    /// exact state, interning restored labels via [`intern_label`].
+    /// Rejects malformed documents rather than defaulting fields.
+    pub fn from_state_json(text: &str) -> Result<WorkerTelemetry, String> {
+        let mut tel = WorkerTelemetry::new();
+        for elem in jsonx::elements(jsonx::field(text, "counters")?)? {
+            let (key, val) = jsonx::member(elem)?;
+            let n: u64 = val.parse().map_err(|_| format!("bad counter `{key}`"))?;
+            tel.counters.insert(intern_label(key), n);
+        }
+        for elem in jsonx::elements(jsonx::field(text, "spans")?)? {
+            let (key, val) = jsonx::member(elem)?;
+            tel.spans
+                .insert(intern_label(key), SpanStats::from_state_json(val)?);
+        }
+        Ok(tel)
+    }
 }
 
 #[cfg(test)]
@@ -330,6 +417,38 @@ mod tests {
         let s = tel.span_stats("host").expect("recorded");
         assert_eq!(s.count(), 1);
         assert!(s.secs.mean() >= 0.0);
+    }
+
+    #[test]
+    fn state_json_round_trips_exactly() {
+        let mut tel = WorkerTelemetry::new();
+        tel.count("netsim.events", 12345);
+        tel.count("pool.hits", 0);
+        for i in 0..50 {
+            tel.record_span("host", TelemetryMode::Full, 0.001 + i as f64 * 1e-4);
+            tel.record_span("measure", TelemetryMode::Summary, 0.3125 * (i + 1) as f64);
+        }
+        let restored = WorkerTelemetry::from_state_json(&tel.state_json())
+            .expect("state_json must parse back");
+        assert_eq!(restored, tel, "state round-trip must be bit-exact");
+        assert_eq!(restored.state_json(), tel.state_json());
+    }
+
+    #[test]
+    fn state_json_rejects_malformed_documents() {
+        assert!(WorkerTelemetry::from_state_json("{}").is_err());
+        assert!(WorkerTelemetry::from_state_json("{\"counters\":{\"k\":x},\"spans\":{}}").is_err());
+        assert!(
+            WorkerTelemetry::from_state_json("{\"counters\":{},\"spans\":{\"k\":{}}}").is_err(),
+            "span without accumulators must be rejected"
+        );
+    }
+
+    #[test]
+    fn intern_label_dedupes() {
+        let a = intern_label("campaign.test.label");
+        let b = intern_label(&String::from("campaign.test.label"));
+        assert!(std::ptr::eq(a, b), "same label must intern to one slice");
     }
 
     #[test]

@@ -18,11 +18,37 @@
 //! and merged losslessly.
 
 use crate::pipeline::HostReport;
+use reorder_core::jsonx;
 use reorder_core::metrics::ReorderEstimate;
 use reorder_core::stats::{Moments, QuantileSketch, SKETCH_RELATIVE_ERROR};
 use reorder_core::techniques::IpidVerdict;
+use reorder_core::telemetry::intern_label;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+
+/// Serialize a pooled estimate as the two-element array the checkpoint
+/// format uses: `[reordered,total]`.
+fn est_json(e: &ReorderEstimate) -> String {
+    format!("[{},{}]", e.reordered, e.total)
+}
+
+/// Parse an [`est_json`] pair, rejecting `reordered > total` (the
+/// invariant [`ReorderEstimate::new`] asserts) instead of panicking on
+/// corrupt input.
+fn est_from_json(raw: &str) -> Result<ReorderEstimate, String> {
+    let parts = jsonx::elements(raw)?;
+    if parts.len() != 2 {
+        return Err("estimate wants [reordered,total]".into());
+    }
+    let reordered: usize = parts[0]
+        .parse()
+        .map_err(|_| "non-integer reordered count")?;
+    let total: usize = parts[1].parse().map_err(|_| "non-integer total count")?;
+    if reordered > total {
+        return Err(format!("estimate {reordered}/{total} exceeds its total"));
+    }
+    Ok(ReorderEstimate { reordered, total })
+}
 
 /// Upper bucket bounds of [`RateHistogram`] (a first bucket catches
 /// exact zero). Chosen to resolve the Fig. 5 range: most hosts near
@@ -157,6 +183,28 @@ impl GroupAgg {
         self.rev = self.rev.merge(&other.rev);
         self.fwd_rates = self.fwd_rates.merge(&other.fwd_rates);
     }
+
+    /// Serialize the exact group state (integer counts and fixed-point
+    /// moments) for the campaign checkpoint format.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"hosts\":{},\"fwd\":{},\"rev\":{},\"fwd_rates\":{}}}",
+            self.hosts,
+            est_json(&self.fwd),
+            est_json(&self.rev),
+            self.fwd_rates.to_json()
+        )
+    }
+
+    /// Parse a [`GroupAgg::to_json`] document back bit-exactly.
+    pub fn from_json(text: &str) -> Result<GroupAgg, String> {
+        Ok(GroupAgg {
+            hosts: jsonx::int_field(text, "hosts")?,
+            fwd: est_from_json(jsonx::field(text, "fwd")?)?,
+            rev: est_from_json(jsonx::field(text, "rev")?)?,
+            fwd_rates: Moments::from_json(jsonx::field(text, "fwd_rates")?)?,
+        })
+    }
 }
 
 /// Campaign-wide streaming summary.
@@ -282,6 +330,101 @@ impl CampaignSummary {
             let e = self.gap_profile.entry(gap).or_default();
             *e = e.merge(est);
         }
+    }
+
+    /// Serialize the exact summary state as one JSON object — every
+    /// field an integer, fixed-point moments document, sketch document
+    /// or map thereof, so [`CampaignSummary::from_json`] restores state
+    /// that merges and renders bit-identically to the original. This is
+    /// the `reorder.checkpoint/1` payload; the human table stays in
+    /// [`CampaignSummary::render`].
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        let _ = write!(
+            s,
+            "{{\"hosts\":{},\"reachable\":{},\"amenable\":{},\"constant_zero\":{},\
+             \"non_monotonic\":{},\"probe_failed\":{},\"reordering_hosts\":{},\
+             \"fwd_rates\":{},\"rev_rates\":{},\"fwd_pooled\":{},\"rev_pooled\":{},\
+             \"baseline_pooled\":{},\"fwd_sketch\":{}",
+            self.hosts,
+            self.reachable,
+            self.amenable,
+            self.constant_zero,
+            self.non_monotonic,
+            self.probe_failed,
+            self.reordering_hosts,
+            self.fwd_rates.to_json(),
+            self.rev_rates.to_json(),
+            est_json(&self.fwd_pooled),
+            est_json(&self.rev_pooled),
+            est_json(&self.baseline_pooled),
+            self.fwd_sketch.to_json(),
+        );
+        for (name, map) in [
+            ("by_technique", &self.by_technique),
+            ("by_personality", &self.by_personality),
+            ("by_mechanism", &self.by_mechanism),
+        ] {
+            let _ = write!(s, ",\"{name}\":{{");
+            for (i, (key, g)) in map.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "\"{key}\":{}", g.to_json());
+            }
+            s.push('}');
+        }
+        s.push_str(",\"gap_profile\":[");
+        for (i, (gap, est)) in self.gap_profile.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "[{gap},{},{}]", est.reordered, est.total);
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// Parse a [`CampaignSummary::to_json`] document back into the
+    /// exact state. Malformed documents are rejected field-by-field;
+    /// nothing is defaulted.
+    pub fn from_json(text: &str) -> Result<CampaignSummary, String> {
+        let mut sum = CampaignSummary {
+            hosts: jsonx::int_field(text, "hosts")?,
+            reachable: jsonx::int_field(text, "reachable")?,
+            amenable: jsonx::int_field(text, "amenable")?,
+            constant_zero: jsonx::int_field(text, "constant_zero")?,
+            non_monotonic: jsonx::int_field(text, "non_monotonic")?,
+            probe_failed: jsonx::int_field(text, "probe_failed")?,
+            reordering_hosts: jsonx::int_field(text, "reordering_hosts")?,
+            fwd_rates: Moments::from_json(jsonx::field(text, "fwd_rates")?)?,
+            rev_rates: Moments::from_json(jsonx::field(text, "rev_rates")?)?,
+            fwd_pooled: est_from_json(jsonx::field(text, "fwd_pooled")?)?,
+            rev_pooled: est_from_json(jsonx::field(text, "rev_pooled")?)?,
+            baseline_pooled: est_from_json(jsonx::field(text, "baseline_pooled")?)?,
+            fwd_sketch: QuantileSketch::from_json(jsonx::field(text, "fwd_sketch")?)?,
+            ..CampaignSummary::default()
+        };
+        for (name, map) in [
+            ("by_technique", &mut sum.by_technique),
+            ("by_personality", &mut sum.by_personality),
+            ("by_mechanism", &mut sum.by_mechanism),
+        ] {
+            for elem in jsonx::elements(jsonx::field(text, name)?)? {
+                let (key, val) = jsonx::member(elem)?;
+                map.insert(intern_label(key), GroupAgg::from_json(val)?);
+            }
+        }
+        for elem in jsonx::elements(jsonx::field(text, "gap_profile")?)? {
+            let parts = jsonx::elements(elem)?;
+            if parts.len() != 3 {
+                return Err("gap_profile row wants [gap,reordered,total]".into());
+            }
+            let gap: u64 = parts[0].parse().map_err(|_| "non-integer gap")?;
+            let est = est_from_json(&format!("[{},{}]", parts[1], parts[2]))?;
+            sum.gap_profile.insert(gap, est);
+        }
+        Ok(sum)
     }
 
     /// Render the summary table (deterministic: every map is a
@@ -432,6 +575,27 @@ impl ShardAggregator {
         self.events += other.events;
         self.summary.merge(&other.summary);
     }
+
+    /// Serialize the exact shard state — the unit the campaign
+    /// orchestrator checkpoints at every shard boundary. `events` is
+    /// emitted first so the summary's own keys can never shadow it.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"events\":{},\"summary\":{}}}",
+            self.events,
+            self.summary.to_json()
+        )
+    }
+
+    /// Parse a [`ShardAggregator::to_json`] document back bit-exactly:
+    /// restored state merges and renders identically to the original
+    /// (asserted by the checkpoint property suite).
+    pub fn from_json(text: &str) -> Result<ShardAggregator, String> {
+        Ok(ShardAggregator {
+            events: jsonx::int_field(text, "events")?,
+            summary: CampaignSummary::from_json(jsonx::field(text, "summary")?)?,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -553,6 +717,49 @@ mod tests {
                 "events must merge"
             );
         }
+    }
+
+    /// The checkpoint round-trip law at the unit level: a serialized
+    /// shard restores to state whose merge and render are bit-equal.
+    #[test]
+    fn shard_json_round_trips_exactly() {
+        let rs = reports(16, 4242);
+        let mut shard = ShardAggregator::default();
+        for r in &rs {
+            shard.absorb(r);
+        }
+        let restored =
+            ShardAggregator::from_json(&shard.to_json()).expect("shard JSON must parse back");
+        assert_eq!(restored.events, shard.events);
+        assert_eq!(restored.to_json(), shard.to_json());
+        assert_eq!(restored.summary.render(), shard.summary.render());
+        // Merging a restored half equals merging the original half.
+        let mut via_restored = ShardAggregator::default();
+        via_restored.merge(&restored);
+        via_restored.merge(&shard);
+        let mut via_original = ShardAggregator::default();
+        via_original.merge(&shard);
+        via_original.merge(&shard);
+        assert_eq!(via_restored.to_json(), via_original.to_json());
+    }
+
+    #[test]
+    fn shard_json_rejects_corruption() {
+        let mut shard = ShardAggregator::default();
+        for r in reports(6, 77) {
+            shard.absorb(&r);
+        }
+        let good = shard.to_json();
+        assert!(ShardAggregator::from_json("{}").is_err());
+        assert!(ShardAggregator::from_json(&good.replace("\"events\"", "\"evnts\"")).is_err());
+        // An estimate whose reordered count exceeds its total must be
+        // rejected, not silently merged (ReorderEstimate's invariant).
+        let bad = "{\"events\":0,\"summary\":".to_string()
+            + &CampaignSummary::default()
+                .to_json()
+                .replace("\"fwd_pooled\":[0,0]", "\"fwd_pooled\":[5,2]")
+            + "}";
+        assert!(ShardAggregator::from_json(&bad).is_err());
     }
 
     #[test]

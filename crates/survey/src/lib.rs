@@ -68,6 +68,7 @@ pub mod pipeline;
 pub mod population;
 pub mod report;
 pub mod scheduler;
+pub mod state;
 
 pub use aggregate::{CampaignSummary, RateHistogram, ShardAggregator};
 pub use engine::{run_campaign, shard_bounds, CampaignConfig, CampaignOutcome};
@@ -76,3 +77,4 @@ pub use pipeline::{HostJob, HostReport, TechniqueChoice};
 pub use population::PopulationModel;
 pub use reorder_core::scenario::SimVersion;
 pub use reorder_core::telemetry::{TelemetryMode, WorkerTelemetry};
+pub use state::{run_shard, seal, unseal, ShardState, SHARD_SCHEMA};

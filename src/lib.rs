@@ -11,12 +11,15 @@
 //! * [`tcpstack`] — TCP endpoints with OS personalities and IPID generators.
 //! * [`core`] — the four measurement techniques, metrics, scenarios.
 //! * [`survey`] — the sharded, streaming campaign engine (§IV-B at scale).
+//! * [`campaign`] — crash-safe multi-process orchestrator with
+//!   checkpoint/resume over the survey engine.
 //! * [`mod@bench`] — experiment drivers reproducing the paper's figures.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use reorder_bench as bench;
+pub use reorder_campaign as campaign;
 pub use reorder_core as core;
 pub use reorder_netsim as netsim;
 pub use reorder_survey as survey;
