@@ -24,7 +24,9 @@
 use reorder_bench::{rule, Scale};
 use reorder_campaign::{start, CampaignOptions, CampaignSpec, InProcessRunner};
 use reorder_core::scenario::SimVersion;
-use reorder_survey::{run_campaign, CampaignConfig, CampaignOutcome, TelemetryMode};
+use reorder_survey::{
+    run_campaign, CampaignConfig, CampaignOutcome, PopulationModel, TelemetryMode,
+};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -157,6 +159,21 @@ fn main() {
             },
             runs,
         ),
+        // Chaos arm: the same v2 full pipeline over a 20%-hostile
+        // population (all five fault classes) — hostile hosts burn
+        // their budget and abort early, so this row tracks what a
+        // survey of an uncooperative internet actually costs.
+        measure(
+            "v2_chaos20",
+            &CampaignConfig {
+                model: PopulationModel {
+                    chaos_ppm: 200_000,
+                    ..Default::default()
+                },
+                ..base.clone()
+            },
+            runs,
+        ),
         // Ablations (v2): each turns one hot-path contribution off.
         measure(
             "v2_full_no_pool",
@@ -233,6 +250,37 @@ fn main() {
         telemetry_frac
     );
 
+    // Chaos-off overhead: the hostile-host machinery must be free when
+    // nobody is hostile. `chaos_ppm: 0` skips the chaos stream
+    // entirely; 1 ppm arms it (one extra RNG draw per host, ~0 hostile
+    // hosts at this scale), so the pair isolates exactly what arming
+    // the feature costs a cooperative campaign. Same paired
+    // median-of-ratios discipline as the telemetry arm.
+    let chaos_off_frac = {
+        let armed = CampaignConfig {
+            model: PopulationModel {
+                chaos_ppm: 1,
+                ..Default::default()
+            },
+            ..base.clone()
+        };
+        let time_one = |cfg: &CampaignConfig| {
+            let started = Instant::now();
+            run_campaign(cfg, None::<&mut Vec<u8>>).expect("no sink, no error");
+            started.elapsed().as_secs_f64()
+        };
+        let mut ratios: Vec<f64> = (0..runs.max(9))
+            .map(|_| time_one(&base) / time_one(&armed))
+            .collect();
+        ratios.sort_by(f64::total_cmp);
+        ratios[ratios.len() / 2]
+    };
+    println!(
+        "chaos-off overhead (armed 1ppm vs off, paired): {:.1}% ({:.3} of off throughput)",
+        (1.0 - chaos_off_frac) * 100.0,
+        chaos_off_frac
+    );
+
     // Orchestration overhead: the same v2 full pipeline driven by the
     // campaign orchestrator — shard planning, in-process supervision,
     // and a sealed checkpoint written at every shard boundary — vs the
@@ -256,6 +304,9 @@ fn main() {
             sim_version: base.sim_version,
             shards: campaign_shards,
             jsonl: false,
+            // Chaos off, default per-host budget: the overhead arm
+            // times orchestration, not hostile-host handling.
+            ..CampaignSpec::default()
         };
         let opts = CampaignOptions {
             inflight: 1, // serial shards, comparable to the 1-worker engine call
@@ -417,6 +468,7 @@ fn main() {
     }
     json.push_str("  },\n");
     let _ = writeln!(json, "  \"telemetry_overhead_frac\": {telemetry_frac:.3},");
+    let _ = writeln!(json, "  \"chaos_off_overhead_frac\": {chaos_off_frac:.3},");
     let _ = writeln!(
         json,
         "  \"campaign\": {{\"shards\": {campaign_shards}, \"wall_s\": {campaign_wall:.4}, \
@@ -437,9 +489,13 @@ fn main() {
         let floor_text = std::fs::read_to_string(&floor_path)
             .unwrap_or_else(|e| panic!("reading floor {floor_path}: {e}"));
         let mut failed = false;
-        for (version, row) in [("v1", v1_full), ("v2", v2_full)] {
+        for (name, row) in [
+            ("v1_full", v1_full),
+            ("v2_full", v2_full),
+            ("v2_chaos20", row("v2_chaos20")),
+        ] {
             let key = format!(
-                "{}_{version}_full_hosts_per_sec",
+                "{}_{name}_hosts_per_sec",
                 scale.pick("full", "std", "quick")
             );
             let floor = json_number(&floor_text, &key)
@@ -447,11 +503,11 @@ fn main() {
             let got = row.hosts_per_sec;
             let limit = floor * 0.7;
             println!(
-                "floor gate [{version}]: {got:.0} hosts/sec vs floor {floor:.0} (fail under {limit:.0})"
+                "floor gate [{name}]: {got:.0} hosts/sec vs floor {floor:.0} (fail under {limit:.0})"
             );
             if got < limit {
                 eprintln!(
-                    "FAIL: {version} full-pipeline throughput regressed more than 30% below \
+                    "FAIL: {name} pipeline throughput regressed more than 30% below \
                      the floor ({got:.0} < {limit:.0} hosts/sec; floor {floor:.0} from {floor_path})"
                 );
                 failed = true;
@@ -523,6 +579,26 @@ fn main() {
                     "FAIL: campaign orchestration costs too much ({:.1}% > {:.1}% overhead \
                      budget; frac {frac} from {floor_path})",
                     (1.0 - campaign_frac) * 100.0,
+                    (1.0 - frac) * 100.0,
+                );
+                failed = true;
+            }
+        }
+        // Chaos-off gate: arming the hostile-host machinery with ~0
+        // hostile hosts must keep at least `frac` of the chaos-off
+        // throughput — the tentpole's "chaos-off hot path unchanged"
+        // claim as a recorded floor (≤1% on the standard row). Same
+        // paired median-of-ratios noise argument as the telemetry gate.
+        let chaos_key = format!("{}_chaos_floor_frac", scale.pick("full", "std", "quick"));
+        if let Some(frac) = json_number(&floor_text, &chaos_key) {
+            println!(
+                "floor gate [chaos-off]: {chaos_off_frac:.3} of off throughput vs floor {frac:.2}"
+            );
+            if chaos_off_frac < frac {
+                eprintln!(
+                    "FAIL: chaos-off overhead too high ({:.1}% > {:.1}% budget; \
+                     frac {frac} from {floor_path})",
+                    (1.0 - chaos_off_frac) * 100.0,
                     (1.0 - frac) * 100.0,
                 );
                 failed = true;

@@ -44,6 +44,11 @@ pub struct CampaignOptions {
     /// Fault injection: stop the supervisor (as a crash would) after
     /// this many checkpoint writes in this run.
     pub fail_after_shards: Option<usize>,
+    /// Honest-exit threshold: when the finished campaign's failed-host
+    /// fraction exceeds this, [`CampaignReport::host_failures_exceeded`]
+    /// is set so the caller exits nonzero. Outputs are still finalized
+    /// — the threshold judges the campaign, it never truncates it.
+    pub max_host_failures: Option<f64>,
     /// Print shard completion/retry lines to stderr.
     pub progress: bool,
 }
@@ -56,6 +61,7 @@ impl Default for CampaignOptions {
             backoff_ms: 250,
             telemetry: TelemetryMode::Off,
             fail_after_shards: None,
+            max_host_failures: None,
             progress: false,
         }
     }
@@ -150,6 +156,16 @@ impl ShardRunner for ProcessRunner {
             .arg(spec.technique.to_string())
             .arg("--sim-version")
             .arg(spec.sim_version.to_string())
+            .arg("--chaos")
+            // Shortest-round-trip f64 display: the worker's
+            // `(f * 1e6).round()` recovers the exact ppm value.
+            .arg((spec.chaos_ppm as f64 / 1e6).to_string())
+            .arg("--host-deadline-ms")
+            .arg(spec.deadline_ms.to_string())
+            .arg("--host-retries")
+            .arg(spec.host_retries.to_string())
+            .arg("--host-backoff-ms")
+            .arg(spec.backoff_ms.to_string())
             .arg("--shard")
             .arg(format!("{shard}/{}", spec.shards))
             .arg("--shard-state")
@@ -241,6 +257,10 @@ pub struct CampaignReport {
     /// Fault injection tripped: the supervisor stopped as a crash
     /// would. Resume with the same directory to continue.
     pub interrupted: bool,
+    /// The finished campaign's failed-host fraction breached
+    /// [`CampaignOptions::max_host_failures`]. Outputs were finalized
+    /// anyway; the caller owes the user a nonzero exit.
+    pub host_failures_exceeded: bool,
     /// Rendered summary file, written only when the campaign finished.
     pub summary_path: Option<PathBuf>,
     /// Concatenated campaign JSONL, written only when the campaign
@@ -462,6 +482,11 @@ fn drive(
     } else {
         (None, None)
     };
+    let host_failures_exceeded = finished
+        && opts.max_host_failures.is_some_and(|frac| {
+            let s = &ckpt.agg.summary;
+            s.hosts > 0 && (s.failed as f64) > frac * s.hosts as f64
+        });
     Ok(CampaignReport {
         checkpoint: ckpt,
         resumed,
@@ -469,6 +494,7 @@ fn drive(
         retries,
         failed,
         interrupted,
+        host_failures_exceeded,
         summary_path,
         jsonl_path,
     })

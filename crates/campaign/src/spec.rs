@@ -12,7 +12,8 @@
 use reorder_core::jsonx;
 use reorder_core::scenario::SimVersion;
 use reorder_core::telemetry::TelemetryMode;
-use reorder_survey::{CampaignConfig, TechniqueChoice};
+use reorder_survey::{Budget, CampaignConfig, PopulationModel, TechniqueChoice};
+use std::time::Duration;
 
 /// Parse a JSON `true`/`false` field.
 fn bool_field(text: &str, key: &str) -> Result<bool, String> {
@@ -50,6 +51,17 @@ pub struct CampaignSpec {
     pub reuse: bool,
     /// Simulation format version (output differs per version).
     pub sim_version: SimVersion,
+    /// Hostile-host rate in parts per million (the CLI's `--chaos`).
+    /// Changes which hosts are hostile, hence bytes.
+    pub chaos_ppm: u32,
+    /// Per-host budget deadline, milliseconds of simulated time.
+    /// Changes which phases a slow host completes, hence bytes.
+    pub deadline_ms: u64,
+    /// Transient-failure retries per measurement round.
+    pub host_retries: u32,
+    /// Base retry backoff, milliseconds (doubled per retry, charged
+    /// against the deadline).
+    pub backoff_ms: u64,
     /// Number of shard tasks the campaign is planned as.
     pub shards: usize,
     /// Whether shards produce JSONL part files (concatenated at
@@ -60,6 +72,7 @@ pub struct CampaignSpec {
 impl Default for CampaignSpec {
     fn default() -> Self {
         let base = CampaignConfig::default();
+        let budget = Budget::default();
         CampaignSpec {
             hosts: base.hosts,
             seed: base.seed,
@@ -71,6 +84,10 @@ impl Default for CampaignSpec {
             gaps_us: base.gaps_us,
             reuse: base.reuse,
             sim_version: base.sim_version,
+            chaos_ppm: 0,
+            deadline_ms: budget.deadline.as_millis() as u64,
+            host_retries: budget.max_retries,
+            backoff_ms: budget.backoff.as_millis() as u64,
             shards: 1,
             jsonl: false,
         }
@@ -90,7 +107,8 @@ impl CampaignSpec {
         format!(
             "{{\"hosts\":{},\"seed\":{},\"samples\":{},\"rounds\":{},\"technique\":\"{}\",\
              \"baseline\":{},\"amenability_only\":{},\"gaps_us\":[{gaps}],\"reuse\":{},\
-             \"sim_version\":\"{}\",\"shards\":{},\"jsonl\":{}}}",
+             \"sim_version\":\"{}\",\"chaos_ppm\":{},\"deadline_ms\":{},\"host_retries\":{},\
+             \"backoff_ms\":{},\"shards\":{},\"jsonl\":{}}}",
             self.hosts,
             self.seed,
             self.samples,
@@ -100,6 +118,10 @@ impl CampaignSpec {
             self.amenability_only,
             self.reuse,
             self.sim_version,
+            self.chaos_ppm,
+            self.deadline_ms,
+            self.host_retries,
+            self.backoff_ms,
             self.shards,
             self.jsonl,
         )
@@ -124,6 +146,10 @@ impl CampaignSpec {
             gaps_us,
             reuse: bool_field(text, "reuse")?,
             sim_version: jsonx::str_field(text, "sim_version")?.parse()?,
+            chaos_ppm: jsonx::int_field(text, "chaos_ppm")?,
+            deadline_ms: jsonx::int_field(text, "deadline_ms")?,
+            host_retries: jsonx::int_field(text, "host_retries")?,
+            backoff_ms: jsonx::int_field(text, "backoff_ms")?,
             shards: jsonx::int_field(text, "shards")?,
             jsonl: bool_field(text, "jsonl")?,
         };
@@ -157,6 +183,15 @@ impl CampaignSpec {
             sim_version: self.sim_version,
             keep_reports: false,
             telemetry,
+            model: PopulationModel {
+                chaos_ppm: self.chaos_ppm,
+                ..PopulationModel::default()
+            },
+            budget: Budget {
+                deadline: Duration::from_millis(self.deadline_ms),
+                max_retries: self.host_retries,
+                backoff: Duration::from_millis(self.backoff_ms),
+            },
             ..CampaignConfig::default()
         }
     }
@@ -179,6 +214,10 @@ mod tests {
             gaps_us: vec![0, 50, 300],
             reuse: false,
             sim_version: "1".parse().unwrap(),
+            chaos_ppm: 200_000,
+            deadline_ms: 45_000,
+            host_retries: 2,
+            backoff_ms: 125,
             shards: 16,
             jsonl: true,
         };
@@ -226,6 +265,27 @@ mod tests {
                     ..base.clone()
                 },
             ),
+            (
+                "chaos_ppm",
+                CampaignSpec {
+                    chaos_ppm: 200_000,
+                    ..base.clone()
+                },
+            ),
+            (
+                "deadline_ms",
+                CampaignSpec {
+                    deadline_ms: 1_000,
+                    ..base.clone()
+                },
+            ),
+            (
+                "host_retries",
+                CampaignSpec {
+                    host_retries: 3,
+                    ..base.clone()
+                },
+            ),
         ] {
             assert_ne!(
                 tweaked.fingerprint(),
@@ -233,6 +293,26 @@ mod tests {
                 "{label} must change the fingerprint"
             );
         }
+    }
+
+    #[test]
+    fn config_carries_chaos_and_budget() {
+        let spec = CampaignSpec {
+            chaos_ppm: 123,
+            deadline_ms: 5_000,
+            host_retries: 2,
+            backoff_ms: 100,
+            ..CampaignSpec::default()
+        };
+        let cfg = spec.config(2, TelemetryMode::Off);
+        assert_eq!(cfg.model.chaos_ppm, 123);
+        assert_eq!(cfg.budget.deadline, Duration::from_secs(5));
+        assert_eq!(cfg.budget.max_retries, 2);
+        assert_eq!(cfg.budget.backoff, Duration::from_millis(100));
+        // The default spec materializes the default engine budget.
+        let plain = CampaignSpec::default().config(1, TelemetryMode::Off);
+        assert_eq!(plain.budget, Budget::default());
+        assert_eq!(plain.model.chaos_ppm, 0);
     }
 
     #[test]

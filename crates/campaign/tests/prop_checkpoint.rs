@@ -132,6 +132,10 @@ fn arb_shard() -> impl Strategy<Value = ShardAggregator> {
                 by_technique,
                 by_personality,
                 by_mechanism,
+                failed: counts[5].min(hosts),
+                degraded: counts[4].min(hosts - counts[5].min(hosts)),
+                failure_rounds: counts[3],
+                failure_taxonomy: BTreeMap::new(),
                 gap_profile: gaps.into_iter().collect(),
             };
             ShardAggregator { summary, events }

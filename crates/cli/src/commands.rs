@@ -12,8 +12,8 @@ use reorder_core::validate::validate_run;
 use reorder_core::{technique, Measurer, Session, TestKind};
 use reorder_netsim::pipes::{ArqConfig, CrossTraffic};
 use reorder_survey::{
-    run_campaign, CampaignConfig, CampaignTelemetry, ShardAggregator, ShardState, TechniqueChoice,
-    TelemetryMode,
+    run_campaign, Budget, CampaignConfig, CampaignTelemetry, PopulationModel, ShardAggregator,
+    ShardState, TechniqueChoice, TelemetryMode,
 };
 use reorder_tcpstack::HostPersonality;
 use std::path::{Path, PathBuf};
@@ -316,6 +316,10 @@ pub fn survey(args: &Args) -> Result<(), ArgError> {
         "shard",
         "shard-state",
         "sim-version",
+        "chaos",
+        "host-deadline-ms",
+        "host-retries",
+        "host-backoff-ms",
         "telemetry",
         "metrics",
         "progress",
@@ -357,7 +361,18 @@ pub fn survey(args: &Args) -> Result<(), ArgError> {
         keep_reports: args.switch("per-host"),
         telemetry,
         progress: args.switch("progress"),
-        model: Default::default(),
+        model: PopulationModel {
+            chaos_ppm: parse_chaos(args)?,
+            ..Default::default()
+        },
+        budget: {
+            let (deadline_ms, retries, backoff_ms) = parse_budget(args)?;
+            Budget {
+                deadline: Duration::from_millis(deadline_ms),
+                max_retries: retries,
+                backoff: Duration::from_millis(backoff_ms),
+            }
+        },
     };
 
     let started = std::time::Instant::now();
@@ -488,6 +503,78 @@ fn parse_fail_after(args: &Args) -> Result<Option<usize>, ArgError> {
     }
 }
 
+/// Parse a fraction-or-percent value (`0.2` or `20%`) in `0..=1`.
+fn parse_fraction(flag: &str, raw: &str) -> Result<f64, ArgError> {
+    let bad = || {
+        ArgError(format!(
+            "invalid --{flag} `{raw}` (accepted: a fraction like 0.2, or a \
+             percentage like 20%, between 0 and 1)"
+        ))
+    };
+    let f = match raw.trim().strip_suffix('%') {
+        Some(pct) => pct.trim().parse::<f64>().map_err(|_| bad())? / 100.0,
+        None => raw.trim().parse::<f64>().map_err(|_| bad())?,
+    };
+    if f.is_finite() && (0.0..=1.0).contains(&f) {
+        Ok(f)
+    } else {
+        Err(bad())
+    }
+}
+
+/// Parse `--chaos MIX`: the hostile-host fraction of the generated
+/// population, stored as integer parts-per-million so equal mixes
+/// hash to equal campaign fingerprints. Absent (or zero) means the
+/// population generator never touches its chaos stream.
+fn parse_chaos(args: &Args) -> Result<u32, ArgError> {
+    match args.get("chaos") {
+        None if args.switch("chaos") => Err(ArgError(
+            "--chaos needs a value (accepted: a fraction like 0.2, or a percentage like 20%)"
+                .into(),
+        )),
+        None => Ok(0),
+        Some(raw) => Ok((parse_fraction("chaos", raw)? * 1e6).round() as u32),
+    }
+}
+
+/// Parse the per-host budget flags shared by `survey` and `campaign`:
+/// `--host-deadline-ms` (simulated time one host may consume),
+/// `--host-retries` (transient-failure retries per round) and
+/// `--host-backoff-ms` (base backoff, doubled per retry). Defaults are
+/// [`Budget::default`], generous enough that cooperative hosts never
+/// notice them.
+fn parse_budget(args: &Args) -> Result<(u64, u32, u64), ArgError> {
+    let d = Budget::default();
+    let deadline_ms: u64 = args.get_or("host-deadline-ms", d.deadline.as_millis() as u64)?;
+    if deadline_ms == 0 {
+        return Err(ArgError(
+            "invalid --host-deadline-ms `0` (accepted: positive milliseconds of \
+             simulated time)"
+                .into(),
+        ));
+    }
+    Ok((
+        deadline_ms,
+        args.get_or("host-retries", d.max_retries)?,
+        args.get_or("host-backoff-ms", d.backoff.as_millis() as u64)?,
+    ))
+}
+
+/// Parse `--max-host-failures FRAC`: the honest-exit threshold. A
+/// finished campaign whose failed-host fraction exceeds it still
+/// finalizes every output, then exits nonzero.
+fn parse_max_host_failures(args: &Args) -> Result<Option<f64>, ArgError> {
+    match args.get("max-host-failures") {
+        None if args.switch("max-host-failures") => Err(ArgError(
+            "--max-host-failures needs a value (accepted: a fraction like 0.05, \
+             or a percentage like 5%)"
+                .into(),
+        )),
+        None => Ok(None),
+        Some(raw) => parse_fraction("max-host-failures", raw).map(Some),
+    }
+}
+
 /// `reorder campaign` — the crash-safe orchestrator
 /// (`reorder-campaign`) around the survey engine: plans `--hosts` as
 /// `--shards` shard tasks, fans them out across worker processes
@@ -510,12 +597,17 @@ pub fn campaign(args: &Args) -> Result<(), ArgError> {
         "no-reuse",
         "amenability-only",
         "sim-version",
+        "chaos",
+        "host-deadline-ms",
+        "host-retries",
+        "host-backoff-ms",
         "shards",
         "jsonl",
         "workers",
         "inflight",
         "retries",
         "backoff-ms",
+        "max-host-failures",
         "in-process",
         "fail-after-shards",
         "telemetry",
@@ -569,6 +661,10 @@ pub fn campaign(args: &Args) -> Result<(), ArgError> {
             "technique",
             "gaps-us",
             "sim-version",
+            "chaos",
+            "host-deadline-ms",
+            "host-retries",
+            "host-backoff-ms",
             "shards",
         ] {
             if args.get(flag).is_some() {
@@ -585,6 +681,7 @@ pub fn campaign(args: &Args) -> Result<(), ArgError> {
             }
         }
     }
+    let (deadline_ms, host_retries, host_backoff_ms) = parse_budget(args)?;
     let spec = CampaignSpec {
         hosts: args.get_or("hosts", 50)?,
         seed: args.get_or("seed", 77)?,
@@ -597,6 +694,10 @@ pub fn campaign(args: &Args) -> Result<(), ArgError> {
         gaps_us: parse_gaps(args.get("gaps-us").unwrap_or(""))?,
         reuse: !args.switch("no-reuse"),
         sim_version: parse_sim_version(args)?,
+        chaos_ppm: parse_chaos(args)?,
+        deadline_ms,
+        host_retries,
+        backoff_ms: host_backoff_ms,
         shards: args.get_or("shards", 8)?,
         jsonl: args.switch("jsonl"),
     };
@@ -611,6 +712,7 @@ pub fn campaign(args: &Args) -> Result<(), ArgError> {
         backoff_ms: args.get_or("backoff-ms", 250)?,
         telemetry,
         fail_after_shards: parse_fail_after(args)?,
+        max_host_failures: parse_max_host_failures(args)?,
         progress: args.switch("progress"),
     };
     let workers = parse_workers(args)?;
@@ -723,6 +825,17 @@ pub fn campaign(args: &Args) -> Result<(), ArgError> {
              and `reorder campaign --resume {}`",
             report.failed.len(),
             dir.display()
+        )));
+    }
+    if report.host_failures_exceeded {
+        let s = &ckpt.agg.summary;
+        return Err(ArgError(format!(
+            "campaign finished (outputs in {}) but {} of {} host(s) failed \
+             ({:.2}%), over the --max-host-failures threshold",
+            dir.display(),
+            s.failed,
+            s.hosts,
+            s.failed as f64 * 100.0 / s.hosts.max(1) as f64,
         )));
     }
     Ok(())
@@ -1104,6 +1217,127 @@ mod tests {
         assert!(e.0.contains("accepted: positive shard count"), "{e}");
         let e = campaign(&parse("campaign --dir a --jsonl out.jsonl")).unwrap_err();
         assert!(e.0.contains("campaign.jsonl"), "{e}");
+    }
+
+    #[test]
+    fn chaos_parses_fractions_and_percentages() {
+        assert_eq!(parse_chaos(&parse("survey")).unwrap(), 0);
+        assert_eq!(parse_chaos(&parse("survey --chaos 0")).unwrap(), 0);
+        assert_eq!(parse_chaos(&parse("survey --chaos 0.2")).unwrap(), 200_000);
+        assert_eq!(parse_chaos(&parse("survey --chaos 20%")).unwrap(), 200_000);
+        assert_eq!(parse_chaos(&parse("survey --chaos 1")).unwrap(), 1_000_000);
+        assert_eq!(parse_chaos(&parse("survey --chaos 0.000123")).unwrap(), 123);
+        for bad in [
+            "--chaos 1.5",
+            "--chaos -0.1",
+            "--chaos 120%",
+            "--chaos many",
+        ] {
+            let e = parse_chaos(&parse(&format!("survey {bad}")))
+                .expect_err(&format!("`{bad}` must be rejected"));
+            assert!(e.0.contains("fraction like 0.2"), "{e}");
+        }
+        // A bare `--chaos` parses as a switch; don't let it mean zero.
+        assert!(parse_chaos(&parse("survey --chaos")).is_err());
+    }
+
+    #[test]
+    fn budget_flags_parse_and_reject_zero_deadline() {
+        let d = Budget::default();
+        assert_eq!(
+            parse_budget(&parse("survey")).unwrap(),
+            (
+                d.deadline.as_millis() as u64,
+                d.max_retries,
+                d.backoff.as_millis() as u64
+            )
+        );
+        assert_eq!(
+            parse_budget(&parse(
+                "survey --host-deadline-ms 45000 --host-retries 2 --host-backoff-ms 125"
+            ))
+            .unwrap(),
+            (45_000, 2, 125)
+        );
+        let e = parse_budget(&parse("survey --host-deadline-ms 0")).unwrap_err();
+        assert!(e.0.contains("positive milliseconds"), "{e}");
+    }
+
+    #[test]
+    fn survey_chaos_mix_classifies_hostile_hosts_in_jsonl() {
+        let path = std::env::temp_dir().join(format!(
+            "reorder_cli_chaos_survey_{}.jsonl",
+            std::process::id()
+        ));
+        let cmd = format!(
+            "survey --hosts 20 --samples 3 --seed 77 --chaos 0.5 --workers 2 --jsonl {}",
+            path.display()
+        );
+        survey(&parse(&cmd)).expect("chaos survey");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 20);
+        assert!(
+            text.lines().all(|l| l.contains("\"outcome\":\"")),
+            "every JSONL line must carry an outcome"
+        );
+        assert!(
+            text.contains("\"outcome\":\"failed/") || text.contains("\"outcome\":\"degraded/"),
+            "a 50% hostile mix must classify some hosts: {text}"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn campaign_max_host_failures_drives_honest_nonzero_exit() {
+        let dir = campaign_dir("chaos");
+        let plan = format!(
+            "campaign --dir {} --hosts 10 --shards 2 --samples 3 --seed 77 --chaos 1 \
+             --no-baseline --in-process --workers 1 --max-host-failures 0",
+            dir.display()
+        );
+        let e = campaign(&parse(&plan)).unwrap_err();
+        assert!(e.0.contains("--max-host-failures"), "{e}");
+        assert!(
+            dir.join("summary.txt").exists(),
+            "a breached threshold must still finalize the outputs"
+        );
+        let summary = std::fs::read_to_string(dir.join("summary.txt")).unwrap();
+        assert!(summary.contains("failure taxonomy"), "{summary}");
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // The same hostile plan under a tolerant threshold exits zero.
+        let dir = campaign_dir("chaos_ok");
+        let plan = format!(
+            "campaign --dir {} --hosts 10 --shards 2 --samples 3 --seed 77 --chaos 1 \
+             --no-baseline --in-process --workers 1 --max-host-failures 1",
+            dir.display()
+        );
+        campaign(&parse(&plan)).expect("tolerant threshold passes");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn campaign_resume_rejects_chaos_and_budget_plan_flags() {
+        for flag in [
+            "--chaos 0.2",
+            "--host-deadline-ms 1000",
+            "--host-retries 1",
+            "--host-backoff-ms 10",
+        ] {
+            let e = campaign(&parse(&format!("campaign --resume a {flag}"))).unwrap_err();
+            let name = flag.split_whitespace().next().unwrap();
+            assert!(
+                e.0.contains(&format!("drop {name}")),
+                "resume must reject the plan flag {name}: {e}"
+            );
+        }
+        // Runtime knobs stay legal on resume; this one fails later, on
+        // the missing checkpoint, not on flag validation.
+        let e = campaign(&parse(
+            "campaign --resume /nonexistent --max-host-failures 0.5",
+        ))
+        .unwrap_err();
+        assert!(!e.0.contains("drop --"), "{e}");
     }
 
     #[test]

@@ -66,6 +66,7 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod budget;
 pub mod impact;
 pub mod jsonx;
 pub mod measurer;
@@ -80,6 +81,7 @@ pub mod techniques;
 pub mod telemetry;
 pub mod validate;
 
+pub use budget::{Budget, HostErrorKind};
 pub use measurer::{
     registry, technique, Measurement, Measurer, Requirements, Session, SessionStats, Technique,
 };

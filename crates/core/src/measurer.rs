@@ -35,12 +35,14 @@
 //! checked-in connection is closed immediately, reproducing the
 //! historical per-run behavior packet for packet.
 
+use crate::budget::Budget;
 use crate::metrics::ReorderEstimate;
 use crate::probe::{ClientConn, ProbeError, Prober};
 use crate::sample::{MeasurementRun, TestConfig};
 use crate::techniques::{
     DataTransferTest, DualConnectionTest, IpidVerdict, SingleConnectionTest, SynTest, TestKind,
 };
+use reorder_netsim::SimTime;
 use reorder_wire::Ipv4Addr4;
 use std::fmt::Write as _;
 
@@ -126,6 +128,7 @@ pub struct Session<'p> {
     verdict: Option<IpidVerdict>,
     probe_offset: u32,
     stats: SessionStats,
+    deadline: Option<SimTime>,
 }
 
 impl<'p> Session<'p> {
@@ -141,6 +144,7 @@ impl<'p> Session<'p> {
             verdict: None,
             probe_offset: 0,
             stats: SessionStats::default(),
+            deadline: None,
         }
     }
 
@@ -148,6 +152,22 @@ impl<'p> Session<'p> {
     pub fn with_reuse(mut self, reuse: bool) -> Self {
         self.reuse = reuse;
         self
+    }
+
+    /// Enforce a per-host [`Budget`] (builder style): the deadline is
+    /// anchored at the prober's current simulated time, and once it
+    /// passes every further [`Session::checkout`] — and thus every
+    /// technique phase — fails fast with
+    /// [`ProbeError::DeadlineExceeded`]. Deadlines are simulated time,
+    /// so a tarpit host burns its budget without burning wall clock.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.deadline = Some(self.prober.now() + budget.deadline);
+        self
+    }
+
+    /// Whether the session's budget deadline (if any) has passed.
+    pub fn over_deadline(&self) -> bool {
+        self.deadline.is_some_and(|d| self.prober.now() >= d)
     }
 
     /// The target address under measurement.
@@ -218,6 +238,9 @@ impl<'p> Session<'p> {
         window: u16,
         timeout: std::time::Duration,
     ) -> Result<ClientConn, ProbeError> {
+        if self.over_deadline() {
+            return Err(ProbeError::DeadlineExceeded);
+        }
         if self.reuse {
             if let Some(pos) = self
                 .cache
@@ -435,6 +458,23 @@ impl Measurement {
     }
 }
 
+/// `true` when the run's last three samples were all fully blind —
+/// neither direction determinate. That is the signature of a host
+/// that died mid-measurement: ordinary loss discards samples too, but
+/// independently, so three consecutive fully-blind samples at
+/// cooperative loss rates are vanishingly unlikely, while a host gone
+/// dark produces nothing else from the moment it dies.
+fn dead_tail(run: &MeasurementRun) -> bool {
+    const TAIL: usize = 3;
+    run.samples.len() >= TAIL
+        && run
+            .samples
+            .iter()
+            .rev()
+            .take(TAIL)
+            .all(|s| !s.outcome.fwd.is_determinate() && !s.outcome.rev.is_determinate())
+}
+
 /// Builder over a measurement plan: which technique, with what knobs,
 /// and which extras (transfer baseline, gap sweep) to fold into the
 /// single [`Measurement`] it returns.
@@ -515,18 +555,45 @@ impl Measurer {
     /// report. On a reusing session the phases share handshakes and
     /// the amenability verdict.
     pub fn run(&self, session: &mut Session<'_>) -> Result<Measurement, ProbeError> {
+        if session.over_deadline() {
+            return Err(ProbeError::DeadlineExceeded);
+        }
         let primary = technique(self.kind, self.cfg);
         let run = primary.execute(session)?;
         let mut m = Measurement::from_run(self.kind, &run);
+        if m.fwd.total == 0 && m.rev.total == 0 {
+            // Every sample was lost or discarded: a dead, blackholed or
+            // tarpitted host looks exactly like this. An estimate built
+            // on zero observations is not a measurement — report the
+            // run as timed out instead of returning a hollow success.
+            return Err(ProbeError::Timeout {
+                waiting_for: "any probe reply",
+            });
+        }
+        if dead_tail(&run) {
+            // The host answered, then went permanently dark: every
+            // trailing sample lost in both directions. Independent
+            // loss discards samples too, but independently — three
+            // consecutive fully-blind samples at cooperative loss
+            // rates are a ~1e-9 event, while a host dying mid-run
+            // makes them certain. The partial estimate is untrustworthy
+            // (its tail is censored), so the run fails loudly.
+            return Err(ProbeError::Timeout {
+                waiting_for: "probe replies (host went dark mid-run)",
+            });
+        }
         m.verdict = session.verdict();
         for &gap in &self.gaps_us {
+            if session.over_deadline() {
+                break;
+            }
             let mut cfg = self.cfg;
             cfg.gap = std::time::Duration::from_micros(gap);
             if let Ok(run) = technique(self.kind, cfg).execute(session) {
                 m.gap_points.push((gap, run.fwd_estimate()));
             }
         }
-        if self.baseline && self.kind != TestKind::DataTransfer {
+        if self.baseline && self.kind != TestKind::DataTransfer && !session.over_deadline() {
             m.baseline_rev = technique(TestKind::DataTransfer, TestConfig::default())
                 .execute(session)
                 .ok()
@@ -815,6 +882,37 @@ mod tests {
         s.checkin("u", 1460, 65535, other, t);
         assert_eq!(s.stats().handshakes, 3);
         s.finish(t);
+    }
+
+    #[test]
+    fn exhausted_budget_fails_checkout_and_run() {
+        let mut sc = scenario::validation_rig(0.0, 0.0, 304);
+        let mut s = Session::new(&mut sc.prober, sc.target, 80).with_budget(Budget {
+            deadline: std::time::Duration::ZERO,
+            ..Budget::default()
+        });
+        assert!(s.over_deadline());
+        assert!(matches!(
+            s.checkout("t", 1460, 65535, std::time::Duration::from_secs(1)),
+            Err(ProbeError::DeadlineExceeded)
+        ));
+        assert!(matches!(
+            Measurer::new(TestKind::Syn).with_samples(5).run(&mut s),
+            Err(ProbeError::DeadlineExceeded)
+        ));
+    }
+
+    #[test]
+    fn generous_budget_never_bites_a_cooperative_host() {
+        let mut sc = scenario::validation_rig(0.1, 0.0, 305);
+        let mut s = Session::new(&mut sc.prober, sc.target, 80)
+            .with_reuse(true)
+            .with_budget(Budget::default());
+        let m = Measurer::new(TestKind::DualConnection)
+            .with_samples(20)
+            .run(&mut s)
+            .expect("within budget");
+        assert!(m.fwd.total > 0);
     }
 
     #[test]

@@ -26,6 +26,10 @@ pub enum ProbeError {
     /// The target failed a precondition (e.g. IPID validation, missing
     /// web object).
     HostUnsuitable(String),
+    /// The per-host [`crate::budget::Budget`] deadline ran out before
+    /// this phase could start (or finish): the session refuses further
+    /// work so one pathological host cannot stall its shard.
+    DeadlineExceeded,
 }
 
 impl fmt::Display for ProbeError {
@@ -34,6 +38,7 @@ impl fmt::Display for ProbeError {
             ProbeError::Timeout { waiting_for } => write!(f, "timed out waiting for {waiting_for}"),
             ProbeError::ConnectionReset => write!(f, "connection reset by target"),
             ProbeError::HostUnsuitable(why) => write!(f, "host unsuitable: {why}"),
+            ProbeError::DeadlineExceeded => write!(f, "per-host budget deadline exceeded"),
         }
     }
 }

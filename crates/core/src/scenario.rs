@@ -6,9 +6,11 @@ use crate::probe::Prober;
 use rand::rngs::SmallRng;
 use rand::Rng;
 use reorder_netsim::pipes::DummynetConfig;
+pub use reorder_netsim::pipes::FaultClass;
 use reorder_netsim::pipes::{
     ArqConfig, BalanceMode, CrossTraffic, CrossTrafficModel, DelayJitter, DummynetReorder,
-    LoadBalancer, MultipathRoute, RandomLoss, SplitMode, StripingLink, WirelessArq, DOWN, UP,
+    FaultGate, LoadBalancer, MultipathRoute, RandomLoss, SplitMode, StripingLink, WirelessArq,
+    DOWN, UP,
 };
 use reorder_netsim::{
     rng as simrng, LinkParams, Mailbox, NodeId, Port, Simulator, Trace, TraceHandle,
@@ -453,6 +455,10 @@ pub struct HostSpec {
     pub object_size: usize,
     /// The reordering mechanism in the path.
     pub mechanism: PathMechanism,
+    /// Hostile-host fault injected directly in front of the host
+    /// (`None` for the cooperative majority). See
+    /// [`reorder_netsim::pipes::FaultGate`].
+    pub fault: Option<FaultClass>,
     /// Simulation format version: selects the cross-traffic backlog
     /// model of striping paths (inert for the other mechanisms).
     pub sim_version: SimVersion,
@@ -473,6 +479,7 @@ impl HostSpec {
             backends: 1,
             object_size: 12 * 1024,
             mechanism: PathMechanism::Dummynet,
+            fault: None,
             sim_version: SimVersion::default(),
         }
     }
@@ -532,6 +539,7 @@ pub fn population(popular: usize, random: usize, seed: u64) -> Vec<HostSpec> {
             backends: if rng.gen_bool(0.4) { 4 } else { 1 },
             object_size: 16 * 1024,
             mechanism: PathMechanism::Dummynet,
+            fault: None,
             sim_version: SimVersion::default(),
         });
     }
@@ -561,6 +569,7 @@ pub fn population(popular: usize, random: usize, seed: u64) -> Vec<HostSpec> {
                 12 * 1024
             },
             mechanism: PathMechanism::Dummynet,
+            fault: None,
             sim_version: SimVersion::default(),
         });
     }
@@ -756,7 +765,19 @@ fn build_internet_host(mut sim: Simulator, spec: &HostSpec, taps: bool) -> Scena
         )),
     };
     let dummy = sim.add_node(mech);
-    sim.connect(me, Port(0), loss, UP, fast_lan());
+    // A hostile host's fault gate sits directly in front of the prober
+    // (between mailbox and loss stage) so it sees every packet first.
+    // Fault-free specs keep the exact historical wiring — same node
+    // ids, link order and seeds — so 0-chaos populations stay
+    // byte-identical.
+    match spec.fault {
+        Some(fault) => {
+            let gate = sim.add_node(Box::new(FaultGate::new(fault, seed, "fault")));
+            sim.connect(me, Port(0), gate, UP, fast_lan());
+            sim.connect(gate, DOWN, loss, UP, fast_lan());
+        }
+        None => sim.connect(me, Port(0), loss, UP, fast_lan()),
+    }
     sim.connect(loss, DOWN, jitter, UP, wan(spec.delay.as_millis() as u64));
     sim.connect(jitter, DOWN, dummy, UP, fast_lan());
 

@@ -1,0 +1,293 @@
+//! Hostile-host fault injection — the uncooperative tail of a real
+//! survey population (§IV: firewalled, rate-limited, or dead hosts).
+//!
+//! A [`FaultGate`] sits directly in front of a host and applies one
+//! [`FaultClass`]: silently dropping traffic (blackhole), answering
+//! connection attempts with RST (reject), delaying everything
+//! pathologically (tarpit), going dark after N delivered packets
+//! (mid-measurement death), or dropping i.i.d. at a heavy rate. Like
+//! every pipe it is seeded and deterministic, so a hostile population
+//! is exactly reproducible.
+
+use super::token::TokenStore;
+use super::{other, UP};
+use crate::engine::{Ctx, Device, Port};
+use crate::rng;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use reorder_wire::{Packet, PacketBuilder, TcpFlags};
+use std::time::Duration;
+
+/// One way a host can be hostile to the survey. Composable with any
+/// personality/mechanism: the gate perturbs the wire, not the stack.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultClass {
+    /// Every packet toward the host is silently dropped (firewall
+    /// DROP): connection attempts time out.
+    Blackhole,
+    /// Connection attempts are answered with RST (firewall REJECT);
+    /// everything else toward the host is dropped.
+    RstReject,
+    /// Traffic passes, but only after a pathological extra delay in
+    /// each direction — longer than any reply timeout, so every
+    /// exchange times out while the path technically "works".
+    Tarpit {
+        /// Extra one-way delay added to every packet.
+        delay: Duration,
+    },
+    /// The host behaves normally until it has received `packets`
+    /// packets, then goes dark in both directions (mid-measurement
+    /// death).
+    DeadAfter {
+        /// Packets delivered toward the host before it dies.
+        packets: u64,
+    },
+    /// Independent random loss at a rate heavy enough to starve
+    /// measurements, in both directions.
+    HeavyLoss {
+        /// Per-packet drop probability.
+        rate: f64,
+    },
+}
+
+impl FaultClass {
+    /// Short label for reports and breakdowns.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultClass::Blackhole => "blackhole",
+            FaultClass::RstReject => "rst-reject",
+            FaultClass::Tarpit { .. } => "tarpit",
+            FaultClass::DeadAfter { .. } => "dead-after",
+            FaultClass::HeavyLoss { .. } => "heavy-loss",
+        }
+    }
+}
+
+/// The in-path device applying one [`FaultClass`]. Port [`UP`] faces
+/// the prober, [`super::DOWN`] the host; packets arriving on `UP` are
+/// headed toward the host.
+pub struct FaultGate {
+    fault: FaultClass,
+    rngs: [SmallRng; 2],
+    /// Packets delivered toward the host so far (drives `DeadAfter`).
+    delivered: u64,
+    pending: TokenStore<(Port, Packet)>,
+    /// Observability: dropped packet counts per direction.
+    pub dropped: [u64; 2],
+    /// Observability: RSTs crafted for rejected connection attempts.
+    pub rejected: u64,
+}
+
+impl FaultGate {
+    /// Gate applying `fault`, seeded from the scenario's master seed
+    /// (only `HeavyLoss` draws randomness; the other classes are
+    /// trivially deterministic).
+    pub fn new(fault: FaultClass, master_seed: u64, label: &str) -> Self {
+        if let FaultClass::HeavyLoss { rate } = fault {
+            assert!((0.0..=1.0).contains(&rate), "loss rate must be in [0, 1]");
+        }
+        FaultGate {
+            fault,
+            rngs: [
+                rng::stream(master_seed, &format!("{label}.fwd")),
+                rng::stream(master_seed, &format!("{label}.rev")),
+            ],
+            delivered: 0,
+            pending: TokenStore::new(),
+            dropped: [0; 2],
+            rejected: 0,
+        }
+    }
+
+    /// Craft the RST|ACK a rejecting firewall answers `pkt` with:
+    /// source and destination swapped, sequence space taken from the
+    /// offending segment exactly like a real stack's reset.
+    fn rst_for(pkt: &Packet) -> Option<Packet> {
+        let tcp = pkt.tcp()?;
+        if tcp.flags.contains(TcpFlags::RST) {
+            return None; // never RST a RST
+        }
+        let data_len = pkt.tcp_data().map(|d| d.len() as u32).unwrap_or(0);
+        let seq = if tcp.flags.contains(TcpFlags::ACK) {
+            tcp.ack
+        } else {
+            reorder_wire::SeqNum(0)
+        };
+        let ack = tcp.seq + data_len + u32::from(tcp.flags.contains(TcpFlags::SYN));
+        Some(
+            PacketBuilder::tcp()
+                .src(pkt.ip.dst, tcp.dst_port)
+                .dst(pkt.ip.src, tcp.src_port)
+                .seq(seq)
+                .ack(ack)
+                .flags(TcpFlags::RST | TcpFlags::ACK)
+                .window(0)
+                .build(),
+        )
+    }
+}
+
+impl Device for FaultGate {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, port: Port, pkt: Packet) {
+        let dir = port.0;
+        assert!(dir < 2);
+        match self.fault {
+            FaultClass::Blackhole => self.dropped[dir] += 1,
+            FaultClass::RstReject => {
+                if port == UP {
+                    if let Some(rst) = Self::rst_for(&pkt) {
+                        self.rejected += 1;
+                        ctx.transmit(UP, rst);
+                    }
+                    self.dropped[dir] += 1;
+                } else {
+                    // Nothing establishes behind a rejecting firewall,
+                    // but any stray host traffic passes untouched.
+                    ctx.transmit(other(port), pkt);
+                }
+            }
+            FaultClass::Tarpit { delay } => {
+                let token = self.pending.insert((other(port), pkt));
+                ctx.set_timer(delay, token);
+            }
+            FaultClass::DeadAfter { packets } => {
+                if self.delivered >= packets {
+                    self.dropped[dir] += 1;
+                    return;
+                }
+                if port == UP {
+                    self.delivered += 1;
+                }
+                ctx.transmit(other(port), pkt);
+            }
+            FaultClass::HeavyLoss { rate } => {
+                if rate > 0.0 && self.rngs[dir].gen_bool(rate) {
+                    self.dropped[dir] += 1;
+                    return;
+                }
+                ctx.transmit(other(port), pkt);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if let Some((port, pkt)) = self.pending.remove(token) {
+            ctx.transmit(port, pkt);
+        }
+    }
+
+    fn name(&self) -> &str {
+        "fault-gate"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{probe, rig, send_and_collect};
+    use super::*;
+    use crate::time::SimTime;
+    use reorder_wire::{Ipv4Addr4, SeqNum};
+
+    fn syn(n: u16) -> Packet {
+        PacketBuilder::tcp()
+            .src(Ipv4Addr4::new(10, 0, 0, 1), 1000 + n)
+            .dst(Ipv4Addr4::new(10, 0, 0, 2), 80)
+            .seq(u32::from(n))
+            .flags(TcpFlags::SYN)
+            .ipid(n)
+            .build()
+    }
+
+    #[test]
+    fn blackhole_swallows_everything() {
+        let (mut sim, src, _, _, tap) = rig(
+            Box::new(FaultGate::new(FaultClass::Blackhole, 1, "fault")),
+            1,
+        );
+        let order = send_and_collect(&mut sim, src, &tap, 50, Duration::ZERO);
+        assert!(order.is_empty(), "blackhole must deliver nothing");
+    }
+
+    #[test]
+    fn rst_reject_answers_syn_with_rst() {
+        let (mut sim, src, _, _, dst_tap) = rig(
+            Box::new(FaultGate::new(FaultClass::RstReject, 1, "fault")),
+            1,
+        );
+        let src_tap = sim.tap_rx(src);
+        sim.transmit_from(src, Port(0), syn(7));
+        sim.run_until_idle(SimTime::from_secs(1));
+        assert!(dst_tap.borrow().is_empty(), "SYN must not reach the host");
+        let replies = src_tap.borrow();
+        assert_eq!(replies.len(), 1, "exactly one RST back to the prober");
+        let tcp = replies[0].pkt.tcp().unwrap();
+        assert!(tcp.flags.contains(TcpFlags::RST | TcpFlags::ACK));
+        assert_eq!(tcp.ack, SeqNum(8), "RST acks SYN+1");
+        assert_eq!(tcp.src_port, 80, "reply comes 'from' the host");
+    }
+
+    #[test]
+    fn tarpit_delays_but_delivers() {
+        let delay = Duration::from_secs(30);
+        let (mut sim, src, _, _, tap) = rig(
+            Box::new(FaultGate::new(FaultClass::Tarpit { delay }, 1, "fault")),
+            1,
+        );
+        sim.transmit_from(src, Port(0), probe(0));
+        sim.run_until_idle(SimTime::from_secs(60));
+        let arrivals = tap.borrow();
+        assert_eq!(arrivals.len(), 1, "tarpit delays, never drops");
+        assert!(arrivals[0].time >= SimTime::from_secs(30));
+    }
+
+    #[test]
+    fn dead_after_forwards_then_goes_dark() {
+        let (mut sim, src, _, _, tap) = rig(
+            Box::new(FaultGate::new(
+                FaultClass::DeadAfter { packets: 3 },
+                1,
+                "fault",
+            )),
+            1,
+        );
+        let order = send_and_collect(&mut sim, src, &tap, 10, Duration::ZERO);
+        assert_eq!(order, vec![0, 1, 2], "exactly the first N survive");
+    }
+
+    #[test]
+    fn heavy_loss_tracks_rate_deterministically() {
+        let run = || {
+            let (mut sim, src, _, _, tap) = rig(
+                Box::new(FaultGate::new(
+                    FaultClass::HeavyLoss { rate: 0.4 },
+                    9,
+                    "fault",
+                )),
+                9,
+            );
+            send_and_collect(&mut sim, src, &tap, 2000, Duration::ZERO)
+        };
+        let a = run();
+        let rate = 1.0 - a.len() as f64 / 2000.0;
+        assert!((0.35..=0.45).contains(&rate), "loss rate {rate}");
+        assert_eq!(a, run(), "seeded loss is reproducible");
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        for (fault, label) in [
+            (FaultClass::Blackhole, "blackhole"),
+            (FaultClass::RstReject, "rst-reject"),
+            (
+                FaultClass::Tarpit {
+                    delay: Duration::from_secs(60),
+                },
+                "tarpit",
+            ),
+            (FaultClass::DeadAfter { packets: 8 }, "dead-after"),
+            (FaultClass::HeavyLoss { rate: 0.5 }, "heavy-loss"),
+        ] {
+            assert_eq!(fault.label(), label);
+        }
+    }
+}

@@ -8,6 +8,7 @@
 
 mod balancer;
 mod dummynet;
+mod fault;
 mod forward;
 mod jitter;
 mod loss;
@@ -20,6 +21,7 @@ mod wireless;
 
 pub use balancer::{BalanceMode, LoadBalancer};
 pub use dummynet::{DummynetConfig, DummynetReorder};
+pub use fault::{FaultClass, FaultGate};
 pub use forward::Forwarder;
 pub use jitter::DelayJitter;
 pub use loss::RandomLoss;

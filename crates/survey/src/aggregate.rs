@@ -17,7 +17,7 @@
 //! checkpoint/resume: a shard's summary can be serialized, reloaded
 //! and merged losslessly.
 
-use crate::pipeline::HostReport;
+use crate::pipeline::{HostOutcome, HostReport};
 use reorder_core::jsonx;
 use reorder_core::metrics::ReorderEstimate;
 use reorder_core::stats::{Moments, QuantileSketch, SKETCH_RELATIVE_ERROR};
@@ -207,6 +207,107 @@ impl GroupAgg {
     }
 }
 
+/// Per-failure-class accumulator: how many hosts landed in one
+/// [`HostErrorKind`] bucket, split by terminal severity and broken
+/// down by path mechanism and OS personality. Integer counters only,
+/// so shards merge exactly.
+///
+/// [`HostErrorKind`]: reorder_core::HostErrorKind
+#[derive(Debug, Clone, Default)]
+pub struct FailureAgg {
+    /// Hosts classified under this failure kind (failed + degraded).
+    pub hosts: u64,
+    /// Hosts that produced no usable measurement at all.
+    pub failed: u64,
+    /// Hosts that completed with partial results.
+    pub degraded: u64,
+    /// Mechanism label → hosts of this failure kind on that mechanism.
+    pub by_mechanism: BTreeMap<&'static str, u64>,
+    /// Personality name → hosts of this failure kind with that stack.
+    pub by_personality: BTreeMap<&'static str, u64>,
+}
+
+impl FailureAgg {
+    fn absorb(&mut self, r: &HostReport, failed: bool) {
+        self.hosts += 1;
+        if failed {
+            self.failed += 1;
+        } else {
+            self.degraded += 1;
+        }
+        *self
+            .by_mechanism
+            .entry(r.spec.mechanism.label())
+            .or_default() += 1;
+        *self
+            .by_personality
+            .entry(r.spec.personality.name)
+            .or_default() += 1;
+    }
+
+    fn merge(&mut self, other: &FailureAgg) {
+        self.hosts += other.hosts;
+        self.failed += other.failed;
+        self.degraded += other.degraded;
+        for (&key, &n) in &other.by_mechanism {
+            *self.by_mechanism.entry(key).or_default() += n;
+        }
+        for (&key, &n) in &other.by_personality {
+            *self.by_personality.entry(key).or_default() += n;
+        }
+    }
+
+    /// Serialize the exact state for the campaign checkpoint format.
+    pub fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"hosts\":{},\"failed\":{},\"degraded\":{}",
+            self.hosts, self.failed, self.degraded
+        );
+        for (name, map) in [
+            ("by_mechanism", &self.by_mechanism),
+            ("by_personality", &self.by_personality),
+        ] {
+            let _ = write!(s, ",\"{name}\":{{");
+            for (i, (key, n)) in map.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "\"{key}\":{n}");
+            }
+            s.push('}');
+        }
+        s.push('}');
+        s
+    }
+
+    /// Parse a [`FailureAgg::to_json`] document back bit-exactly.
+    pub fn from_json(text: &str) -> Result<FailureAgg, String> {
+        let mut agg = FailureAgg {
+            hosts: jsonx::int_field(text, "hosts")?,
+            failed: jsonx::int_field(text, "failed")?,
+            degraded: jsonx::int_field(text, "degraded")?,
+            ..FailureAgg::default()
+        };
+        for (name, map) in [
+            ("by_mechanism", &mut agg.by_mechanism),
+            ("by_personality", &mut agg.by_personality),
+        ] {
+            for elem in jsonx::elements(jsonx::field(text, name)?)? {
+                let (key, val) = jsonx::member(elem)?;
+                let n: u64 = val.trim().parse().map_err(|_| "non-integer host count")?;
+                map.insert(intern_label(key), n);
+            }
+        }
+        if agg.failed + agg.degraded != agg.hosts {
+            return Err(format!(
+                "failure class counts {}+{} disagree with hosts {}",
+                agg.failed, agg.degraded, agg.hosts
+            ));
+        }
+        Ok(agg)
+    }
+}
+
 /// Campaign-wide streaming summary.
 #[derive(Debug, Clone, Default)]
 pub struct CampaignSummary {
@@ -248,6 +349,19 @@ pub struct CampaignSummary {
     pub by_mechanism: BTreeMap<&'static str, GroupAgg>,
     /// Campaign gap profile: gap µs → pooled forward estimate.
     pub gap_profile: BTreeMap<u64, ReorderEstimate>,
+    /// Hosts whose outcome was `Failed` — no usable measurement.
+    pub failed: u64,
+    /// Hosts whose outcome was `Degraded` — partial results kept.
+    pub degraded: u64,
+    /// Total failed measurement rounds across all hosts (each host's
+    /// JSONL `failures` counter, summed).
+    pub failure_rounds: u64,
+    /// Failure taxonomy: [`HostErrorKind`] label → per-class breakdown.
+    /// Only failed/degraded hosts appear; a clean campaign's taxonomy
+    /// is empty.
+    ///
+    /// [`HostErrorKind`]: reorder_core::HostErrorKind
+    pub failure_taxonomy: BTreeMap<&'static str, FailureAgg>,
 }
 
 impl CampaignSummary {
@@ -295,6 +409,19 @@ impl CampaignSummary {
             let e = self.gap_profile.entry(gap).or_default();
             *e = e.merge(&est);
         }
+        self.failure_rounds += r.failures as u64;
+        let failed = matches!(r.outcome, HostOutcome::Failed { .. });
+        if failed {
+            self.failed += 1;
+        } else if matches!(r.outcome, HostOutcome::Degraded { .. }) {
+            self.degraded += 1;
+        }
+        if let Some(class) = r.outcome.taxonomy() {
+            self.failure_taxonomy
+                .entry(class)
+                .or_default()
+                .absorb(r, failed);
+        }
     }
 
     /// Fold another summary into this one — the associative merge that
@@ -329,6 +456,12 @@ impl CampaignSummary {
         for (&gap, est) in &other.gap_profile {
             let e = self.gap_profile.entry(gap).or_default();
             *e = e.merge(est);
+        }
+        self.failed += other.failed;
+        self.degraded += other.degraded;
+        self.failure_rounds += other.failure_rounds;
+        for (&key, f) in &other.failure_taxonomy {
+            self.failure_taxonomy.entry(key).or_default().merge(f);
         }
     }
 
@@ -374,6 +507,18 @@ impl CampaignSummary {
             }
             s.push('}');
         }
+        let _ = write!(
+            s,
+            ",\"failed\":{},\"degraded\":{},\"failure_rounds\":{},\"failure_taxonomy\":{{",
+            self.failed, self.degraded, self.failure_rounds
+        );
+        for (i, (key, f)) in self.failure_taxonomy.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "\"{key}\":{}", f.to_json());
+        }
+        s.push('}');
         s.push_str(",\"gap_profile\":[");
         for (i, (gap, est)) in self.gap_profile.iter().enumerate() {
             if i > 0 {
@@ -403,8 +548,16 @@ impl CampaignSummary {
             rev_pooled: est_from_json(jsonx::field(text, "rev_pooled")?)?,
             baseline_pooled: est_from_json(jsonx::field(text, "baseline_pooled")?)?,
             fwd_sketch: QuantileSketch::from_json(jsonx::field(text, "fwd_sketch")?)?,
+            failed: jsonx::int_field(text, "failed")?,
+            degraded: jsonx::int_field(text, "degraded")?,
+            failure_rounds: jsonx::int_field(text, "failure_rounds")?,
             ..CampaignSummary::default()
         };
+        for elem in jsonx::elements(jsonx::field(text, "failure_taxonomy")?)? {
+            let (key, val) = jsonx::member(elem)?;
+            sum.failure_taxonomy
+                .insert(intern_label(key), FailureAgg::from_json(val)?);
+        }
         for (name, map) in [
             ("by_technique", &mut sum.by_technique),
             ("by_personality", &mut sum.by_personality),
@@ -545,6 +698,40 @@ impl CampaignSummary {
                 );
             }
         }
+        if !self.failure_taxonomy.is_empty() {
+            let _ = writeln!(s, "{rule}");
+            let _ = writeln!(
+                s,
+                "{:<22} {:>7} {:>7} {:>8}",
+                "failure taxonomy", "hosts", "failed", "degraded"
+            );
+            for (class, f) in &self.failure_taxonomy {
+                let _ = writeln!(
+                    s,
+                    "{class:<22} {:>7} {:>7} {:>8}",
+                    f.hosts, f.failed, f.degraded
+                );
+                for (title, map) in [
+                    ("mechanisms", &f.by_mechanism),
+                    ("personalities", &f.by_personality),
+                ] {
+                    let mut line = format!("  {title}:");
+                    for (key, n) in map.iter() {
+                        let _ = write!(line, " {key} {n}");
+                    }
+                    let _ = writeln!(s, "{line}");
+                }
+            }
+        }
+        let _ = writeln!(s, "{rule}");
+        let _ = writeln!(
+            s,
+            "host outcomes: complete {}  degraded {}  failed {}   failed rounds: {}",
+            self.hosts - self.degraded - self.failed,
+            self.degraded,
+            self.failed,
+            self.failure_rounds
+        );
         s
     }
 }
@@ -776,6 +963,90 @@ mod tests {
         );
         assert!(rendered.contains("p50"));
         assert!(rendered.contains("p99"));
+    }
+
+    /// Hostile reports land in the failure taxonomy with their
+    /// mechanism/personality breakdowns, survive the checkpoint JSON
+    /// round trip bit-exactly, and render both the per-class table and
+    /// the always-on outcome footer.
+    #[test]
+    fn failure_taxonomy_absorbs_round_trips_and_renders() {
+        use crate::pipeline::HostOutcome;
+        use reorder_core::scenario::FaultClass;
+        use reorder_core::HostErrorKind;
+        let job = HostJob {
+            samples: 5,
+            ..HostJob::default()
+        };
+        let mut sum = CampaignSummary::default();
+        // One cooperative host, one blackholed, one dead-mid-measurement.
+        let clean = HostSpec::clean("coop", HostPersonality::freebsd4());
+        sum.absorb(&survey_host(0, &clean, 31, &job));
+        let dark = HostSpec {
+            fault: Some(FaultClass::Blackhole),
+            ..HostSpec::clean("dark", HostPersonality::freebsd4())
+        };
+        let blackholed = survey_host(1, &dark, 32, &job);
+        assert!(matches!(blackholed.outcome, HostOutcome::Failed { .. }));
+        sum.absorb(&blackholed);
+        let dying = HostSpec {
+            fault: Some(FaultClass::DeadAfter { packets: 50 }),
+            ..HostSpec::clean("dying", HostPersonality::freebsd4())
+        };
+        let died = survey_host(2, &dying, 33, &HostJob::default());
+        assert_eq!(
+            died.outcome,
+            HostOutcome::Degraded {
+                kind: HostErrorKind::DiedMidMeasurement
+            }
+        );
+        sum.absorb(&died);
+
+        assert_eq!(sum.failed, 1);
+        assert_eq!(sum.degraded, 1);
+        assert!(sum.failure_rounds >= 1, "blackhole rounds count");
+        let unreachable = &sum.failure_taxonomy[HostErrorKind::Unreachable.label()];
+        assert_eq!((unreachable.hosts, unreachable.failed), (1, 1));
+        assert_eq!(unreachable.by_mechanism["dummynet"], 1);
+        assert_eq!(unreachable.by_personality["freebsd4"], 1);
+        let dieds = &sum.failure_taxonomy[HostErrorKind::DiedMidMeasurement.label()];
+        assert_eq!((dieds.hosts, dieds.degraded), (1, 1));
+
+        let restored =
+            CampaignSummary::from_json(&sum.to_json()).expect("taxonomy JSON must parse back");
+        assert_eq!(restored.to_json(), sum.to_json());
+        assert_eq!(restored.render(), sum.render());
+
+        let rendered = sum.render();
+        assert!(rendered.contains("failure taxonomy"), "{rendered}");
+        assert!(rendered.contains("unreachable"), "{rendered}");
+        assert!(rendered.contains("died-mid-measurement"), "{rendered}");
+        assert!(
+            rendered.contains("host outcomes: complete 1  degraded 1  failed 1"),
+            "{rendered}"
+        );
+    }
+
+    /// A clean campaign renders the outcome footer but no taxonomy
+    /// table, and rejects checkpoints missing the failure fields
+    /// (pre-taxonomy checkpoints must not silently load as zero).
+    #[test]
+    fn clean_summary_has_footer_but_no_taxonomy() {
+        let mut sum = CampaignSummary::default();
+        for r in reports(6, 55) {
+            sum.absorb(&r);
+        }
+        assert_eq!(sum.failed + sum.degraded, 0);
+        assert!(sum.failure_taxonomy.is_empty());
+        let rendered = sum.render();
+        assert!(!rendered.contains("failure taxonomy"));
+        assert!(rendered.contains("host outcomes: complete 6"), "{rendered}");
+        let json = sum.to_json();
+        let stripped = json.replace(",\"failure_rounds\":0", "");
+        assert!(
+            CampaignSummary::from_json(&stripped).is_err(),
+            "missing failure fields must be rejected, not defaulted"
+        );
     }
 
     #[test]

@@ -19,7 +19,8 @@ use crate::scheduler::{
     resolve_workers, run_folded_probed, run_sharded_probed, PoolStats, RunProbe,
 };
 use reorder_core::scenario::{ScenarioPool, SimVersion};
-use reorder_core::telemetry::{TelemetryMode, WorkerTelemetry};
+use reorder_core::telemetry::{intern_label, TelemetryMode, WorkerTelemetry};
+use reorder_core::Budget;
 use reorder_netsim::rng as simrng;
 use std::io::{self, Write};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -90,6 +91,10 @@ pub struct CampaignConfig {
     pub shard: Option<(usize, usize)>,
     /// Population distributions.
     pub model: PopulationModel,
+    /// Per-host probe budget: deadline, retry count and backoff. The
+    /// default (generous deadline, no retries) never bites cooperative
+    /// hosts, so chaos-free campaigns keep their exact bytes.
+    pub budget: Budget,
 }
 
 /// The contiguous id range `[lo, hi)` of shard `k` of `n` (1-based)
@@ -130,6 +135,7 @@ impl Default for CampaignConfig {
             progress: false,
             shard: None,
             model: PopulationModel::default(),
+            budget: Budget::default(),
         }
     }
 }
@@ -179,6 +185,7 @@ pub fn run_campaign<W: Write>(
         gaps_us: cfg.gaps_us.clone(),
         reuse: cfg.reuse,
         telemetry: cfg.telemetry,
+        budget: cfg.budget,
     };
     // Host ids this process measures. Specs and seeds key on the
     // absolute id, so a shard's slice of the report is byte-identical
@@ -210,7 +217,15 @@ pub fn run_campaign<W: Write>(
         // from identical RNG streams.
         spec.sim_version = cfg.sim_version;
         let host_seed = simrng::derive_seed(cfg.seed, &format!("survey.run.{id}"));
-        survey_host_traced(id, &spec, host_seed, job, pool, tel)
+        let report = survey_host_traced(id, &spec, host_seed, job, pool, tel);
+        // Outcome counters ride the worker's own telemetry, so they
+        // merge partition-invariantly on both consumption paths and
+        // surface in the `reorder.metrics/1` export.
+        if cfg.telemetry.is_enabled() {
+            let key = intern_label(&format!("host.outcome.{}", report.outcome.label()));
+            tel.count(key, 1);
+        }
+        report
     };
 
     // Live observation surface: `done` always counts completed hosts;

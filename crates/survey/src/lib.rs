@@ -70,11 +70,12 @@ pub mod report;
 pub mod scheduler;
 pub mod state;
 
-pub use aggregate::{CampaignSummary, RateHistogram, ShardAggregator};
+pub use aggregate::{CampaignSummary, FailureAgg, RateHistogram, ShardAggregator};
 pub use engine::{run_campaign, shard_bounds, CampaignConfig, CampaignOutcome};
 pub use metrics::{CampaignTelemetry, METRICS_SCHEMA};
-pub use pipeline::{HostJob, HostReport, TechniqueChoice};
+pub use pipeline::{HostJob, HostOutcome, HostReport, TechniqueChoice};
 pub use population::PopulationModel;
 pub use reorder_core::scenario::SimVersion;
 pub use reorder_core::telemetry::{TelemetryMode, WorkerTelemetry};
+pub use reorder_core::{Budget, HostErrorKind};
 pub use state::{run_shard, seal, unseal, ShardState, SHARD_SCHEMA};

@@ -31,8 +31,9 @@ use reorder_core::sample::TestConfig;
 use reorder_core::scenario::{HostSpec, ScenarioPool};
 use reorder_core::techniques::{IpidVerdict, TestKind};
 use reorder_core::telemetry::{TelemetryMode, WorkerTelemetry};
-use reorder_core::{technique, Measurement, Measurer, ProbeError, Session};
+use reorder_core::{technique, Budget, HostErrorKind, Measurement, Measurer, ProbeError, Session};
 use reorder_netsim::rng as simrng;
+use std::cell::Cell;
 use std::fmt;
 use std::time::Duration;
 
@@ -81,6 +82,65 @@ impl fmt::Display for TechniqueChoice {
     }
 }
 
+/// How a host's pipeline run ended — the campaign's graceful-degradation
+/// ladder. `Complete` hosts measured everything they were asked to;
+/// `Degraded` hosts produced usable partial results (some rounds
+/// failed, the amenability probe errored, or the per-host [`Budget`]
+/// deadline cut later phases); `Failed` hosts produced no measurement
+/// at all, classified by [`HostErrorKind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostOutcome {
+    /// Every requested phase succeeded.
+    Complete,
+    /// Partial results were kept; `kind` names the dominant failure.
+    Degraded {
+        /// Why the host fell short of a complete run.
+        kind: HostErrorKind,
+    },
+    /// No measurement succeeded.
+    Failed {
+        /// Why the host failed outright.
+        kind: HostErrorKind,
+    },
+}
+
+impl HostOutcome {
+    /// Stable JSONL label: `complete`, `degraded/<kind>` or
+    /// `failed/<kind>`.
+    pub fn label(&self) -> String {
+        match self {
+            HostOutcome::Complete => "complete".to_string(),
+            HostOutcome::Degraded { kind } => format!("degraded/{kind}"),
+            HostOutcome::Failed { kind } => format!("failed/{kind}"),
+        }
+    }
+
+    /// The failure-taxonomy key the campaign summary aggregates under:
+    /// failed and degraded hosts by their classified error kind (the
+    /// severity split lives in the [`crate::aggregate::FailureAgg`]
+    /// columns), complete hosts nowhere.
+    pub fn taxonomy(&self) -> Option<&'static str> {
+        match self {
+            HostOutcome::Complete => None,
+            HostOutcome::Degraded { kind } | HostOutcome::Failed { kind } => Some(kind.label()),
+        }
+    }
+
+    /// The classified error, when the run was not complete.
+    pub fn kind(&self) -> Option<HostErrorKind> {
+        match self {
+            HostOutcome::Complete => None,
+            HostOutcome::Degraded { kind } | HostOutcome::Failed { kind } => Some(*kind),
+        }
+    }
+}
+
+impl fmt::Display for HostOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
 /// Knobs of one host's pipeline run (shared by every host of a
 /// campaign).
 #[derive(Debug, Clone)]
@@ -108,6 +168,10 @@ pub struct HostJob {
     /// into the [`WorkerTelemetry`] handed to [`survey_host_traced`]).
     /// `Off` (the default) measures nothing — a few branches, no clock.
     pub telemetry: TelemetryMode,
+    /// Per-host spending cap: simulated-time deadline, transient-retry
+    /// count and retry backoff. The default is generous enough that no
+    /// cooperative host ever notices it.
+    pub budget: Budget,
 }
 
 impl Default for HostJob {
@@ -121,6 +185,7 @@ impl Default for HostJob {
             gaps_us: Vec::new(),
             reuse: true,
             telemetry: TelemetryMode::Off,
+            budget: Budget::default(),
         }
     }
 }
@@ -151,6 +216,9 @@ pub struct HostReport {
     /// False when every round failed (the host is effectively
     /// unreachable to the chosen technique).
     pub reachable: bool,
+    /// How the run ended: complete, degraded (partial results kept) or
+    /// failed, with the classified [`HostErrorKind`].
+    pub outcome: HostOutcome,
     /// Simulator events this host's pipeline dispatched (perf
     /// observability; not part of the JSONL report).
     pub events: u64,
@@ -168,6 +236,7 @@ fn empty_report(id: u64, spec: &HostSpec, verdict: Option<IpidVerdict>) -> HostR
         gap_points: Vec::new(),
         failures: 0,
         reachable: verdict.is_some(),
+        outcome: HostOutcome::Complete,
         events: 0,
     }
 }
@@ -233,22 +302,42 @@ impl Phase {
 }
 
 /// The per-host protocol, shared by both modes: technique selection,
-/// measurement rounds with technique pinning and SYN fallback, the
-/// baseline gate, and the gap sweep. `measure` runs one phase —
-/// session-backed (reusing) or fresh-scenario-per-phase — so the two
-/// modes cannot drift apart semantically.
+/// measurement rounds with technique pinning, SYN fallback and
+/// budgeted retries, the baseline gate, and the gap sweep. `measure`
+/// runs one phase — session-backed (reusing) or
+/// fresh-scenario-per-phase — so the two modes cannot drift apart
+/// semantically. `elapsed` reports the host's accumulated simulated
+/// time, which [`Budget::deadline`] caps: phases that would start past
+/// the deadline are skipped, so no tarpit or blackhole host can spend
+/// more than its budget.
 fn run_protocol(
     id: u64,
     spec: &HostSpec,
-    verdict: Option<IpidVerdict>,
+    verdict: Result<IpidVerdict, HostErrorKind>,
     job: &HostJob,
+    elapsed: impl Fn() -> Duration,
     mut measure: impl FnMut(TestKind, &Phase, TestConfig) -> Result<Measurement, ProbeError>,
 ) -> HostReport {
     let cfg = TestConfig::samples(job.samples);
+    let (verdict, amen_err) = match verdict {
+        Ok(v) => (Some(v), None),
+        Err(kind) => (None, Some(kind)),
+    };
     let mut report = empty_report(id, spec, verdict);
     if job.amenability_only {
+        report.outcome = match amen_err {
+            None => HostOutcome::Complete,
+            Some(kind) => HostOutcome::Failed { kind },
+        };
         return report;
     }
+
+    // Budget accounting: retry backoff is charged against the deadline
+    // arithmetically (`backoff << attempt`), so budgets stay
+    // deterministic — no wall clock is ever read.
+    let budget = job.budget;
+    let mut charged = Duration::ZERO;
+    let mut deadline_cut = false;
 
     // Technique selection and measurement rounds. Once a round
     // succeeds the technique is pinned (and fallback disabled): the
@@ -256,7 +345,14 @@ fn run_protocol(
     // per-technique breakdowns would mislabel mixed samples.
     let primary = primary_kind(job.technique, verdict);
     let mut chosen: Option<TestKind> = None;
+    let mut round_err: Option<HostErrorKind> = None;
     for round in 0..job.rounds {
+        if elapsed() + charged >= budget.deadline {
+            deadline_cut = true;
+            report.failures += 1;
+            round_err.get_or_insert(HostErrorKind::DeadlineExceeded);
+            continue;
+        }
         let kind = chosen.unwrap_or(primary);
         // Transfer-primary rounds on a reusing session ask the server
         // for a persistent connection, so rounds 2..n ride round 1's
@@ -269,47 +365,127 @@ fn run_protocol(
                 && kind == TestKind::DataTransfer
                 && (job.rounds > 1 || !job.gaps_us.is_empty()),
         );
-        let mut outcome = measure(kind, &Phase::Round(round), round_cfg);
-        if outcome.is_err()
-            && chosen.is_none()
-            && job.technique == TechniqueChoice::Auto
-            && kind == TestKind::DualConnection
-        {
-            // Mid-measurement dual failure (e.g. loss-induced timeout):
-            // fall back to the SYN test.
-            outcome = measure(TestKind::Syn, &Phase::Fallback(round), cfg);
-        }
+        let mut attempt = 0u32;
+        let outcome = loop {
+            let mut outcome = measure(kind, &Phase::Round(round), round_cfg);
+            if outcome.is_err()
+                && chosen.is_none()
+                && job.technique == TechniqueChoice::Auto
+                && kind == TestKind::DualConnection
+            {
+                // Mid-measurement dual failure (e.g. loss-induced
+                // timeout): fall back to the SYN test.
+                outcome = measure(TestKind::Syn, &Phase::Fallback(round), cfg);
+            }
+            match outcome {
+                Ok(m) => break Ok(m),
+                Err(err) => {
+                    // Only transient failures (timeouts) retry, and
+                    // each retry's backoff spends deadline.
+                    if attempt < budget.max_retries && HostErrorKind::is_transient(&err) {
+                        charged += budget.backoff_for(attempt);
+                        attempt += 1;
+                        if elapsed() + charged < budget.deadline {
+                            continue;
+                        }
+                        deadline_cut = true;
+                    }
+                    break Err(err);
+                }
+            }
+        };
         match outcome {
             Ok(m) => absorb_round(&mut report, &mut chosen, &m),
-            Err(_) => report.failures += 1,
+            Err(err) => {
+                report.failures += 1;
+                let classified =
+                    HostErrorKind::classify(&err, chosen.is_some() || report.verdict.is_some());
+                round_err.get_or_insert(classified);
+                // A permanent failure before any success means every
+                // remaining round is doomed the same way: count them
+                // as failures without burning their simulation time.
+                if chosen.is_none() && !HostErrorKind::is_transient(&err) {
+                    report.failures += job.rounds - round - 1;
+                    break;
+                }
+            }
         }
     }
     report.reachable = chosen.is_some();
 
     // Data-transfer baseline of the reverse path (skipped when the
-    // primary *is* the transfer test).
+    // primary *is* the transfer test). A redirect-sized object
+    // (`HostUnsuitable` → `NonAmenable`) is a host property and never
+    // degrades; any other baseline failure — the host died, refused or
+    // timed out mid-transfer — marks the run degraded.
+    let mut late_err: Option<HostErrorKind> = None;
     if job.baseline && primary != TestKind::DataTransfer {
-        report.baseline_rev = measure(
-            TestKind::DataTransfer,
-            &Phase::Baseline,
-            TestConfig::default(),
-        )
-        .ok()
-        .map(|m| m.rev);
+        if elapsed() + charged >= budget.deadline {
+            deadline_cut = true;
+        } else {
+            match measure(
+                TestKind::DataTransfer,
+                &Phase::Baseline,
+                TestConfig::default(),
+            ) {
+                Ok(m) => report.baseline_rev = Some(m.rev),
+                Err(err) => {
+                    let classified =
+                        HostErrorKind::classify(&err, chosen.is_some() || report.verdict.is_some());
+                    if classified != HostErrorKind::NonAmenable {
+                        late_err.get_or_insert(classified);
+                    }
+                }
+            }
+        }
     }
 
     // Optional §IV-C gap sweep. Skipped for unreachable hosts: every
     // sweep point would burn a full doomed measurement attempt per gap.
     if let Some(kind) = chosen {
         for &gap in &job.gaps_us {
+            if elapsed() + charged >= budget.deadline {
+                deadline_cut = true;
+                break;
+            }
             let gcfg = cfg
                 .with_gap(Duration::from_micros(gap))
                 .with_keep_alive(job.reuse && kind == TestKind::DataTransfer);
-            if let Ok(m) = measure(kind, &Phase::Gap(gap), gcfg) {
-                report.gap_points.push((gap, m.fwd));
+            match measure(kind, &Phase::Gap(gap), gcfg) {
+                Ok(m) => report.gap_points.push((gap, m.fwd)),
+                Err(err) => {
+                    let classified = HostErrorKind::classify(&err, true);
+                    if classified != HostErrorKind::NonAmenable {
+                        late_err.get_or_insert(classified);
+                    }
+                }
             }
         }
     }
+
+    report.outcome = if !report.reachable {
+        // The amenability probe's classification is the most specific
+        // one for a host that never measured (it saw the raw handshake
+        // failure: refused vs timed out).
+        HostOutcome::Failed {
+            kind: amen_err
+                .or(round_err)
+                .unwrap_or(HostErrorKind::DeadlineExceeded),
+        }
+    } else if report.failures > 0 || amen_err.is_some() || late_err.is_some() || deadline_cut {
+        HostOutcome::Degraded {
+            kind: round_err
+                .or(late_err)
+                .or(amen_err)
+                .unwrap_or(if deadline_cut {
+                    HostErrorKind::DeadlineExceeded
+                } else {
+                    HostErrorKind::Partial
+                }),
+        }
+    } else {
+        HostOutcome::Complete
+    };
     report
 }
 
@@ -393,18 +569,31 @@ fn survey_host_reusing(
     let mode = job.telemetry;
     let mut sc = pool.internet_host(spec, simrng::derive_seed(host_seed, "session"));
     let report = {
-        let mut session = Session::new(&mut sc.prober, sc.target, 80).with_reuse(true);
+        let mut session = Session::new(&mut sc.prober, sc.target, 80)
+            .with_reuse(true)
+            .with_budget(job.budget);
         let sw = mode.start();
         let verdict = technique(TestKind::DualConnection, TestConfig::samples(5))
             .probe_amenability(&mut session)
-            .ok();
+            .map_err(|e| HostErrorKind::classify(&e, false));
         tel.span("amenability", mode, sw);
-        run_protocol(id, spec, verdict, job, |kind, phase, cfg| {
-            let sw = mode.start();
-            let outcome = Measurer::new(kind).with_config(cfg).run(&mut session);
-            tel.span(phase.span_label(), mode, sw);
-            outcome
-        })
+        // Elapsed simulated time, updated after every phase: the one
+        // shared session's clock covers amenability and all phases.
+        let spent = Cell::new(Duration::from_nanos(session.prober().now().as_nanos()));
+        run_protocol(
+            id,
+            spec,
+            verdict,
+            job,
+            || spent.get(),
+            |kind, phase, cfg| {
+                let sw = mode.start();
+                let outcome = Measurer::new(kind).with_config(cfg).run(&mut session);
+                spent.set(Duration::from_nanos(session.prober().now().as_nanos()));
+                tel.span(phase.span_label(), mode, sw);
+                outcome
+            },
+        )
         // Session drops here: cached connections close politely while
         // the scenario is still alive, so teardown traffic is counted.
     };
@@ -424,31 +613,51 @@ fn survey_host_fresh(
     tel: &mut WorkerTelemetry,
 ) -> HostReport {
     let mode = job.telemetry;
-    let verdict = {
+    let budget = job.budget;
+    let (verdict, amen_elapsed) = {
         let sw = mode.start();
         let mut sc = pool.internet_host(spec, simrng::derive_seed(host_seed, "amenability"));
         let verdict = {
-            let mut session = Session::new(&mut sc.prober, sc.target, 80);
+            let mut session = Session::new(&mut sc.prober, sc.target, 80).with_budget(budget);
             technique(TestKind::DualConnection, TestConfig::samples(5))
                 .probe_amenability(&mut session)
-                .ok()
+                .map_err(|e| HostErrorKind::classify(&e, false))
         };
+        let spent = Duration::from_nanos(sc.prober.now().as_nanos());
         pool.recycle(sc);
         tel.span("amenability", mode, sw);
-        verdict
+        (verdict, spent)
     };
-    run_protocol(id, spec, verdict, job, |kind, phase, cfg| {
-        let sw = mode.start();
-        let seed = simrng::derive_seed(host_seed, &phase.seed_label());
-        let mut sc = pool.internet_host(spec, seed);
-        let outcome = {
-            let mut session = Session::new(&mut sc.prober, sc.target, 80);
-            Measurer::new(kind).with_config(cfg).run(&mut session)
-        };
-        pool.recycle(sc);
-        tel.span(phase.span_label(), mode, sw);
-        outcome
-    })
+    // Each phase runs its own scenario whose clock starts at zero, so
+    // the host's accumulated simulated time is summed across phases
+    // (seeded with the amenability probe's) and each phase's session
+    // gets whatever deadline remains.
+    let spent = Cell::new(amen_elapsed);
+    run_protocol(
+        id,
+        spec,
+        verdict,
+        job,
+        || spent.get(),
+        |kind, phase, cfg| {
+            let sw = mode.start();
+            let seed = simrng::derive_seed(host_seed, &phase.seed_label());
+            let mut sc = pool.internet_host(spec, seed);
+            let outcome = {
+                let remaining = Budget {
+                    deadline: budget.deadline.saturating_sub(spent.get()),
+                    ..budget
+                };
+                let mut session =
+                    Session::new(&mut sc.prober, sc.target, 80).with_budget(remaining);
+                Measurer::new(kind).with_config(cfg).run(&mut session)
+            };
+            spent.set(spent.get() + Duration::from_nanos(sc.prober.now().as_nanos()));
+            pool.recycle(sc);
+            tel.span(phase.span_label(), mode, sw);
+            outcome
+        },
+    )
 }
 
 #[cfg(test)]
@@ -457,9 +666,10 @@ mod tests {
     use reorder_tcpstack::HostPersonality;
 
     #[test]
-    fn parse_is_exhaustive() {
+    fn parse_is_exhaustive() -> Result<(), String> {
         for name in TechniqueChoice::ACCEPTED {
-            let parsed = TechniqueChoice::parse(name).unwrap_or_else(|e| panic!("{name}: {e}"));
+            let parsed =
+                TechniqueChoice::parse(name).map_err(|e| format!("`{name}` must parse: {e}"))?;
             assert_eq!(parsed.to_string(), name, "display round-trips");
         }
         let err = TechniqueChoice::parse("bogus").unwrap_err();
@@ -475,6 +685,7 @@ mod tests {
             TechniqueChoice::parse("single-rev").unwrap(),
             TechniqueChoice::Fixed(TestKind::SingleConnectionReversed)
         );
+        Ok(())
     }
 
     #[test]
@@ -666,5 +877,147 @@ mod tests {
         };
         let r = survey_host(6, &spec, 708, &job);
         assert_eq!(r.technique, "single-rev");
+    }
+
+    /// The hostile-host survival property: every fault class crossed
+    /// with every technique choice and both session modes terminates,
+    /// produces a classified outcome, and does so deterministically.
+    /// Loss-only hostility may still complete (45% loss is survivable
+    /// with enough retransmission luck); the four hard faults never do.
+    #[test]
+    fn every_fault_class_terminates_classified() {
+        use reorder_core::scenario::FaultClass;
+        let faults = [
+            FaultClass::Blackhole,
+            FaultClass::RstReject,
+            FaultClass::Tarpit {
+                delay: Duration::from_secs(30),
+            },
+            FaultClass::DeadAfter { packets: 60 },
+            FaultClass::HeavyLoss { rate: 0.45 },
+        ];
+        let techniques = [
+            TechniqueChoice::Auto,
+            TechniqueChoice::Fixed(TestKind::DualConnection),
+            TechniqueChoice::Fixed(TestKind::Syn),
+            TechniqueChoice::Fixed(TestKind::DataTransfer),
+        ];
+        let budget = Budget {
+            deadline: Duration::from_secs(45),
+            max_retries: 1,
+            ..Budget::default()
+        };
+        for (fi, &fault) in faults.iter().enumerate() {
+            for (ti, &technique) in techniques.iter().enumerate() {
+                for reuse in [true, false] {
+                    let spec = HostSpec {
+                        fault: Some(fault),
+                        ..HostSpec::clean("hostile", HostPersonality::freebsd4())
+                    };
+                    let job = HostJob {
+                        samples: 4,
+                        baseline: false,
+                        technique,
+                        reuse,
+                        budget,
+                        ..HostJob::default()
+                    };
+                    let seed = 9000 + (fi * 10 + ti) as u64;
+                    let r = survey_host(0, &spec, seed, &job);
+                    let again = survey_host(0, &spec, seed, &job);
+                    let label = format!("{} x {technique} (reuse={reuse})", fault.label());
+                    assert_eq!(r.outcome, again.outcome, "{label} must be deterministic");
+                    assert_eq!(r.fwd, again.fwd, "{label} must be deterministic");
+                    // DeadAfter and HeavyLoss are survivable-by-design
+                    // (a short enough run fits before death; 45% loss
+                    // can get lucky) — for them termination plus
+                    // deterministic classification is the property.
+                    // The three always-hostile classes must never read
+                    // as complete.
+                    if matches!(
+                        fault,
+                        FaultClass::Blackhole | FaultClass::RstReject | FaultClass::Tarpit { .. }
+                    ) {
+                        assert_ne!(
+                            r.outcome,
+                            HostOutcome::Complete,
+                            "{label} must be classified as degraded or failed"
+                        );
+                        let kind = r.outcome.kind().expect("non-complete outcome has a kind");
+                        assert!(!kind.label().is_empty());
+                        assert!(
+                            r.failures > 0 || !r.reachable || r.baseline_rev.is_none(),
+                            "{label}: a hard fault must cost something"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The chaos preset's mid-measurement death: `DeadAfter { packets:
+    /// 50 }` outlives the amenability probe, dies partway through the
+    /// dual measurement — classified died-mid-measurement, with the
+    /// partial results kept.
+    #[test]
+    fn dead_after_fifty_packets_degrades_as_died_mid_measurement() {
+        use reorder_core::scenario::FaultClass;
+        let spec = HostSpec {
+            fault: Some(FaultClass::DeadAfter { packets: 50 }),
+            ..HostSpec::clean("walking-dead", HostPersonality::freebsd4())
+        };
+        let r = survey_host(0, &spec, 2026, &HostJob::default());
+        assert_eq!(r.verdict, Some(IpidVerdict::Amenable), "outlives the probe");
+        assert_eq!(r.technique, "dual");
+        assert!(r.reachable, "partial results are kept");
+        assert!(r.fwd.total > 0);
+        assert_eq!(
+            r.outcome,
+            HostOutcome::Degraded {
+                kind: HostErrorKind::DiedMidMeasurement
+            }
+        );
+        assert!(r.baseline_rev.is_none(), "died before the baseline");
+    }
+
+    /// An exhausted budget classifies immediately — the deadline binds
+    /// before any probe traffic, for hostile and cooperative hosts
+    /// alike, so no fault class can stretch a host past its budget.
+    #[test]
+    fn zero_deadline_fails_every_host_as_deadline_exceeded() {
+        use reorder_core::scenario::FaultClass;
+        let job = HostJob {
+            budget: Budget {
+                deadline: Duration::ZERO,
+                ..Budget::default()
+            },
+            ..HostJob::default()
+        };
+        for fault in [None, Some(FaultClass::Blackhole)] {
+            for reuse in [true, false] {
+                let spec = HostSpec {
+                    fault,
+                    ..HostSpec::clean("broke", HostPersonality::freebsd4())
+                };
+                let r = survey_host(
+                    0,
+                    &spec,
+                    1234,
+                    &HostJob {
+                        reuse,
+                        ..job.clone()
+                    },
+                );
+                assert_eq!(
+                    r.outcome,
+                    HostOutcome::Failed {
+                        kind: HostErrorKind::DeadlineExceeded
+                    },
+                    "fault={fault:?} reuse={reuse}"
+                );
+                assert!(!r.reachable);
+                assert!(r.failures > 0);
+            }
+        }
     }
 }

@@ -16,7 +16,7 @@
 
 use rand::rngs::SmallRng;
 use rand::Rng;
-use reorder_core::scenario::{HostSpec, PathMechanism, SimVersion};
+use reorder_core::scenario::{FaultClass, HostSpec, PathMechanism, SimVersion};
 use reorder_netsim::rng as simrng;
 use reorder_tcpstack::HostPersonality;
 use std::time::Duration;
@@ -75,6 +75,12 @@ pub struct PopulationModel {
     pub small_object_prob: f64,
     /// Served object size for normal hosts, bytes.
     pub object_size: usize,
+    /// Hostile-host rate in parts per million. Each host independently
+    /// draws (from its own `survey.chaos.{id}` stream) whether it is
+    /// hostile and, if so, which [`FaultClass`] it exhibits. Zero — the
+    /// default — skips the chaos stream entirely, so chaos-free
+    /// populations are bit-identical to pre-chaos ones.
+    pub chaos_ppm: u32,
 }
 
 impl Default for PopulationModel {
@@ -121,6 +127,7 @@ impl Default for PopulationModel {
             backends: (2, 5),
             small_object_prob: 0.15,
             object_size: 12 * 1024,
+            chaos_ppm: 0,
         }
     }
 }
@@ -172,6 +179,32 @@ impl PopulationModel {
         } else {
             self.object_size
         };
+        // Hostility lives on its own RNG stream so that turning chaos
+        // on (or off) never perturbs any cooperative host's path draws.
+        let fault = if self.chaos_ppm > 0 {
+            let mut chaos: SmallRng = simrng::stream(master_seed, &format!("survey.chaos.{id}"));
+            if chaos.gen_range(0u32..1_000_000) < self.chaos_ppm {
+                Some(match chaos.gen_range(0u32..5) {
+                    0 => FaultClass::Blackhole,
+                    1 => FaultClass::RstReject,
+                    2 => FaultClass::Tarpit {
+                        delay: Duration::from_secs(30),
+                    },
+                    // 22 packets: enough to survive the amenability
+                    // probe (~19 cumulative packets in reusing mode)
+                    // but die inside the first measurement run, where
+                    // the dead-tail rule classifies the host instead
+                    // of letting a short campaign finish before the
+                    // fault ever fires.
+                    3 => FaultClass::DeadAfter { packets: 22 },
+                    _ => FaultClass::HeavyLoss { rate: 0.45 },
+                })
+            } else {
+                None
+            }
+        } else {
+            None
+        };
         HostSpec {
             name: format!("host{id:06}.survey"),
             personality,
@@ -183,6 +216,7 @@ impl PopulationModel {
             backends,
             object_size,
             mechanism,
+            fault,
             // Not drawn: the campaign engine stamps its configured
             // version on every spec (no RNG involved, so v1 and v2
             // populations are otherwise identical).
@@ -244,6 +278,49 @@ mod tests {
         assert_eq!(s.jitter, Duration::from_micros(150));
         assert_eq!(s.fwd_reorder, 0.0);
         assert_eq!(s.backends, 1);
+    }
+
+    #[test]
+    fn chaos_off_draws_no_faults_and_matches_legacy_streams() {
+        let clean = PopulationModel::default();
+        assert_eq!(clean.chaos_ppm, 0);
+        let specs: Vec<_> = (0..100).map(|i| clean.host(i, 7)).collect();
+        assert!(specs.iter().all(|s| s.fault.is_none()));
+        // Turning chaos on must not perturb any cooperative host's
+        // draws: hostile hosts differ only by their fault.
+        let chaotic = PopulationModel {
+            chaos_ppm: 200_000,
+            ..PopulationModel::default()
+        };
+        for (i, a) in specs.iter().enumerate() {
+            let b = chaotic.host(i as u64, 7);
+            assert_eq!(a.fwd_reorder, b.fwd_reorder);
+            assert_eq!(a.delay, b.delay);
+            assert_eq!(a.loss, b.loss);
+            assert_eq!(a.backends, b.backends);
+            assert_eq!(a.object_size, b.object_size);
+        }
+    }
+
+    #[test]
+    fn chaos_mix_hits_every_fault_class_at_roughly_the_asked_rate() {
+        let m = PopulationModel {
+            chaos_ppm: 200_000, // 20%
+            ..PopulationModel::default()
+        };
+        let specs: Vec<_> = (0..1000).map(|i| m.host(i, 11)).collect();
+        let hostile = specs.iter().filter(|s| s.fault.is_some()).count();
+        assert!(
+            (120..=280).contains(&hostile),
+            "expected ~200 hostile hosts, got {hostile}"
+        );
+        let classes: std::collections::BTreeSet<_> = specs
+            .iter()
+            .filter_map(|s| s.fault.as_ref().map(|f| f.label()))
+            .collect();
+        assert_eq!(classes.len(), 5, "all fault classes drawn: {classes:?}");
+        // Purity extends to the chaos stream.
+        assert_eq!(specs[3].fault, m.host(3, 11).fault);
     }
 
     #[test]

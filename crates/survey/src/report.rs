@@ -84,8 +84,9 @@ pub fn jsonl_line(r: &HostReport) -> String {
     }
     let _ = write!(
         s,
-        ",\"failures\":{},\"status\":\"{}\"}}",
+        ",\"failures\":{},\"outcome\":\"{}\",\"status\":\"{}\"}}",
         r.failures,
+        r.outcome,
         if r.reachable { "ok" } else { "unreachable" }
     );
     s
@@ -94,6 +95,7 @@ pub fn jsonl_line(r: &HostReport) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pipeline::HostOutcome;
     use reorder_core::scenario::HostSpec;
     use reorder_core::techniques::IpidVerdict;
     use reorder_tcpstack::HostPersonality;
@@ -110,6 +112,7 @@ mod tests {
             gap_points: vec![(0, ReorderEstimate::new(2, 10))],
             failures: 0,
             reachable: true,
+            outcome: HostOutcome::Complete,
             events: 0,
         }
     }
@@ -122,7 +125,7 @@ mod tests {
         assert!(line.contains("\"fwd\":{\"reordered\":2,\"total\":40,\"rate\":0.050000}"));
         assert!(line.contains("\"baseline_rev\":{\"reordered\":1,\"total\":8,\"rate\":0.125000}"));
         assert!(line.contains("\"gaps\":[{\"gap_us\":0,"));
-        assert!(line.ends_with("\"failures\":0,\"status\":\"ok\"}"));
+        assert!(line.ends_with("\"failures\":0,\"outcome\":\"complete\",\"status\":\"ok\"}"));
         assert!(!line.contains('\n'));
     }
 

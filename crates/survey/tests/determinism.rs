@@ -233,13 +233,13 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
 /// another's.
 #[test]
 fn pinned_v1_smoke_reproduces_historical_bytes() {
-    const PINNED_JSONL_FNV1A: u64 = 0xad1e_47f7_cf2c_16ae;
-    // Summary re-blessed at the sharded-aggregation landing: the
-    // rendered table gained a sketch-backed quantile line and its
-    // mean/CI now come from order-independent `Moments` (a declared
-    // render change). The JSONL pin above is untouched — per-host
-    // measurement bytes did not move.
-    const PINNED_SUMMARY_FNV1A: u64 = 0x2342_62da_c971_e867;
+    // Re-blessed at the hostile-host landing: every JSONL line gained
+    // an `"outcome"` field (complete/degraded/failed classification)
+    // and the summary footer a failures line plus failure-taxonomy
+    // table — a declared output break. Measurement bytes (verdicts,
+    // rates, samples) did not move; only the new fields landed.
+    const PINNED_JSONL_FNV1A: u64 = 0xefe4_4878_dd8c_5ac2;
+    const PINNED_SUMMARY_FNV1A: u64 = 0xe2cc_5706_f46d_21ae;
     let cfg = CampaignConfig {
         hosts: 40,
         workers: 2,
@@ -268,7 +268,9 @@ fn pinned_v1_smoke_reproduces_historical_bytes() {
 /// did not move a byte of the current-format JSONL either.
 #[test]
 fn pinned_v2_smoke_reproduces_historical_bytes() {
-    const PINNED_JSONL_FNV1A: u64 = 0x59dd_b94a_617a_8127;
+    // Re-blessed at the hostile-host landing (new `"outcome"` JSONL
+    // field), same declared break as the v1 pin above.
+    const PINNED_JSONL_FNV1A: u64 = 0x5834_53a5_b0b1_1bf7;
     let cfg = CampaignConfig {
         hosts: 40,
         workers: 2,
@@ -364,8 +366,8 @@ fn merged_shard_summaries_equal_the_unsharded_summary() {
 fn full_telemetry_reproduces_the_pinned_bytes() {
     use reorder_survey::TelemetryMode;
     for (version, pinned) in [
-        (SimVersion::V1, 0xad1e_47f7_cf2c_16ae_u64),
-        (SimVersion::V2, 0x59dd_b94a_617a_8127_u64),
+        (SimVersion::V1, 0xefe4_4878_dd8c_5ac2_u64),
+        (SimVersion::V2, 0x5834_53a5_b0b1_1bf7_u64),
     ] {
         let cfg = CampaignConfig {
             hosts: 40,
