@@ -35,14 +35,16 @@ impl Args {
                 if name.is_empty() {
                     return Err(ArgError("stray `--`".into()));
                 }
-                match it.peek() {
-                    Some(v) if !v.starts_with("--") => {
-                        let v = it.next().expect("peeked");
+                // The CLI must never panic on user input: re-read the
+                // peeked value fallibly instead of asserting on it.
+                let takes_value = matches!(it.peek(), Some(v) if !v.starts_with("--"));
+                match it.next_if(|_| takes_value) {
+                    Some(v) => {
                         if args.options.insert(name.to_string(), v).is_some() {
                             return Err(ArgError(format!("duplicate option --{name}")));
                         }
                     }
-                    _ => args.switches.push(name.to_string()),
+                    None => args.switches.push(name.to_string()),
                 }
             } else if args.command.is_none() {
                 args.command = Some(tok);

@@ -6,6 +6,8 @@
 //! path per invocation (fully parameterized and seeded) and runs the
 //! chosen technique against it. Run `reorder help` for usage.
 
+#![forbid(unsafe_code)]
+
 mod args;
 mod commands;
 

@@ -180,6 +180,7 @@ pub mod tcp {
     pub fn relative_goodput(spurious_per_packet: f64, window_pkts: f64) -> f64 {
         assert!((0.0..=1.0).contains(&spurious_per_packet));
         assert!(window_pkts >= 1.0);
+        // reorder-lint: allow(float-eq, exact-zero fast path; caller-supplied probability of exactly 0.0 means no spurious events)
         if spurious_per_packet == 0.0 {
             return 1.0;
         }

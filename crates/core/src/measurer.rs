@@ -640,6 +640,7 @@ mod json {
 
         pub fn as_usize(&self, what: &str) -> Result<usize, String> {
             match self {
+                // reorder-lint: allow(float-eq, fract() returns exactly 0.0 for integral values by IEEE 754)
                 Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Ok(*n as usize),
                 _ => Err(format!("{what}: expected unsigned integer")),
             }

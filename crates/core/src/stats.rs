@@ -596,6 +596,7 @@ pub fn autocorrelation(xs: &[f64], k: usize) -> f64 {
     }
     let m = mean(xs);
     let denom: f64 = xs.iter().map(|x| (x - m) * (x - m)).sum();
+    // reorder-lint: allow(float-eq, exact-zero divisor guard; any nonzero sum of squares is valid)
     if denom == 0.0 {
         return 0.0;
     }
@@ -611,6 +612,7 @@ pub fn correlation(a: &[f64], b: &[f64]) -> f64 {
     let cov: f64 = a.iter().zip(b).map(|(x, y)| (x - ma) * (y - mb)).sum();
     let va: f64 = a.iter().map(|x| (x - ma) * (x - ma)).sum();
     let vb: f64 = b.iter().map(|y| (y - mb) * (y - mb)).sum();
+    // reorder-lint: allow(float-eq, exact-zero divisor guard; any nonzero sum of squares is valid)
     if va == 0.0 || vb == 0.0 {
         0.0
     } else {
@@ -644,6 +646,7 @@ pub fn runs_test_z(xs: &[f64]) -> f64 {
         .collect();
     let n1 = signs.iter().filter(|&&s| s).count() as f64;
     let n2 = signs.len() as f64 - n1;
+    // reorder-lint: allow(float-eq, counts cast from integers; zero is exactly representable)
     if n1 == 0.0 || n2 == 0.0 {
         return 0.0;
     }

@@ -93,6 +93,7 @@ impl TelemetryMode {
     /// returns an empty [`Stopwatch`] without any syscall.
     pub fn start(self) -> Stopwatch {
         if self.is_enabled() {
+            // reorder-lint: allow(wall-clock, span timing is observability-only; telemetry never feeds report bytes — proven by the pinned-hash determinism suite)
             Stopwatch(Some(Instant::now()))
         } else {
             Stopwatch(None)

@@ -1,0 +1,179 @@
+//! Shrink-only baseline.
+//!
+//! The baseline records, per `(rule, file)`, how many findings the
+//! workspace is *known* to carry. `reorder-lint` fails on any finding
+//! beyond the recorded count (the debt may not grow) **and** on any
+//! recorded count above the actual one (a fixed finding must be
+//! removed from the baseline — `--bless` rewrites it — so the file can
+//! only shrink). Determinism-class and meta rules can never appear in
+//! a baseline: those findings are fixed or justified inline, never
+//! parked.
+
+use crate::rules::{rule_class, RuleClass, Violation};
+use std::collections::BTreeMap;
+
+/// Baseline key → tolerated finding count.
+pub type Baseline = BTreeMap<(String, String), usize>;
+
+/// Parse the baseline file format: `rule<TAB>file<TAB>count`, `#`
+/// comments and blank lines ignored.
+pub fn parse(text: &str) -> Result<Baseline, String> {
+    let mut out = Baseline::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split('\t');
+        let (Some(rule), Some(file), Some(count)) = (parts.next(), parts.next(), parts.next())
+        else {
+            return Err(format!(
+                "baseline line {}: expected `rule<TAB>file<TAB>count`, got `{raw}`",
+                idx + 1
+            ));
+        };
+        let count: usize = count
+            .trim()
+            .parse()
+            .map_err(|_| format!("baseline line {}: bad count `{count}`", idx + 1))?;
+        if count == 0 {
+            return Err(format!(
+                "baseline line {}: zero-count entry for `{rule}` is dead weight — remove it",
+                idx + 1
+            ));
+        }
+        match rule_class(rule) {
+            None => return Err(format!("baseline line {}: unknown rule `{rule}`", idx + 1)),
+            Some(RuleClass::Determinism) => {
+                return Err(format!(
+                    "baseline line {}: determinism rule `{rule}` cannot be baselined — \
+                     fix the finding or justify it inline with \
+                     `// reorder-lint: allow({rule}, reason)`",
+                    idx + 1
+                ))
+            }
+            Some(RuleClass::Meta) => {
+                return Err(format!(
+                    "baseline line {}: meta rule `{rule}` cannot be baselined",
+                    idx + 1
+                ))
+            }
+            Some(_) => {}
+        }
+        if out
+            .insert((rule.to_string(), file.trim().to_string()), count)
+            .is_some()
+        {
+            return Err(format!(
+                "baseline line {}: duplicate entry for `{rule}` / `{file}`",
+                idx + 1
+            ));
+        }
+    }
+    Ok(out)
+}
+
+/// Render violations into baseline text. Fails if any violation is of
+/// a class that may not be baselined.
+pub fn render(violations: &[Violation]) -> Result<String, String> {
+    let mut counts: Baseline = Baseline::new();
+    for v in violations {
+        match v.class {
+            RuleClass::Determinism => {
+                return Err(format!(
+                    "{}:{}: determinism finding [{}] cannot be blessed into the baseline — \
+                     fix it or justify it inline",
+                    v.file, v.line, v.rule
+                ))
+            }
+            RuleClass::Meta => {
+                return Err(format!(
+                    "{}:{}: [{}] {} — fix the suppression, it cannot be baselined",
+                    v.file, v.line, v.rule, v.message
+                ))
+            }
+            _ => {}
+        }
+        *counts
+            .entry((v.rule.to_string(), v.file.clone()))
+            .or_insert(0) += 1;
+    }
+    let mut out = String::from(
+        "# reorder-lint baseline — known findings, shrink-only.\n\
+         # Regenerate after *removing* findings with:\n\
+         #   cargo run -p reorder-lint -- --bless\n\
+         # New findings can NOT be added here: fix them or, where the\n\
+         # pattern is deliberate, annotate the line with\n\
+         #   // reorder-lint: allow(rule, reason)\n\
+         # Format: rule<TAB>file<TAB>count\n",
+    );
+    let mut by_file: Vec<(&(String, String), &usize)> = counts.iter().collect();
+    by_file.sort_by_key(|((rule, file), _)| (file.clone(), rule.clone()));
+    for ((rule, file), count) in by_file {
+        out.push_str(&format!("{rule}\t{file}\t{count}\n"));
+    }
+    Ok(out)
+}
+
+/// Result of checking a scan against a baseline.
+#[derive(Debug, Default)]
+pub struct CheckOutcome {
+    /// Findings beyond the baselined count (includes every finding of
+    /// a never-baselineable class).
+    pub unbaselined: Vec<Violation>,
+    /// Human-readable stale-entry diagnostics (baseline > actual).
+    pub stale: Vec<String>,
+    /// Total findings covered by the baseline.
+    pub covered: usize,
+}
+
+impl CheckOutcome {
+    pub fn clean(&self) -> bool {
+        self.unbaselined.is_empty() && self.stale.is_empty()
+    }
+}
+
+/// Compare violations against the baseline.
+pub fn check(violations: &[Violation], baseline: &Baseline) -> CheckOutcome {
+    let mut grouped: BTreeMap<(String, String), Vec<&Violation>> = BTreeMap::new();
+    for v in violations {
+        grouped
+            .entry((v.rule.to_string(), v.file.clone()))
+            .or_default()
+            .push(v);
+    }
+    let mut out = CheckOutcome::default();
+    for (key, vs) in &grouped {
+        let never = !matches!(vs[0].class, RuleClass::Robustness | RuleClass::Hygiene);
+        let allowed = if never {
+            0
+        } else {
+            baseline.get(key).copied().unwrap_or(0)
+        };
+        if vs.len() > allowed {
+            // More findings than the baseline tolerates: report them
+            // all (line-level attribution beats "3 of these 5").
+            out.unbaselined.extend(vs.iter().map(|v| (*v).clone()));
+        } else {
+            out.covered += vs.len();
+            if vs.len() < allowed {
+                out.stale.push(format!(
+                    "{} / {}: baseline says {allowed}, found {} — shrink the entry (--bless)",
+                    key.0,
+                    key.1,
+                    vs.len()
+                ));
+            }
+        }
+    }
+    for (key, &allowed) in baseline {
+        if !grouped.contains_key(key) {
+            out.stale.push(format!(
+                "{} / {}: baseline says {allowed}, found 0 — remove the entry (--bless)",
+                key.0, key.1
+            ));
+        }
+    }
+    out.stale.sort();
+    out
+}

@@ -1,0 +1,138 @@
+//! # reorder-lint
+//!
+//! Offline workspace static analysis that mechanically guards the
+//! byte-identical campaign contract. Every guarantee this workspace
+//! sells — identical campaign output across reruns, worker counts,
+//! shards, and crash-resume — used to rest on reviewer vigilance;
+//! nothing stopped the next change from iterating a `HashMap` into a
+//! summary table or reading the wall clock inside netsim. This crate
+//! is that missing enforcement: a hand-rolled, comment/string-aware
+//! lexical scanner (no registry access, so no `syn`) that walks every
+//! workspace source file and applies tiered rules:
+//!
+//! * **determinism** (never baselineable) — hash-ordered collections,
+//!   wall-clock reads, unseeded RNG, environment reads in the crates
+//!   whose code feeds campaign bytes;
+//! * **robustness** (baselined, shrink-only) — `unwrap`/`expect`/
+//!   `panic!` in non-test library code, float `==`;
+//! * **hygiene** — `#![forbid(unsafe_code)]` presence, `dbg!`, stray
+//!   `println!` in library crates.
+//!
+//! Findings resolve against the checked-in [`baseline`]
+//! (`lint-baseline.txt`, shrink-only: stale entries fail the run) plus
+//! inline `// reorder-lint: allow(rule, reason)` suppressions that
+//! require a reason. The binary (`cargo run -p reorder-lint`) exits
+//! nonzero on any unbaselined finding or stale entry; the library API
+//! ([`scan_source`], [`scan_workspace`]) is what the fixture tests and
+//! the live-workspace self-test drive.
+
+#![forbid(unsafe_code)]
+
+pub mod baseline;
+pub mod rules;
+pub mod scanner;
+
+pub use rules::{classify, scan_source, RuleClass, Violation, RULES};
+
+use std::path::{Path, PathBuf};
+
+/// A whole-workspace scan.
+pub struct WorkspaceScan {
+    /// Files scanned, workspace-relative, sorted.
+    pub files: Vec<String>,
+    /// All findings after inline suppressions, sorted by (file, line).
+    pub violations: Vec<Violation>,
+}
+
+/// Collect the workspace-relative paths `reorder-lint` scans: `src/`
+/// of the root facade package and of every crate under `crates/`.
+/// Vendored shims, tests, benches, examples, and build output are
+/// never scanned.
+pub fn workspace_files(root: &Path) -> Result<Vec<String>, String> {
+    let mut dirs: Vec<PathBuf> = vec![root.join("src")];
+    let crates = root.join("crates");
+    let entries =
+        std::fs::read_dir(&crates).map_err(|e| format!("cannot read {}: {e}", crates.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("readdir error under crates/: {e}"))?;
+        let src = entry.path().join("src");
+        if src.is_dir() {
+            dirs.push(src);
+        }
+    }
+    let mut files = Vec::new();
+    for dir in dirs {
+        collect_rs(&dir, &mut files)?;
+    }
+    let mut rel: Vec<String> = files
+        .into_iter()
+        .filter_map(|p| {
+            p.strip_prefix(root)
+                .ok()
+                .map(|r| r.to_string_lossy().replace('\\', "/"))
+        })
+        .collect();
+    rel.sort();
+    Ok(rel)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("readdir error under {}: {e}", dir.display()))?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Scan the whole workspace rooted at `root`.
+pub fn scan_workspace(root: &Path) -> Result<WorkspaceScan, String> {
+    let files = workspace_files(root)?;
+    let mut violations = Vec::new();
+    for rel in &files {
+        let path = root.join(rel);
+        let src = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        violations.extend(scan_source(rel, &src));
+    }
+    violations.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(WorkspaceScan { files, violations })
+}
+
+/// Default baseline location, relative to the workspace root.
+pub const BASELINE_FILE: &str = "lint-baseline.txt";
+
+/// Locate the workspace root: an explicit `--root`, else walk up from
+/// the current directory to the first ancestor holding a `crates/`
+/// directory next to a `Cargo.toml`.
+pub fn find_root(explicit: Option<&Path>) -> Result<PathBuf, String> {
+    if let Some(r) = explicit {
+        return if r.join("Cargo.toml").is_file() && r.join("crates").is_dir() {
+            Ok(r.to_path_buf())
+        } else {
+            Err(format!("{} is not the workspace root", r.display()))
+        };
+    }
+    let cwd = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+    let mut dir = cwd.as_path();
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Ok(dir.to_path_buf());
+        }
+        match dir.parent() {
+            Some(p) => dir = p,
+            None => {
+                return Err(format!(
+                    "no workspace root found above {} (need Cargo.toml + crates/)",
+                    cwd.display()
+                ))
+            }
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! `reorder-lint` — the workspace determinism & robustness analyzer.
+//!
+//! ```text
+//! cargo run -p reorder-lint --release            # check (CI mode)
+//! cargo run -p reorder-lint -- --bless           # rewrite the baseline (shrink-only)
+//! cargo run -p reorder-lint -- --list-rules      # rule reference
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings (unbaselined violation or stale
+//! baseline entry), 2 usage / I/O error.
+
+#![forbid(unsafe_code)]
+
+use reorder_lint::{baseline, find_root, scan_workspace, RuleClass, BASELINE_FILE, RULES};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    root: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    bless: bool,
+    list_rules: bool,
+    quiet: bool,
+}
+
+const USAGE: &str = "\
+reorder-lint — workspace determinism & robustness analyzer
+
+USAGE: reorder-lint [--root DIR] [--baseline FILE] [--bless] [--list-rules] [--quiet]
+
+  --root DIR       workspace root (default: walk up from cwd)
+  --baseline FILE  baseline path (default: <root>/lint-baseline.txt)
+  --bless          rewrite the baseline from current findings; refuses
+                   determinism-class and meta findings (fix or justify
+                   those inline — the baseline is for tracked debt only)
+  --list-rules     print every rule id, class, and description
+  --quiet          suppress the per-finding listing, print totals only
+
+Suppression syntax (reason required):
+  // reorder-lint: allow(rule-id, why this occurrence is safe)
+placed on the offending line or on its own line directly above.
+";
+
+fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String> {
+    let mut opts = Options {
+        root: None,
+        baseline: None,
+        bless: false,
+        list_rules: false,
+        quiet: false,
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => {
+                opts.root = Some(PathBuf::from(
+                    args.next().ok_or("--root needs a directory")?,
+                ))
+            }
+            "--baseline" => {
+                opts.baseline = Some(PathBuf::from(args.next().ok_or("--baseline needs a path")?))
+            }
+            "--bless" => opts.bless = true,
+            "--list-rules" => opts.list_rules = true,
+            "--quiet" | "-q" => opts.quiet = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn run() -> Result<bool, String> {
+    let opts = parse_args(std::env::args().skip(1))?;
+    if opts.list_rules {
+        println!("{:<18} {:<12} description", "rule", "class");
+        for (id, class, desc) in RULES {
+            println!("{:<18} {:<12} {desc}", id, class.as_str());
+        }
+        return Ok(true);
+    }
+    let root = find_root(opts.root.as_deref())?;
+    let baseline_path = opts.baseline.unwrap_or_else(|| root.join(BASELINE_FILE));
+    let scan = scan_workspace(&root)?;
+
+    if opts.bless {
+        let text = baseline::render(&scan.violations)?;
+        std::fs::write(&baseline_path, &text)
+            .map_err(|e| format!("cannot write {}: {e}", baseline_path.display()))?;
+        let entries = text.lines().filter(|l| !l.starts_with('#')).count();
+        println!(
+            "blessed {} finding(s) across {} baseline entr{} -> {}",
+            scan.violations.len(),
+            entries,
+            if entries == 1 { "y" } else { "ies" },
+            baseline_path.display()
+        );
+        return Ok(true);
+    }
+
+    let baseline_text = match std::fs::read_to_string(&baseline_path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+        Err(e) => return Err(format!("cannot read {}: {e}", baseline_path.display())),
+    };
+    let base = baseline::parse(&baseline_text)?;
+    let outcome = baseline::check(&scan.violations, &base);
+
+    if !opts.quiet {
+        for v in &outcome.unbaselined {
+            println!("{}:{}: [{}] {}", v.file, v.line, v.rule, v.message);
+        }
+        for s in &outcome.stale {
+            println!("stale baseline entry: {s}");
+        }
+    }
+    let det = outcome
+        .unbaselined
+        .iter()
+        .filter(|v| v.class == RuleClass::Determinism)
+        .count();
+    if outcome.clean() {
+        println!(
+            "reorder-lint: clean — {} files scanned, {} baselined finding(s) tracked",
+            scan.files.len(),
+            outcome.covered
+        );
+        Ok(true)
+    } else {
+        println!(
+            "reorder-lint: FAIL — {} unbaselined finding(s) ({} determinism-class), \
+             {} stale baseline entr{}",
+            outcome.unbaselined.len(),
+            det,
+            outcome.stale.len(),
+            if outcome.stale.len() == 1 { "y" } else { "ies" },
+        );
+        println!(
+            "fix the findings, justify them inline with \
+             `// reorder-lint: allow(rule, reason)`, or shrink the baseline \
+             with `cargo run -p reorder-lint -- --bless` \
+             (robustness/hygiene rules only)"
+        );
+        Ok(false)
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{USAGE}");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("reorder-lint: {msg}");
+                eprint!("{USAGE}");
+                ExitCode::from(2)
+            }
+        }
+    }
+}

@@ -1,0 +1,510 @@
+//! Rule definitions, path scoping, and the per-file matcher.
+//!
+//! Three enforced tiers, mirroring the byte-identical contract the
+//! workspace sells (see README "Static analysis"):
+//!
+//! * **Determinism** — patterns that can silently change campaign
+//!   bytes across runs, machines, or std versions. These can never be
+//!   baselined: fix them or justify them inline with
+//!   `// reorder-lint: allow(rule, reason)`.
+//! * **Robustness** — panic paths and float equality in library code.
+//!   Baselined (shrink-only) so the debt is visible and can only go
+//!   down.
+//! * **Hygiene** — `#![forbid(unsafe_code)]` presence, `dbg!`, stray
+//!   `println!` in library crates.
+//!
+//! Rules are scoped by path, not by configuration: the crates whose
+//! output feeds the campaign byte-contract (`wire`, `netsim`,
+//! `tcpstack`, `core`, `survey`, `campaign`) get the determinism
+//! tier; `crates/bench/src/bin` (offline experiment harnesses) is
+//! exempt from the robustness tier; `println!` is only an offense in
+//! library crates (the CLI and bench bins print by design).
+
+use crate::scanner;
+
+/// Severity/handling class of a rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuleClass {
+    /// Nondeterminism hazards. Never baselineable.
+    Determinism,
+    /// Panic paths / float equality. Baselineable, shrink-only.
+    Robustness,
+    /// Workspace hygiene. Baselineable, shrink-only.
+    Hygiene,
+    /// Problems with the lint machinery itself (bad or unused
+    /// suppressions). Never baselineable.
+    Meta,
+}
+
+impl RuleClass {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RuleClass::Determinism => "determinism",
+            RuleClass::Robustness => "robustness",
+            RuleClass::Hygiene => "hygiene",
+            RuleClass::Meta => "meta",
+        }
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Rule id (kebab-case, stable — baseline keys and allow comments
+    /// use it).
+    pub rule: &'static str,
+    pub class: RuleClass,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// Crates whose code can move campaign output bytes: the simulation,
+/// the measurement core, and the aggregation/orchestration layers.
+pub const DETERMINISM_CRATES: &[&str] =
+    &["wire", "netsim", "tcpstack", "core", "survey", "campaign"];
+
+/// Library crates where `println!` would pollute a machine-readable
+/// stdout (JSONL streams, summary pipes).
+pub const LIBRARY_CRATES: &[&str] = DETERMINISM_CRATES;
+
+/// Every rule id, with class and a one-line description — the single
+/// source of truth for `--list-rules`, the docs test, and baseline
+/// validation.
+pub const RULES: &[(&str, RuleClass, &str)] = &[
+    (
+        "hash-collections",
+        RuleClass::Determinism,
+        "HashMap/HashSet in an output-affecting crate (iteration order is unseeded-hash order; use BTreeMap/BTreeSet or sort before iterating)",
+    ),
+    (
+        "wall-clock",
+        RuleClass::Determinism,
+        "Instant::now/SystemTime in an output-affecting crate (wall time must never feed campaign bytes)",
+    ),
+    (
+        "unseeded-rng",
+        RuleClass::Determinism,
+        "thread_rng/from_entropy/OsRng/rand::random in an output-affecting crate (all randomness must come from the seeded per-host streams)",
+    ),
+    (
+        "env-read",
+        RuleClass::Determinism,
+        "std::env read in an output-affecting crate (environment must not steer simulation or aggregation)",
+    ),
+    (
+        "unwrap",
+        RuleClass::Robustness,
+        ".unwrap() in non-test library code (propagate or classify the error instead)",
+    ),
+    (
+        "expect",
+        RuleClass::Robustness,
+        ".expect(..) in non-test library code (propagate or classify the error instead)",
+    ),
+    (
+        "panic",
+        RuleClass::Robustness,
+        "panic!/todo!/unimplemented! in non-test library code",
+    ),
+    (
+        "float-eq",
+        RuleClass::Robustness,
+        "== / != against a float literal (use an epsilon, integers, or justify the exact compare)",
+    ),
+    (
+        "forbid-unsafe",
+        RuleClass::Hygiene,
+        "crate root missing #![forbid(unsafe_code)]",
+    ),
+    (
+        "dbg-macro",
+        RuleClass::Hygiene,
+        "dbg! left in committed code",
+    ),
+    (
+        "println",
+        RuleClass::Hygiene,
+        "println! in a library crate (library output goes through sinks/render, not stdout)",
+    ),
+    (
+        "bad-allow",
+        RuleClass::Meta,
+        "malformed reorder-lint suppression or missing reason",
+    ),
+    (
+        "unused-allow",
+        RuleClass::Meta,
+        "suppression that matches no finding on its target line",
+    ),
+    (
+        "unknown-rule",
+        RuleClass::Meta,
+        "suppression names a rule id that does not exist",
+    ),
+];
+
+/// Look up a rule's class by id.
+pub fn rule_class(id: &str) -> Option<RuleClass> {
+    RULES.iter().find(|(r, _, _)| *r == id).map(|&(_, c, _)| c)
+}
+
+/// Where a file sits in the workspace, for scoping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathCtx {
+    /// Crate directory name under `crates/` (or `"reorder"` for the
+    /// root facade package).
+    pub crate_name: String,
+    /// Under `src/bin/` (a standalone binary root).
+    pub in_bin: bool,
+    /// `src/lib.rs` or `src/main.rs` — the file that must carry
+    /// `#![forbid(unsafe_code)]`.
+    pub is_crate_root: bool,
+}
+
+/// Classify a workspace-relative path. Returns `None` for files the
+/// linter does not scan (vendor shims, tests, benches, examples,
+/// build output).
+pub fn classify(rel: &str) -> Option<PathCtx> {
+    let rel = rel.replace('\\', "/");
+    let (crate_name, under_src) = if let Some(rest) = rel.strip_prefix("crates/") {
+        let (name, tail) = rest.split_once('/')?;
+        (name.to_string(), tail.strip_prefix("src/")?.to_string())
+    } else if let Some(tail) = rel.strip_prefix("src/") {
+        ("reorder".to_string(), tail.to_string())
+    } else {
+        return None;
+    };
+    if !under_src.ends_with(".rs") {
+        return None;
+    }
+    let in_bin = under_src.starts_with("bin/");
+    let is_crate_root = under_src == "lib.rs" || under_src == "main.rs";
+    Some(PathCtx {
+        crate_name,
+        in_bin,
+        is_crate_root,
+    })
+}
+
+fn determinism_applies(ctx: &PathCtx) -> bool {
+    DETERMINISM_CRATES.contains(&ctx.crate_name.as_str())
+}
+
+fn robustness_applies(ctx: &PathCtx) -> bool {
+    // Everything except the offline experiment harnesses under
+    // `crates/bench/src/bin` — those are one-shot tools whose panics
+    // reach a developer terminal, not a campaign.
+    !(ctx.crate_name == "bench" && ctx.in_bin)
+}
+
+fn println_applies(ctx: &PathCtx) -> bool {
+    LIBRARY_CRATES.contains(&ctx.crate_name.as_str())
+}
+
+fn is_ident_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// All identifier-boundary occurrences of `tok` in `line` (byte
+/// offsets).
+fn token_positions(line: &str, tok: &str) -> Vec<usize> {
+    let lb = line.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(p) = line[from..].find(tok) {
+        let at = from + p;
+        let pre_ok = at == 0 || !is_ident_char(lb[at - 1]);
+        let end = at + tok.len();
+        let post_ok = end >= lb.len() || !is_ident_char(lb[end]);
+        if pre_ok && post_ok {
+            out.push(at);
+        }
+        from = at + tok.len().max(1);
+    }
+    out
+}
+
+fn has_token(line: &str, tok: &str) -> bool {
+    !token_positions(line, tok).is_empty()
+}
+
+/// `.name(` with optional whitespace around the dot and before the
+/// paren — the shape of a method call.
+fn method_call(line: &str, name: &str) -> bool {
+    let lb = line.as_bytes();
+    for at in token_positions(line, name) {
+        let before = line[..at].trim_end().as_bytes();
+        if before.last() != Some(&b'.') {
+            continue;
+        }
+        let mut j = at + name.len();
+        while j < lb.len() && (lb[j] == b' ' || lb[j] == b'\t') {
+            j += 1;
+        }
+        if j < lb.len() && lb[j] == b'(' {
+            return true;
+        }
+    }
+    false
+}
+
+/// `name!` macro invocation.
+fn macro_call(line: &str, name: &str) -> bool {
+    let lb = line.as_bytes();
+    token_positions(line, name)
+        .into_iter()
+        .any(|at| lb.get(at + name.len()) == Some(&b'!'))
+}
+
+/// Is `tok` (scraped from beside a comparison operator) a float
+/// literal? `0.0`, `1.`, `1.0f64`, `1e-3f32`, `1_000.5`.
+fn is_float_literal(tok: &str) -> bool {
+    let t = tok.trim_end_matches("f64").trim_end_matches("f32");
+    let t = t.trim_end_matches('_');
+    if t.is_empty() || !t.as_bytes()[0].is_ascii_digit() {
+        return false;
+    }
+    let has_dot = t.contains('.');
+    let has_exp = t[1..].contains(['e', 'E']);
+    let had_suffix = t.len() != tok.len();
+    if !(has_dot || has_exp || had_suffix) {
+        return false;
+    }
+    t.bytes()
+        .all(|c| c.is_ascii_digit() || c == b'.' || c == b'_' || c == b'e' || c == b'E')
+}
+
+/// Scrape the operand token touching the comparison on one side.
+fn operand_back(s: &str) -> &str {
+    let t = s.trim_end();
+    let start = t
+        .rfind(|c: char| !(c.is_ascii_alphanumeric() || c == '_' || c == '.'))
+        .map(|p| p + 1)
+        .unwrap_or(0);
+    &t[start..]
+}
+
+fn operand_fwd(s: &str) -> &str {
+    let t = s.trim_start();
+    let end = t
+        .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_' || c == '.'))
+        .unwrap_or(t.len());
+    &t[..end]
+}
+
+/// Does the line compare (`==`/`!=`) against a float literal?
+fn float_eq(line: &str) -> bool {
+    for op in ["==", "!="] {
+        let mut from = 0;
+        while let Some(p) = line[from..].find(op).map(|p| from + p) {
+            let pre = &line[..p];
+            let post = &line[p + op.len()..];
+            if is_float_literal(operand_back(pre)) || is_float_literal(operand_fwd(post)) {
+                return true;
+            }
+            from = p + op.len();
+        }
+    }
+    false
+}
+
+/// Run every in-scope rule over one masked, test-blanked file.
+/// `scan_lines` are the lines rules match on; `full_masked` is the
+/// same file *without* test-blanking (for the crate-root attribute
+/// check, which must see `#![forbid(unsafe_code)]` wherever it is).
+pub fn match_rules(
+    ctx: &PathCtx,
+    rel: &str,
+    scan_lines: &[&str],
+    full_masked: &str,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut push = |rule: &'static str, class: RuleClass, line: usize, msg: String| {
+        out.push(Violation {
+            rule,
+            class,
+            file: rel.to_string(),
+            line,
+            message: msg,
+        });
+    };
+    let det = determinism_applies(ctx);
+    let robust = robustness_applies(ctx);
+    for (idx, line) in scan_lines.iter().enumerate() {
+        let ln = idx + 1;
+        if det {
+            for tok in ["HashMap", "HashSet"] {
+                if has_token(line, tok) {
+                    push(
+                        "hash-collections",
+                        RuleClass::Determinism,
+                        ln,
+                        format!("`{tok}` in `{}` — iteration order is unseeded-hash order; use BTreeMap/BTreeSet or sorted iteration", ctx.crate_name),
+                    );
+                }
+            }
+            if line.contains("Instant::now") || has_token(line, "SystemTime") {
+                push(
+                    "wall-clock",
+                    RuleClass::Determinism,
+                    ln,
+                    "wall-clock read in an output-affecting crate".to_string(),
+                );
+            }
+            if has_token(line, "thread_rng")
+                || has_token(line, "from_entropy")
+                || has_token(line, "OsRng")
+                || line.contains("rand::random")
+            {
+                push(
+                    "unseeded-rng",
+                    RuleClass::Determinism,
+                    ln,
+                    "unseeded randomness in an output-affecting crate".to_string(),
+                );
+            }
+            if line.contains("std::env") || line.contains("env::var") || line.contains("env::args")
+            {
+                push(
+                    "env-read",
+                    RuleClass::Determinism,
+                    ln,
+                    "environment read in an output-affecting crate".to_string(),
+                );
+            }
+        }
+        if robust {
+            if method_call(line, "unwrap") {
+                push(
+                    "unwrap",
+                    RuleClass::Robustness,
+                    ln,
+                    ".unwrap() in non-test library code".to_string(),
+                );
+            }
+            if method_call(line, "expect") {
+                push(
+                    "expect",
+                    RuleClass::Robustness,
+                    ln,
+                    ".expect(..) in non-test library code".to_string(),
+                );
+            }
+            for mac in ["panic", "todo", "unimplemented"] {
+                if macro_call(line, mac) {
+                    push(
+                        "panic",
+                        RuleClass::Robustness,
+                        ln,
+                        format!("`{mac}!` in non-test library code"),
+                    );
+                }
+            }
+            if float_eq(line) {
+                push(
+                    "float-eq",
+                    RuleClass::Robustness,
+                    ln,
+                    "equality comparison against a float literal".to_string(),
+                );
+            }
+        }
+        if macro_call(line, "dbg") {
+            push(
+                "dbg-macro",
+                RuleClass::Hygiene,
+                ln,
+                "dbg! left in committed code".to_string(),
+            );
+        }
+        if println_applies(ctx) && macro_call(line, "println") {
+            push(
+                "println",
+                RuleClass::Hygiene,
+                ln,
+                format!("println! in library crate `{}`", ctx.crate_name),
+            );
+        }
+    }
+    if ctx.is_crate_root && !ctx.in_bin && !full_masked.contains("forbid(unsafe_code)") {
+        push(
+            "forbid-unsafe",
+            RuleClass::Hygiene,
+            1,
+            "crate root missing #![forbid(unsafe_code)]".to_string(),
+        );
+    }
+    out
+}
+
+/// Scan one file: mask, blank test regions, parse suppressions, match
+/// rules, apply suppressions. This is the unit the fixture tests and
+/// the workspace walker share.
+pub fn scan_source(rel: &str, src: &str) -> Vec<Violation> {
+    let Some(ctx) = classify(rel) else {
+        return Vec::new();
+    };
+    let masked = scanner::mask_source(src);
+    let scan_text = scanner::blank_test_regions(&masked.code);
+    let masked_lines: Vec<&str> = masked.code.split('\n').collect();
+    let scan_lines: Vec<&str> = scan_text.split('\n').collect();
+    let (mut allows, bad) = scanner::parse_allows(&masked.comments, &masked_lines);
+
+    let mut violations = Vec::new();
+    for b in bad {
+        violations.push(Violation {
+            rule: "bad-allow",
+            class: RuleClass::Meta,
+            file: rel.to_string(),
+            line: b.line,
+            message: b.detail,
+        });
+    }
+    for a in &allows {
+        if rule_class(&a.rule).is_none() {
+            violations.push(Violation {
+                rule: "unknown-rule",
+                class: RuleClass::Meta,
+                file: rel.to_string(),
+                line: a.comment_line,
+                message: format!(
+                    "suppression names unknown rule `{}` — run with --list-rules",
+                    a.rule
+                ),
+            });
+        }
+    }
+
+    for v in match_rules(&ctx, rel, &scan_lines, &masked.code) {
+        let suppressed = allows
+            .iter_mut()
+            .find(|a| a.rule == v.rule && a.target_line == v.line)
+            .map(|a| a.used = true)
+            .is_some();
+        if !suppressed {
+            violations.push(v);
+        }
+    }
+
+    for a in &allows {
+        if !a.used && rule_class(&a.rule).is_some() {
+            violations.push(Violation {
+                rule: "unused-allow",
+                class: RuleClass::Meta,
+                file: rel.to_string(),
+                line: a.comment_line,
+                message: format!(
+                    "suppression for `{}` matches no finding on line {} — remove it",
+                    a.rule, a.target_line
+                ),
+            });
+        }
+    }
+
+    violations.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    violations
+}

@@ -1,0 +1,118 @@
+//! Baseline semantics: shrink-only, determinism findings unbaselineable,
+//! stale entries fatal.
+
+use reorder_lint::baseline::{check, parse, render};
+use reorder_lint::rules::{RuleClass, Violation};
+
+fn v(rule: &'static str, class: RuleClass, file: &str, line: usize) -> Violation {
+    Violation {
+        rule,
+        class,
+        file: file.to_string(),
+        line,
+        message: String::new(),
+    }
+}
+
+#[test]
+fn round_trip_blessed_baseline_is_clean() {
+    let vs = vec![
+        v("expect", RuleClass::Robustness, "crates/core/src/a.rs", 3),
+        v("expect", RuleClass::Robustness, "crates/core/src/a.rs", 9),
+        v("panic", RuleClass::Robustness, "crates/netsim/src/b.rs", 1),
+    ];
+    let text = render(&vs).expect("renders");
+    let base = parse(&text).expect("parses");
+    let outcome = check(&vs, &base);
+    assert!(
+        outcome.clean(),
+        "{:?} / {:?}",
+        outcome.unbaselined,
+        outcome.stale
+    );
+    assert_eq!(outcome.covered, 3);
+}
+
+#[test]
+fn new_finding_beyond_baseline_fails() {
+    let old = vec![v(
+        "expect",
+        RuleClass::Robustness,
+        "crates/core/src/a.rs",
+        3,
+    )];
+    let base = parse(&render(&old).expect("renders")).expect("parses");
+    let mut now = old.clone();
+    now.push(v(
+        "expect",
+        RuleClass::Robustness,
+        "crates/core/src/a.rs",
+        7,
+    ));
+    let outcome = check(&now, &base);
+    assert!(!outcome.clean());
+    // Both findings for the over-budget key are listed, with lines.
+    assert_eq!(outcome.unbaselined.len(), 2);
+    assert!(outcome.stale.is_empty());
+}
+
+#[test]
+fn fixed_finding_makes_baseline_stale() {
+    let old = vec![
+        v("expect", RuleClass::Robustness, "crates/core/src/a.rs", 3),
+        v("expect", RuleClass::Robustness, "crates/core/src/a.rs", 9),
+    ];
+    let base = parse(&render(&old).expect("renders")).expect("parses");
+    let outcome = check(&old[..1], &base);
+    assert!(!outcome.clean());
+    assert_eq!(outcome.stale.len(), 1, "{:?}", outcome.stale);
+    assert!(outcome.stale[0].contains("shrink"));
+}
+
+#[test]
+fn fully_fixed_file_makes_baseline_stale() {
+    let old = vec![v("panic", RuleClass::Robustness, "crates/core/src/a.rs", 3)];
+    let base = parse(&render(&old).expect("renders")).expect("parses");
+    let outcome = check(&[], &base);
+    assert!(!outcome.clean());
+    assert_eq!(outcome.stale.len(), 1);
+    assert!(outcome.stale[0].contains("remove the entry"));
+}
+
+#[test]
+fn determinism_findings_cannot_be_blessed() {
+    let vs = vec![v(
+        "hash-collections",
+        RuleClass::Determinism,
+        "crates/survey/src/engine.rs",
+        10,
+    )];
+    let err = render(&vs).expect_err("must refuse");
+    assert!(err.contains("cannot be blessed"), "{err}");
+}
+
+#[test]
+fn determinism_entries_in_baseline_text_are_rejected() {
+    let err = parse("hash-collections\tcrates/survey/src/engine.rs\t1\n").expect_err("must refuse");
+    assert!(err.contains("cannot be baselined"), "{err}");
+}
+
+#[test]
+fn meta_and_unknown_and_zero_entries_are_rejected() {
+    assert!(parse("unused-allow\tsrc/lib.rs\t1\n").is_err());
+    assert!(parse("no-such-rule\tsrc/lib.rs\t1\n").is_err());
+    assert!(parse("expect\tsrc/lib.rs\t0\n").is_err());
+    assert!(parse("expect\tsrc/lib.rs\n").is_err());
+}
+
+#[test]
+fn determinism_findings_always_fail_even_with_empty_baseline() {
+    let vs = vec![v(
+        "wall-clock",
+        RuleClass::Determinism,
+        "crates/netsim/src/x.rs",
+        2,
+    )];
+    let outcome = check(&vs, &Default::default());
+    assert_eq!(outcome.unbaselined.len(), 1);
+}

@@ -1,0 +1,11 @@
+use std::collections::HashMap;
+use std::collections::HashSet;
+use std::time::SystemTime;
+pub fn f() {
+    let m: HashMap<u32, u32> = HashMap::new();
+    let _ = Instant::now();
+    let _ = std::env::var("REORDER_SECRET_KNOB");
+    let mut r = thread_rng();
+    let s: HashSet<u8> = HashSet::new();
+    let _ = rand::random::<u8>();
+}

@@ -1,0 +1,4 @@
+pub fn noisy() {
+    println!("progress: done");
+    dbg!(42);
+}

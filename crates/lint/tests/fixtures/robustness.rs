@@ -1,0 +1,11 @@
+pub fn f(x: Option<u8>) -> u8 {
+    let a = x.unwrap();
+    let b = x.expect("boom");
+    if (a as f64) == 1.0 {
+        panic!("no");
+    }
+    if 0.5 != (b as f64) {
+        todo!()
+    }
+    a + b
+}

@@ -1,0 +1,14 @@
+pub fn trailing_allow(x: Option<u8>) -> u8 {
+    x.unwrap() // reorder-lint: allow(unwrap, caller guarantees Some by construction)
+}
+pub fn line_above_allow(x: Option<u8>) -> u8 {
+    // reorder-lint: allow(unwrap, checked by caller)
+    x.unwrap()
+}
+pub fn reasonless_allow_does_not_suppress(x: Option<u8>) -> u8 {
+    x.unwrap() // reorder-lint: allow(unwrap)
+}
+// reorder-lint: allow(expect, nothing below actually uses expect)
+pub fn unused_allow_is_flagged() {}
+// reorder-lint: allow(made-up-rule, this rule does not exist)
+pub fn unknown_rule_is_flagged() {}

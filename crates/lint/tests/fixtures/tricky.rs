@@ -1,0 +1,27 @@
+pub fn strings_do_not_count() {
+    let s = "x.unwrap() HashMap Instant::now() panic!";
+    let r = r#"y.expect("inner") HashSet std::env::var"#;
+    let raw2 = r##"dbg!(1) println!("x") thread_rng()"##;
+    let c = 'x';
+    let esc = '\'';
+    let byte = b'"';
+    let bytes = b"unwrap() everywhere";
+    /* block comment: .unwrap() HashMap panic!("x")
+       spanning lines, nested /* .expect("z") */ still out */
+    let lifetime: &'static str = s;
+}
+#[cfg(test)]
+mod tests {
+    fn test_code_is_exempt(x: Option<u8>) -> u8 {
+        let m: HashMap<u8, u8> = HashMap::new();
+        println!("{}", x.expect("fine in tests"));
+        x.unwrap()
+    }
+}
+#[test]
+fn bare_test_fn_is_exempt() {
+    Some(1).unwrap();
+}
+pub fn the_only_real_finding(x: Option<u8>) -> u8 {
+    x.unwrap()
+}

@@ -1,0 +1,81 @@
+//! Self-test: the live workspace is clean against the committed
+//! baseline. This is the tier-1 wiring — `cargo test` fails the moment
+//! anyone introduces an unbaselined finding, even before CI's
+//! dedicated lint job runs the binary.
+
+use reorder_lint::baseline::{check, parse};
+use reorder_lint::{scan_workspace, RuleClass, BASELINE_FILE};
+use std::path::Path;
+
+fn root() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn live_workspace_is_clean_against_committed_baseline() {
+    let root = root();
+    let scan = scan_workspace(&root).expect("workspace scans");
+    assert!(
+        scan.files.len() >= 80,
+        "suspiciously few files scanned ({}) — walker broken?",
+        scan.files.len()
+    );
+    let text = std::fs::read_to_string(root.join(BASELINE_FILE))
+        .expect("lint-baseline.txt present at workspace root");
+    let base = parse(&text).expect("committed baseline parses");
+    let outcome = check(&scan.violations, &base);
+    let mut msg = String::new();
+    for v in &outcome.unbaselined {
+        msg.push_str(&format!(
+            "{}:{}: [{}] {}\n",
+            v.file, v.line, v.rule, v.message
+        ));
+    }
+    for s in &outcome.stale {
+        msg.push_str(&format!("stale baseline entry: {s}\n"));
+    }
+    assert!(
+        outcome.clean(),
+        "workspace has lint findings — fix them, justify inline, or \
+         (robustness/hygiene only) re-bless with \
+         `cargo run -p reorder-lint -- --bless`:\n{msg}"
+    );
+}
+
+#[test]
+fn committed_baseline_has_zero_determinism_entries() {
+    // `parse` already rejects determinism entries; this pins the
+    // acceptance criterion explicitly and keeps the guarantee visible
+    // even if parse's policy ever loosens.
+    let text = std::fs::read_to_string(root().join(BASELINE_FILE)).expect("baseline readable");
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let rule = line.split('\t').next().unwrap_or("");
+        let class = reorder_lint::rules::rule_class(rule).expect("known rule");
+        assert!(
+            matches!(class, RuleClass::Robustness | RuleClass::Hygiene),
+            "baseline entry for `{rule}` is {class:?} — only robustness/hygiene debt may be baselined"
+        );
+    }
+}
+
+#[test]
+fn scanned_file_set_is_scoped_to_first_party_src() {
+    let files = reorder_lint::workspace_files(&root()).expect("walk");
+    for f in &files {
+        assert!(
+            f.starts_with("src/") || f.starts_with("crates/"),
+            "unexpected scan root: {f}"
+        );
+        assert!(
+            !f.contains("/tests/") && !f.contains("/benches/") && !f.contains("/examples/"),
+            "non-library file scanned: {f}"
+        );
+        assert!(!f.starts_with("vendor/"), "vendored shim scanned: {f}");
+    }
+    // The linter must scan itself.
+    assert!(files.iter().any(|f| f == "crates/lint/src/main.rs"));
+}

@@ -1027,6 +1027,68 @@ mod tests {
         );
     }
 
+    /// The taxonomy tables render in sorted key order regardless of
+    /// insertion order — pinned here as a behavioral contract,
+    /// independent of the reorder-lint rule that forbids the unsorted
+    /// (HashMap-backed) form at the source level.
+    #[test]
+    fn failure_taxonomy_render_order_is_insertion_independent() {
+        let build = |order: &[&'static str]| {
+            let mut sum = CampaignSummary {
+                hosts: order.len() as u64,
+                ..Default::default()
+            };
+            for (i, &class) in order.iter().enumerate() {
+                let agg = sum.failure_taxonomy.entry(class).or_default();
+                agg.hosts = 1;
+                agg.failed = 1;
+                // Adversarial inner-map order too: rotate so each
+                // class inserts mechanisms/personalities differently.
+                let mechs = ["tc-netem", "dummynet", "nistnet"];
+                let persos = ["winxp", "freebsd4", "linux24"];
+                for k in 0..mechs.len() {
+                    let j = (i + k) % mechs.len();
+                    *agg.by_mechanism.entry(mechs[j]).or_default() += 1;
+                    *agg.by_personality.entry(persos[j]).or_default() += 1;
+                }
+            }
+            sum
+        };
+        let forward = build(&["blackhole", "tarpit", "unreachable"]);
+        let reverse = build(&["unreachable", "tarpit", "blackhole"]);
+        let rendered = forward.render();
+        assert_eq!(
+            rendered,
+            reverse.render(),
+            "taxonomy render must not depend on insertion order"
+        );
+        // The class rows and the inner mechanism/personality labels
+        // appear lexicographically sorted in the rendered table.
+        // (Search inside the taxonomy block only — labels like
+        // "unreachable" also occur in the summary header above it.)
+        let table = &rendered[rendered
+            .find("failure taxonomy")
+            .expect("taxonomy table present")..];
+        for window in [
+            ["blackhole", "tarpit", "unreachable"],
+            ["dummynet", "nistnet", "tc-netem"],
+            ["freebsd4", "linux24", "winxp"],
+        ] {
+            let at = |label: &str| {
+                table
+                    .find(label)
+                    .unwrap_or_else(|| panic!("{label} missing from:\n{rendered}"))
+            };
+            assert!(
+                at(window[0]) < at(window[1]) && at(window[1]) < at(window[2]),
+                "expected sorted order {window:?} in:\n{rendered}"
+            );
+        }
+        // JSON export shares the ordering contract: byte-identical
+        // across insertion orders, so checkpoint merges stay exact.
+        assert_eq!(forward.to_json(), reverse.to_json());
+    }
+
     /// A clean campaign renders the outcome footer but no taxonomy
     /// table, and rejects checkpoints missing the failure fields
     /// (pre-taxonomy checkpoints must not silently load as zero).

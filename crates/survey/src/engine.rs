@@ -373,6 +373,7 @@ pub fn run_campaign<W: Write>(
     // throttled progress line to stderr. stderr only — stdout belongs
     // to pinned report bytes — and nothing here feeds back into the
     // campaign, so output stays byte-identical with the flag on.
+    // reorder-lint: allow(wall-clock, progress heartbeat timing; stderr-only and never feeds report bytes)
     let started = Instant::now();
     let total = jobs as u64;
     let stop = AtomicBool::new(false);

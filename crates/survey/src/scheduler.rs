@@ -252,9 +252,11 @@ where
             s.spawn(move || {
                 let mut job = mk_worker(w);
                 let mut st = WorkerStats::default();
+                // reorder-lint: allow(wall-clock, worker busy/idle accounting; scheduler telemetry never feeds report bytes)
                 let born = probe.timed().then(Instant::now);
                 while let Some(i) = next_job(w, workers, shards, &mut st) {
                     let r = if born.is_some() {
+                        // reorder-lint: allow(wall-clock, per-task busy-time sample; telemetry-only)
                         let t = Instant::now();
                         let r = job(i);
                         st.busy_ns += t.elapsed().as_nanos() as u64;
@@ -379,9 +381,11 @@ where
             s.spawn(move || {
                 let (mut local, mut state) = mk_worker(w);
                 let mut st = WorkerStats::default();
+                // reorder-lint: allow(wall-clock, worker busy/idle accounting; scheduler telemetry never feeds report bytes)
                 let born = probe.timed().then(Instant::now);
                 while let Some(i) = next_job(w, workers, shards, &mut st) {
                     if born.is_some() {
+                        // reorder-lint: allow(wall-clock, per-task busy-time sample; telemetry-only)
                         let t = Instant::now();
                         step(&mut local, &mut state, i);
                         st.busy_ns += t.elapsed().as_nanos() as u64;
